@@ -1,0 +1,22 @@
+"""E1 — colouring completion time grows like log n (Lemmas 4.4 / 6.2).
+
+Regenerates the rounds-to-completion series for the basic static colouring and
+for DColor under 1% edge churn, for n = 32 … 512, and reports the ratio to
+log₂ n (paper claim: bounded as n grows).
+"""
+
+from repro.analysis.experiments import experiment_e01_coloring_convergence
+from bench_utils import regenerate
+
+
+def test_e01_coloring_convergence(benchmark, bench_seeds):
+    rows = regenerate(
+        benchmark,
+        experiment_e01_coloring_convergence,
+        "E1: colouring rounds-to-completion vs n (claim: O(log n))",
+        sizes=(32, 64, 128, 256, 512),
+        seeds=bench_seeds,
+        flip_prob=0.01,
+    )
+    # Shape check: the measured rounds stay within a constant multiple of log2(n).
+    assert all(row["rounds_over_log2n"] <= 4.0 for row in rows)

@@ -1,0 +1,16 @@
+"""E3 — conflicts from adversarially inserted edges resolve within the window (Corollary 1.2)."""
+
+from repro.analysis.experiments import experiment_e03_conflict_resolution
+from bench_utils import regenerate
+
+
+def test_e03_conflict_resolution(benchmark, bench_seeds):
+    rows = regenerate(
+        benchmark,
+        experiment_e03_conflict_resolution,
+        "E3: conflict duration after adversarial edge insertion (claim: <= T1 = O(log n))",
+        sizes=(64, 128, 256),
+        seeds=bench_seeds,
+        attacks_per_round=2,
+    )
+    assert all(row["max_duration_max"] <= row["window_T1"] for row in rows)

@@ -1,0 +1,16 @@
+"""E4 — T-dynamic validity of the combined colouring across churn rates (Theorem 1.1(1) + Cor. 1.2)."""
+
+from repro.analysis.experiments import experiment_e04_tdynamic_coloring
+from bench_utils import regenerate
+
+
+def test_e04_tdynamic_coloring(benchmark, bench_seeds):
+    rows = regenerate(
+        benchmark,
+        experiment_e04_tdynamic_coloring,
+        "E4: T-dynamic colouring validity vs churn rate (claim: valid every round)",
+        n=128,
+        flip_probs=(0.001, 0.01, 0.05, 0.1),
+        seeds=bench_seeds,
+    )
+    assert all(row["valid_fraction_mean"] >= 0.99 for row in rows)

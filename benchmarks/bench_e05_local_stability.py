@@ -1,0 +1,18 @@
+"""E5 — locally static graph ⇒ locally static output (Theorem 1.1(2), Corollaries 1.2/1.3)."""
+
+from repro.analysis.experiments import experiment_e05_local_stability
+from bench_utils import regenerate
+
+
+def test_e05_local_stability(benchmark, bench_seeds):
+    rows = regenerate(
+        benchmark,
+        experiment_e05_local_stability,
+        "E5: output changes inside a frozen ball vs the churned remainder (claim: 0 inside)",
+        n=121,
+        seeds=bench_seeds,
+        flip_prob=0.05,
+        protected_radius=3,
+    )
+    assert all(row["changes_protected_mean"] == 0.0 for row in rows)
+    assert all(row["changes_control_mean"] > 0.0 for row in rows)

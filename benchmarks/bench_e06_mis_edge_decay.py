@@ -1,0 +1,16 @@
+"""E6 — DMis undecided-edge decay (Lemma 5.2: E[|E(H_{r+2})|] <= (2/3)·|E(H_r)|)."""
+
+from repro.analysis.experiments import experiment_e06_mis_edge_decay
+from bench_utils import regenerate
+
+
+def test_e06_mis_edge_decay(benchmark):
+    rows = regenerate(
+        benchmark,
+        experiment_e06_mis_edge_decay,
+        "E6: two-round decay of undecided-undecided intersection edges (claim: <= 2/3)",
+        n=192,
+        seeds=(0, 1, 2, 3, 4, 5),
+        rounds=30,
+    )
+    assert rows[0]["mean_two_round_ratio"] <= rows[0]["paper_upper_bound"] + 0.05

@@ -1,0 +1,18 @@
+"""E7 — DMis completion time and DynamicMIS sliding-window validity (Lemma 5.4, Corollary 1.3)."""
+
+from repro.analysis.experiments import experiment_e07_mis_convergence
+from bench_utils import regenerate
+
+
+def test_e07_mis_convergence(benchmark, bench_seeds):
+    rows = regenerate(
+        benchmark,
+        experiment_e07_mis_convergence,
+        "E7: DMis rounds-to-completion vs n and DynamicMIS validity (claim: O(log n), valid w.h.p.)",
+        sizes=(32, 64, 128, 256),
+        seeds=bench_seeds,
+        flip_prob=0.01,
+        validity_rounds_factor=3,
+    )
+    assert all(row["rounds_over_log2n"] <= 4.0 for row in rows)
+    assert all(row["valid_fraction_mean"] >= 0.9 for row in rows)

@@ -1,0 +1,18 @@
+"""E8 — SMis decides quickly once the graph (and hence every 2-neighbourhood) freezes (Lemma 5.6)."""
+
+from repro.analysis.experiments import experiment_e08_smis_freeze_decision
+from bench_utils import regenerate
+
+
+def test_e08_smis_freeze_decision(benchmark, bench_seeds):
+    rows = regenerate(
+        benchmark,
+        experiment_e08_smis_freeze_decision,
+        "E8: SMis rounds to all-decided after the graph freezes (claim: O(log n), then no changes)",
+        sizes=(64, 128, 256),
+        seeds=bench_seeds,
+        churn_rounds=20,
+        flip_prob=0.05,
+    )
+    assert all(row["changes_after_decided_mean"] == 0.0 for row in rows)
+    assert all(row["rounds_over_log2n"] <= 6.0 for row in rows)

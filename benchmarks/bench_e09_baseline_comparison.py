@@ -1,0 +1,23 @@
+"""E9 — framework vs recovery-style baselines under continuous churn (Section 1 motivation)."""
+
+from repro.analysis.experiments import experiment_e09_baseline_comparison
+from bench_utils import regenerate
+
+
+def test_e09_baseline_comparison(benchmark):
+    rows = regenerate(
+        benchmark,
+        experiment_e09_baseline_comparison,
+        "E9: sliding-window validity and output churn — framework vs restart/repair baselines",
+        n=128,
+        seeds=(0, 1),
+        flip_prob=0.02,
+        rounds_factor=5,
+    )
+    by_name = {row["algorithm"]: row for row in rows}
+    # The combined algorithms must dominate the restart baselines on validity …
+    assert by_name["dynamic-coloring"]["valid_fraction_mean"] > by_name["restart-coloring"]["valid_fraction_mean"]
+    assert by_name["dynamic-mis"]["valid_fraction_mean"] > by_name["restart-mis"]["valid_fraction_mean"]
+    # … and churn their output far less.
+    assert by_name["dynamic-coloring"]["mean_changes_mean"] < by_name["restart-coloring"]["mean_changes_mean"]
+    assert by_name["dynamic-mis"]["mean_changes_mean"] < by_name["restart-mis"]["mean_changes_mean"]

@@ -1,0 +1,19 @@
+"""E10 — adversary sensitivity (2-oblivious vs adaptive; remarks after Lemma 5.2 / §4.3)."""
+
+from repro.analysis.experiments import experiment_e10_adversary_sensitivity
+from bench_utils import regenerate
+
+
+def test_e10_adversary_sensitivity(benchmark, bench_seeds):
+    rows = regenerate(
+        benchmark,
+        experiment_e10_adversary_sensitivity,
+        "E10: DMis under oblivious churn vs adaptive attackers (paper analyses assume 2-oblivious)",
+        n=128,
+        seeds=bench_seeds,
+        attacks_per_round=4,
+    )
+    assert len(rows) == 3
+    # Under the oblivious adversary every run completes within the horizon.
+    oblivious = next(row for row in rows if "oblivious" in row["setting"])
+    assert oblivious["completed_mean"] == 1.0

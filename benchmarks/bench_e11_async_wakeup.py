@@ -1,0 +1,19 @@
+"""E11 — guarantees are preserved under asynchronous wake-up (Sections 2 / 7.2)."""
+
+from repro.analysis.experiments import experiment_e11_async_wakeup
+from bench_utils import regenerate
+
+
+def test_e11_async_wakeup(benchmark):
+    rows = regenerate(
+        benchmark,
+        experiment_e11_async_wakeup,
+        "E11: T-dynamic validity under gradual wake-up schedules (claim: unchanged)",
+        n=128,
+        seeds=(0, 1),
+        rounds_factor=6,
+    )
+    coloring = [row for row in rows if row["algorithm"] == "dynamic-coloring"]
+    mis = [row for row in rows if row["algorithm"] == "dynamic-mis"]
+    assert all(row["valid_fraction_mean"] >= 0.99 for row in coloring)
+    assert all(row["valid_fraction_mean"] >= 0.9 for row in mis)

@@ -1,0 +1,17 @@
+"""E12 — message sizes stay polylogarithmic in n (Section 2 remark)."""
+
+from repro.analysis.experiments import experiment_e12_message_size
+from bench_utils import regenerate
+
+
+def test_e12_message_size(benchmark):
+    rows = regenerate(
+        benchmark,
+        experiment_e12_message_size,
+        "E12: maximum message size (bits) per algorithm vs n (claim: poly log n)",
+        sizes=(32, 128, 512),
+        rounds_factor=2,
+    )
+    # Single algorithms: O(log n) bits; combined algorithms: O(log^2 n) bits.
+    for row in rows:
+        assert row["bits_over_log2n_sq"] <= 64.0

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark modules."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.report import format_table
+
+__all__ = ["regenerate", "RESULTS_DIR"]
+
+#: Directory in which every benchmark appends the table it regenerated, so the
+#: experiment tables survive pytest's output capturing (see EXPERIMENTS.md).
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def regenerate(
+    benchmark,
+    experiment: Callable[..., List[Dict[str, float]]],
+    title: str,
+    *,
+    columns: Sequence[str] | None = None,
+    **kwargs,
+) -> List[Dict[str, float]]:
+    """Run ``experiment(**kwargs)`` under pytest-benchmark and print its table.
+
+    The experiment is executed exactly once (``pedantic(rounds=1)``): the
+    quantity of interest is the regenerated table, not the harness's wall
+    time, and a single execution keeps the whole benchmark suite laptop-sized.
+    The table is printed (visible with ``-s``) and appended to
+    ``benchmarks/results/tables.txt``.
+    """
+    rows = benchmark.pedantic(lambda: experiment(**kwargs), rounds=1, iterations=1)
+    table = format_table(rows, title=title, columns=columns)
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "tables.txt", "a", encoding="utf-8") as handle:
+        handle.write(table + "\n")
+    benchmark.extra_info["experiment"] = title
+    benchmark.extra_info["rows"] = json.loads(json.dumps(rows, default=str))
+    return rows

@@ -1,0 +1,30 @@
+"""Configuration for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every benchmark regenerates one experiment from DESIGN.md §3 (E1–E13) and
+prints the resulting table (visible with ``-s`` or in the captured output on
+failure); the row data is also attached to the pytest-benchmark ``extra_info``
+so it ends up in ``--benchmark-json`` exports.
+"""
+
+import pathlib
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Start every benchmark session with an empty ``results/tables.txt``."""
+    results = pathlib.Path(__file__).resolve().parent / "results" / "tables.txt"
+    if results.exists():
+        results.unlink()
+    yield
+
+
+@pytest.fixture
+def bench_seeds():
+    """Seeds used by the benchmark-scale experiment runs."""
+    return (0, 1, 2)

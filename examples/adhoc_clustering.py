@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Cluster-head selection in a peer-to-peer overlay with continuous churn.
+
+The paper motivates MIS as a way to select management/monitoring nodes
+(cluster heads) in dynamic networks: heads must never be adjacent (they would
+interfere / duplicate work) and every other node must have a head in its
+neighbourhood to attach to.
+
+The script runs the combined ``DynamicMIS = Concat(SMis, DMis)`` on an overlay
+whose links appear and disappear with an asymmetric Markov churn (links fail
+fast, recover slowly), and compares it against the recovery-style
+``RestartMis`` baseline, reporting:
+
+* the fraction of rounds with a valid sliding-window MIS,
+* the average number of cluster heads, and
+* how often nodes changed role (head / member) — the operational churn a
+  deployment would actually pay for.
+
+Run with::
+
+    python examples/adhoc_clustering.py [n] [rounds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import RngFactory, run_simulation
+from repro.dynamics import generators
+from repro.dynamics.adversaries import ChurnAdversary
+from repro.dynamics.churn import MarkovEdgeChurn
+from repro.algorithms.mis import RestartMis, dynamic_mis
+from repro.problems import TDynamicSpec, mis_problem_pair
+from repro.analysis.report import format_table
+from repro.analysis.stability import stability_summary
+
+
+def run_one(label, algorithm, n, rounds, window, seed):
+    rng = RngFactory(seed)
+    base = generators.barabasi_albert(n, 3, rng.stream("overlay"))
+    churn = MarkovEdgeChurn(base, p_off=0.04, p_on=0.01)
+    adversary = ChurnAdversary(n, churn, rng.stream("adversary"))
+    trace = run_simulation(n=n, algorithm=algorithm, adversary=adversary, rounds=rounds, seed=seed)
+
+    validity = TDynamicSpec(mis_problem_pair(), window).validity_summary(trace)
+    stability = stability_summary(trace, warmup=2 * window)
+    heads = [
+        sum(1 for value in trace.outputs(r).values() if value == 1)
+        for r in range(2 * window, trace.num_rounds + 1)
+    ]
+    return {
+        "algorithm": label,
+        "valid_fraction": validity["valid_fraction"],
+        "mean_cluster_heads": sum(heads) / len(heads),
+        "role_changes_per_round": stability["mean_changes"],
+        "role_change_rate": stability["change_rate"],
+    }
+
+
+def main(n: int = 120, rounds: int | None = None, seed: int = 11) -> int:
+    combined = dynamic_mis(n)
+    window = combined.T1
+    total_rounds = rounds if rounds is not None else 5 * window
+
+    rows = [
+        run_one("dynamic-mis (framework)", combined, n, total_rounds, window, seed),
+        run_one("restart-mis (recovery baseline)", RestartMis(window), n, total_rounds, window, seed),
+    ]
+
+    print(f"cluster-head selection on an n={n} overlay with asymmetric link churn, "
+          f"window T1={window}, {total_rounds} rounds\n")
+    print(format_table(rows, title="framework vs recovery baseline"))
+    print("Expected shape: the framework keeps validity ≈ 1 with role changes close to the\n"
+          "churn-induced minimum, while the restart baseline periodically re-elects every head.")
+    return 0
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    raise SystemExit(main(*args))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Wireless frequency assignment under node mobility.
+
+The paper's standard application of vertex colouring is assigning frequencies
+(or time slots) to wireless stations so neighbouring stations never share a
+channel.  In a mobile ad-hoc network the interference graph changes every
+round as nodes move, so a static colouring is useless — this is exactly the
+"highly dynamic" setting the framework targets.
+
+The script simulates ``n`` stations moving in the unit square under a
+random-waypoint model, connected whenever they are within radio range, and
+maintains a frequency assignment with ``DynamicColoring``.  It reports
+
+* how often the assignment was a valid T-dynamic solution (proper on every
+  link that persisted through the window, frequencies within each station's
+  recently-seen neighbour count + 1),
+* how many distinct frequencies were in use, and
+* how often stations had to switch frequency (the quantity an operator cares
+  about — re-tuning a radio is expensive).
+
+Run with::
+
+    python examples/wireless_frequency_assignment.py [n] [rounds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import RngFactory, run_simulation
+from repro.dynamics.adversaries import MobilityAdversary
+from repro.dynamics.mobility import RandomWaypointMobility
+from repro.algorithms.coloring import dynamic_coloring
+from repro.problems import TDynamicSpec, coloring_problem_pair
+from repro.problems.coloring import num_colors_used
+from repro.analysis.report import format_table
+from repro.analysis.stability import stability_summary
+
+
+def main(n: int = 80, rounds: int | None = None, seed: int = 7) -> int:
+    rng = RngFactory(seed)
+
+    # Stations move at 2% of the arena per round and hear each other within
+    # ~1.5 average hop distances — a gently but continuously changing topology.
+    mobility = RandomWaypointMobility(
+        n, radius=0.18, speed=0.02, pause_probability=0.2, rng=rng.stream("mobility")
+    )
+    adversary = MobilityAdversary(mobility)
+
+    algorithm = dynamic_coloring(n)
+    total_rounds = rounds if rounds is not None else 5 * algorithm.T1
+    trace = run_simulation(
+        n=n, algorithm=algorithm, adversary=adversary, rounds=total_rounds, seed=seed
+    )
+
+    spec = TDynamicSpec(coloring_problem_pair(), algorithm.T1)
+    validity = spec.validity_summary(trace)
+    stability = stability_summary(trace, warmup=2 * algorithm.T1)
+
+    per_round_frequencies = [
+        num_colors_used(trace.outputs(r)) for r in range(2 * algorithm.T1, trace.num_rounds + 1)
+    ]
+    frequency_row = {
+        "mean_frequencies_in_use": sum(per_round_frequencies) / len(per_round_frequencies),
+        "max_frequencies_in_use": max(per_round_frequencies),
+        "stations": float(n),
+    }
+
+    print(f"frequency assignment for {n} mobile stations, window T1={algorithm.T1}, "
+          f"{total_rounds} rounds of random-waypoint mobility\n")
+    print(format_table([validity], title="T-dynamic validity of the assignment"))
+    print(format_table([frequency_row], title="frequencies in use (steady state)"))
+    print(format_table(
+        [stability],
+        title="re-tuning cost: per-round frequency switches after warm-up",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    raise SystemExit(main(*args))

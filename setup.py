@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` works in fully offline environments whose setuptools
+lacks the ``wheel`` package required for PEP 660 editable installs (pip then
+falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""(degree+1)-colouring algorithms (Section 4 and Section 6 of the paper)."""
+
+from repro.algorithms.coloring.basic_static import BasicColoring
+from repro.algorithms.coloring.scolor import SColor
+from repro.algorithms.coloring.dcolor import DColor
+from repro.algorithms.coloring.dynamic_coloring import DynamicColoring, dynamic_coloring
+from repro.algorithms.coloring.greedy import greedy_coloring
+from repro.algorithms.coloring.baselines import RestartColoring
+from repro.algorithms.coloring.ablations import (
+    DColorCurrentGraphAblation,
+    SColorNoUncolorAblation,
+    concat_without_backbone,
+)
+
+__all__ = [
+    "BasicColoring",
+    "SColor",
+    "DColor",
+    "DynamicColoring",
+    "dynamic_coloring",
+    "greedy_coloring",
+    "RestartColoring",
+    "DColorCurrentGraphAblation",
+    "SColorNoUncolorAblation",
+    "concat_without_backbone",
+]

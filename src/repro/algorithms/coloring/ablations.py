@@ -1,0 +1,64 @@
+"""Ablated colouring variants (experiment E13).
+
+Each ablation removes exactly one of the design choices the paper argues for,
+so the experiments can show the choice is load-bearing:
+
+* :class:`DColorCurrentGraphAblation` (E13a) — DColor that listens to all
+  *current* neighbours instead of intersection-graph neighbours.  Fixed
+  colours arriving over freshly inserted edges are then removed from the
+  palette, the palette can be exhausted (the Lemma 4.2 invariant
+  ``|P_v| ≥ |U(v)| + 1`` breaks), and nodes can stay uncoloured forever —
+  violating the finalizing property A.2 and hence T-dynamic validity.
+* :class:`SColorNoUncolorAblation` (E13b) — SColor without line 10 (the
+  un-colouring rule).  A conflict created by a newly inserted edge is never
+  repaired, so the per-round output stops being a partial solution for the
+  current graph (property B.1 fails).
+* :func:`concat_without_backbone` (E13c) — the Concat combiner seeded with a
+  ⊥-backbone instead of SColor.  This is precisely the naive scheme sketched
+  in Section 1.1 ("start a new instance of A in every round"): the output is
+  still T-dynamic, but it changes essentially everywhere every round even on
+  a completely static graph — the locally-static guarantee is lost.
+"""
+
+from __future__ import annotations
+
+from repro.problems.coloring import coloring_problem_pair
+from repro.core.concat import Concat
+from repro.algorithms.common import NullBackbone
+from repro.algorithms.coloring.dcolor import DColor
+from repro.algorithms.coloring.scolor import SColor
+
+__all__ = [
+    "DColorCurrentGraphAblation",
+    "SColorNoUncolorAblation",
+    "concat_without_backbone",
+]
+
+
+class DColorCurrentGraphAblation(DColor):
+    """DColor without the restriction to the running intersection graph (E13a)."""
+
+    name = "dcolor-current-graph"
+
+    def __init__(self) -> None:
+        super().__init__(restrict_to_intersection=False)
+
+
+class SColorNoUncolorAblation(SColor):
+    """SColor without the un-colouring rule (E13b)."""
+
+    name = "scolor-no-uncolor"
+
+    def __init__(self) -> None:
+        super().__init__(uncolor_enabled=False)
+
+
+def concat_without_backbone(T1: int) -> Concat:
+    """The Section 1.1 naive scheme: fresh DColor instances over a ⊥ backbone (E13c)."""
+    combiner = Concat(
+        static_factory=lambda: NullBackbone(coloring_problem_pair),
+        dynamic_factory=DColor,
+        T1=T1,
+    )
+    combiner.name = "coloring-no-backbone"
+    return combiner

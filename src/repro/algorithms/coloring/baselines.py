@@ -1,0 +1,112 @@
+"""Baseline colouring strategies for the comparison experiment (E9).
+
+The paper motivates its framework by contrasting it with *recovery-based*
+approaches: algorithms that, after a topology change, need a quiet recovery
+period to fix their output and provide no guarantees if further changes occur
+during recovery (Section 1).  Two such baselines are provided:
+
+* :class:`RestartColoring` — periodically throw the whole colouring away and
+  recompute from scratch with the basic static algorithm.  Valid eventually
+  (if the graph stays quiet long enough) but wildly unstable and invalid
+  during every recovery window.
+* ``SColor`` *alone* (no Concat) — the pure "repair" strategy: always fix
+  conflicts locally but give no sliding-window guarantee; under continuous
+  churn nodes keep dropping in and out of the coloured state.  (No extra
+  class is needed; experiment E9 simply runs :class:`~repro.algorithms.coloring.scolor.SColor`
+  directly.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.types import Color, NodeId, Value
+from repro.runtime.algorithm import DistributedAlgorithm
+from repro.runtime.messages import Message
+
+__all__ = ["RestartColoring"]
+
+FIXED = "fixed"
+TENTATIVE = "tent"
+
+
+class RestartColoring(DistributedAlgorithm):
+    """Recovery-style baseline: restart the basic colouring every ``period`` rounds.
+
+    Each node counts its own rounds since waking up and wipes its colour when
+    the counter hits a multiple of ``period`` (all nodes that woke together
+    restart together; stragglers restart on their own schedule — the baseline
+    is intentionally naive).
+    """
+
+    name = "restart-coloring"
+
+    def __init__(self, period: int) -> None:
+        super().__init__()
+        if period < 2:
+            raise ConfigurationError(f"period must be >= 2, got {period}")
+        self._period = period
+        self._color: Dict[NodeId, Optional[Color]] = {}
+        self._palette: Dict[NodeId, Set[Color]] = {}
+        self._tentative: Dict[NodeId, Optional[Color]] = {}
+        self._age: Dict[NodeId, int] = {}
+        self._restarts = 0
+
+    @property
+    def period(self) -> int:
+        """Rounds between two restarts."""
+        return self._period
+
+    def on_wake(self, v: NodeId) -> None:
+        self._color[v] = None
+        self._palette[v] = {1}
+        self._tentative[v] = None
+        self._age[v] = 0
+
+    def compose(self, v: NodeId) -> Message:
+        if self._age[v] % self._period == 0 and self._age[v] > 0:
+            # Recovery restart: wipe the colour and start over.
+            if self._color[v] is not None:
+                self._restarts += 1
+            self._color[v] = None
+            self._palette[v] = {1}
+        color = self._color[v]
+        if color is not None:
+            return (FIXED, color)
+        choice = self._pick_uniform(v, self._palette[v])
+        self._tentative[v] = choice
+        return (TENTATIVE, choice)
+
+    def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
+        fixed: Set[Color] = set()
+        tentative: Set[Color] = set()
+        for message in inbox.values():
+            if not isinstance(message, tuple) or len(message) != 2:
+                continue
+            tag, value = message
+            if tag == FIXED:
+                fixed.add(value)
+            elif tag == TENTATIVE:
+                tentative.add(value)
+        degree = len(inbox)
+        self._palette[v] = set(range(1, degree + 2)) - fixed
+        if self._color[v] is None:
+            choice = self._tentative[v]
+            if choice is not None and choice in self._palette[v] and choice not in tentative:
+                self._color[v] = choice
+        self._age[v] += 1
+
+    def output(self, v: NodeId) -> Value:
+        return self._color.get(v)
+
+    def _pick_uniform(self, v: NodeId, palette: Set[Color]) -> Optional[Color]:
+        if not palette:
+            return None
+        ordered = sorted(palette)
+        index = int(self.rng(v).integers(0, len(ordered)))
+        return ordered[index]
+
+    def metrics(self) -> Mapping[str, float]:
+        uncolored = sum(1 for v in self._awake if self._color.get(v) is None)
+        return {"uncolored": float(uncolored), "restarts": float(self._restarts)}

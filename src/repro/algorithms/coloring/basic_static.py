@@ -1,0 +1,100 @@
+"""Algorithm 6: the basic pipelined randomized (degree+1)-colouring for static graphs.
+
+One identical round per node (so it supports asynchronous wake-up):
+
+1. an uncoloured node picks a tentative colour uniformly at random from its
+   palette and broadcasts it; a coloured node broadcasts its fixed colour;
+2. after receiving, the palette is recomputed as ``[d(v) + 1]`` minus the
+   fixed colours of the neighbours;
+3. an uncoloured node keeps its tentative colour iff it is still in the
+   palette and no neighbour picked the same tentative colour.
+
+Lemma 6.1: each round an uncoloured node is coloured with probability at
+least 1/64 or its palette shrinks by a factor ≥ 1/4; Lemma 6.2: all nodes are
+coloured within ``O(log n)`` rounds w.h.p. (experiments E1/E2 measure both).
+
+The messages are tagged tuples ``("fixed", c)`` / ``("tent", c)`` so a
+receiver can distinguish committed from tentative colours, exactly as the
+pseudo-code's ``F_v`` / ``S_v`` sets require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set
+
+from repro.types import Color, NodeId, Value
+from repro.runtime.algorithm import DistributedAlgorithm
+from repro.runtime.messages import Message
+
+__all__ = ["BasicColoring"]
+
+FIXED = "fixed"
+TENTATIVE = "tent"
+
+
+class BasicColoring(DistributedAlgorithm):
+    """Algorithm 6 (static graphs; never uncolours a node)."""
+
+    name = "basic-coloring"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._color: Dict[NodeId, Optional[Color]] = {}
+        self._palette: Dict[NodeId, Set[Color]] = {}
+        self._tentative: Dict[NodeId, Optional[Color]] = {}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def on_wake(self, v: NodeId) -> None:
+        # Input colours are honoured so the algorithm can also be used to
+        # extend an existing partial colouring.
+        self._color[v] = self.config.input_value(v)
+        self._palette[v] = {1}
+        self._tentative[v] = None
+
+    def compose(self, v: NodeId) -> Message:
+        color = self._color[v]
+        if color is not None:
+            return (FIXED, color)
+        palette = self._palette[v]
+        choice = self._pick_uniform(v, palette)
+        self._tentative[v] = choice
+        return (TENTATIVE, choice)
+
+    def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
+        fixed: Set[Color] = set()
+        tentative: Set[Color] = set()
+        for message in inbox.values():
+            if not isinstance(message, tuple) or len(message) != 2:
+                continue
+            tag, value = message
+            if tag == FIXED:
+                fixed.add(value)
+            elif tag == TENTATIVE:
+                tentative.add(value)
+        degree = len(inbox)
+        self._palette[v] = set(range(1, degree + 2)) - fixed
+        if self._color[v] is None:
+            choice = self._tentative[v]
+            if choice is not None and choice in self._palette[v] and choice not in tentative:
+                self._color[v] = choice
+
+    def output(self, v: NodeId) -> Value:
+        return self._color.get(v)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _pick_uniform(self, v: NodeId, palette: Set[Color]) -> Optional[Color]:
+        if not palette:
+            return None
+        ordered = sorted(palette)
+        index = int(self.rng(v).integers(0, len(ordered)))
+        return ordered[index]
+
+    def palette_of(self, v: NodeId) -> frozenset[Color]:
+        """The node's current palette (exposed for the Lemma 6.1 experiment)."""
+        return frozenset(self._palette.get(v, ()))
+
+    def metrics(self) -> Mapping[str, float]:
+        uncolored = sum(1 for v in self._awake if self._color.get(v) is None)
+        return {"uncolored": float(uncolored)}

@@ -1,0 +1,47 @@
+"""Helpers shared by several algorithm families."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.types import NodeId, Value
+from repro.problems.packing_covering import ProblemPair
+from repro.runtime.messages import Message
+from repro.core.interfaces import NetworkStaticAlgorithm
+
+__all__ = ["NullBackbone"]
+
+
+class NullBackbone(NetworkStaticAlgorithm):
+    """A network-static algorithm that always outputs ⊥.
+
+    The all-⊥ vector is trivially a partial solution for every problem pair,
+    so this satisfies property B.1 — but it obviously violates B.2 (it never
+    produces a value at all).  It exists to build the "Concat without
+    backbone" ablation (experiment E13c): combining it with a dynamic
+    algorithm yields the naive scheme sketched in Section 1.1 in which a fresh
+    instance is started every round on an empty input, whose output is valid
+    but completely unstable.
+    """
+
+    name = "null-backbone"
+    alpha = 0
+
+    def __init__(self, pair_factory: Callable[[], ProblemPair]) -> None:
+        super().__init__()
+        self._pair_factory = pair_factory
+
+    def problem_pair(self) -> ProblemPair:
+        return self._pair_factory()
+
+    def on_wake(self, v: NodeId) -> None:  # no state to initialise
+        return None
+
+    def compose(self, v: NodeId) -> Message:
+        return None
+
+    def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
+        return None
+
+    def output(self, v: NodeId) -> Value:
+        return None

@@ -1,0 +1,7 @@
+"""Maximal matching via the framework's recipe (Section 7.1)."""
+
+from repro.algorithms.matching.dmatch import DMatch
+from repro.algorithms.matching.smatch import SMatch
+from repro.algorithms.matching.dynamic_matching import DynamicMatching, dynamic_matching
+
+__all__ = ["DMatch", "SMatch", "DynamicMatching", "dynamic_matching"]

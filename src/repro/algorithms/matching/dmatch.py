@@ -1,0 +1,126 @@
+"""``DMatch`` — a T-dynamic maximal-matching algorithm built by the §7.1 recipe.
+
+The recipe: take a simple randomized static algorithm with a single round
+type, run it on the *running intersection graph*, and never retract a decided
+output.  The static ancestor used here is randomized *handshake matching*:
+
+* every free (undecided, unmatched) node picks one of its free
+  intersection-graph neighbours uniformly at random and proposes to it;
+* two nodes that propose to each other in the same round match;
+* a free node all of whose intersection-graph neighbours are matched declares
+  itself decidedly unmatched (every intersection edge incident to it is then
+  covered by the other endpoint, so maximality cannot be violated later —
+  the intersection graph only loses edges).
+
+Outputs: partner id, ``UNMATCHED`` (−1) or ⊥.  The algorithm is
+input-extending (a matched or unmatched decision is never revoked), so
+property A.1 holds by construction; the finalizing property A.2 is validated
+empirically (the paper does not analyse matching — this algorithm exists to
+demonstrate the recipe, and its guarantees are measured, not proved).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from repro.types import NodeId, Value
+from repro.problems.matching import UNMATCHED, matching_problem_pair
+from repro.problems.packing_covering import ProblemPair
+from repro.runtime.messages import Message
+from repro.core.interfaces import DynamicAlgorithm
+
+__all__ = ["DMatch"]
+
+#: Message tags.
+STATUS_MATCHED = "matched"
+STATUS_FREE = "free"
+STATUS_DONE = "done"
+
+
+class DMatch(DynamicAlgorithm):
+    """Dynamic maximal matching on the running intersection graph."""
+
+    name = "dmatch"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: partner id, UNMATCHED, or None (= still free / undecided).
+        self._decision: Dict[NodeId, Optional[int]] = {}
+        self._live: Dict[NodeId, Optional[FrozenSet[NodeId]]] = {}
+        #: neighbours believed to still be free (refined from received messages).
+        self._free_neighbors: Dict[NodeId, FrozenSet[NodeId]] = {}
+        self._proposal: Dict[NodeId, Optional[NodeId]] = {}
+
+    def problem_pair(self) -> ProblemPair:
+        return matching_problem_pair()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def on_wake(self, v: NodeId) -> None:
+        value = self.config.input_value(v)
+        self._decision[v] = value if value is not None else None
+        self._live[v] = None
+        self._free_neighbors[v] = frozenset()
+        self._proposal[v] = None
+
+    def compose(self, v: NodeId) -> Message:
+        decision = self._decision[v]
+        if decision is None:
+            candidates = sorted(self._free_neighbors[v])
+            if candidates:
+                index = int(self.rng(v).integers(0, len(candidates)))
+                proposal: Optional[NodeId] = candidates[index]
+            else:
+                proposal = None
+            self._proposal[v] = proposal
+            return (STATUS_FREE, proposal)
+        if decision == UNMATCHED:
+            return (STATUS_DONE,)
+        return (STATUS_MATCHED, decision)
+
+    def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
+        live = self._live[v]
+        if live is None:
+            live = frozenset(inbox.keys())
+        else:
+            live = frozenset(live & inbox.keys())
+        self._live[v] = live
+
+        free_neighbors = set()
+        done_neighbor = False
+        proposer_to_me: Optional[NodeId] = None
+        for u in live:
+            message = inbox.get(u)
+            if not isinstance(message, tuple):
+                continue
+            if message[0] == STATUS_FREE:
+                free_neighbors.add(u)
+                if len(message) == 2 and message[1] == v and self._proposal[v] == u:
+                    proposer_to_me = u
+            elif message[0] == STATUS_DONE:
+                done_neighbor = True
+
+        if self._decision[v] is None:
+            if proposer_to_me is not None:
+                # Mutual proposal: match.
+                self._decision[v] = proposer_to_me
+            elif not free_neighbors and not done_neighbor:
+                # Every intersection-graph neighbour is matched, so every
+                # incident intersection edge is covered by its other endpoint.
+                # (A decidedly-unmatched neighbour blocks this: declaring
+                # unmatched next to it would leave their shared edge uncovered
+                # forever, so the node keeps waiting instead.)
+                self._decision[v] = UNMATCHED
+        self._free_neighbors[v] = frozenset(free_neighbors)
+
+    def output(self, v: NodeId) -> Value:
+        return self._decision.get(v)
+
+    # -- introspection --------------------------------------------------------------------
+
+    def undecided_count(self) -> int:
+        """Number of awake nodes still free (⊥)."""
+        return sum(1 for v in self._awake if self._decision.get(v) is None)
+
+    def metrics(self) -> Mapping[str, float]:
+        return {"undecided": float(self.undecided_count())}

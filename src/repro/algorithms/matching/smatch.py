@@ -1,0 +1,150 @@
+"""``SMatch`` — a network-static maximal-matching algorithm (the §7.1 recipe).
+
+Handshake matching run on the *current* graph with repair ("un-decide") rules,
+mirroring how ``SColor``/``SMis`` are obtained from their static ancestors:
+
+* a **matched** node whose partner is no longer a neighbour (the edge
+  vanished) or no longer points back at it becomes free again;
+* a decidedly **unmatched** node becomes free again when it sees another
+  decidedly unmatched neighbour (their shared edge would otherwise stay
+  uncovered forever) or any free neighbour (the free neighbour might have no
+  one else left to match with, so the pair must be able to handshake later);
+* a **free** node proposes to a uniformly random free neighbour; mutual
+  proposals match; a free node all of whose neighbours are matched declares
+  itself unmatched.
+
+On a static graph no repair rule ever fires after convergence and the
+algorithm behaves like its static ancestor; under churn the repairs keep the
+output a partial solution for the current graph.  The matching problems are
+not analysed in the paper — this algorithm demonstrates the recipe and its
+properties are validated empirically by the tests and experiment E13/E7
+variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from repro.types import NodeId, Value
+from repro.problems.matching import UNMATCHED, matching_problem_pair
+from repro.problems.packing_covering import ProblemPair
+from repro.runtime.messages import Message
+from repro.core.interfaces import NetworkStaticAlgorithm
+
+__all__ = ["SMatch"]
+
+STATUS_MATCHED = "matched"
+STATUS_FREE = "free"
+STATUS_DONE = "done"
+
+
+class SMatch(NetworkStaticAlgorithm):
+    """Network-static maximal matching with repair rules."""
+
+    name = "smatch"
+    alpha = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._decision: Dict[NodeId, Optional[int]] = {}
+        self._free_neighbors: Dict[NodeId, FrozenSet[NodeId]] = {}
+        self._proposal: Dict[NodeId, Optional[NodeId]] = {}
+        self._repair_events = 0
+
+    def problem_pair(self) -> ProblemPair:
+        return matching_problem_pair()
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def on_wake(self, v: NodeId) -> None:
+        value = self.config.input_value(v)
+        self._decision[v] = value if value is not None else None
+        self._free_neighbors[v] = frozenset()
+        self._proposal[v] = None
+
+    def compose(self, v: NodeId) -> Message:
+        decision = self._decision[v]
+        if decision is None:
+            candidates = sorted(self._free_neighbors[v])
+            if candidates:
+                index = int(self.rng(v).integers(0, len(candidates)))
+                proposal: Optional[NodeId] = candidates[index]
+            else:
+                proposal = None
+            self._proposal[v] = proposal
+            return (STATUS_FREE, proposal)
+        if decision == UNMATCHED:
+            return (STATUS_DONE,)
+        return (STATUS_MATCHED, decision)
+
+    def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
+        free_neighbors = set()
+        done_neighbor = False
+        proposed_to_me: set[NodeId] = set()
+        partner_points_back = False
+        decision = self._decision[v]
+
+        for u, message in inbox.items():
+            if not isinstance(message, tuple):
+                continue
+            tag = message[0]
+            if tag == STATUS_FREE:
+                free_neighbors.add(u)
+                if len(message) == 2 and message[1] == v:
+                    proposed_to_me.add(u)
+            elif tag == STATUS_DONE:
+                done_neighbor = True
+            elif tag == STATUS_MATCHED and len(message) == 2:
+                if decision is not None and decision not in (UNMATCHED,) and u == decision and message[1] == v:
+                    partner_points_back = True
+
+        if decision is not None and decision != UNMATCHED:
+            # Matched: repair if the partner edge or the mutual pointer is gone.
+            if decision not in inbox or not partner_points_back:
+                self._decision[v] = None
+                self._repair_events += 1
+        elif decision == UNMATCHED:
+            # Decidedly unmatched: repair when the decision blocks progress —
+            # another unmatched neighbour (their shared edge is uncovered) or a
+            # free neighbour (which might have no one else left to match with).
+            if done_neighbor or free_neighbors:
+                self._decision[v] = None
+                self._repair_events += 1
+        else:
+            # Free: handshake.
+            my_proposal = self._proposal[v]
+            if my_proposal is not None and my_proposal in proposed_to_me:
+                self._decision[v] = my_proposal
+            elif not free_neighbors and not done_neighbor and inbox:
+                # Every neighbour is matched: all incident edges are covered.
+                self._decision[v] = UNMATCHED
+            elif not inbox:
+                # Isolated node: trivially unmatched.
+                self._decision[v] = UNMATCHED
+        self._free_neighbors[v] = frozenset(free_neighbors)
+
+    def output(self, v: NodeId) -> Value:
+        """The node's output: its partner id, or ⊥.
+
+        A decidedly *unmatched* node reports ⊥ rather than ``UNMATCHED``.  The
+        internal unmatched state (and the ``done`` broadcast) still exists so
+        neighbours stop waiting for the node, but exporting it as a committed
+        output would poison the ``Concat`` combiner: a dynamic instance seeded
+        with ``UNMATCHED`` can never revise it (property A.1), yet churn can
+        later strand a free neighbour whose only possible partner is exactly
+        this node.  Keeping the decision internal lets every dynamic instance
+        re-derive "unmatched" safely (it only ever declares a node unmatched
+        when all of its window neighbours are matched).  The cost is a weaker
+        B.2 for unmatched nodes — their stability is provided by the combiner
+        instead — which EXPERIMENTS.md documents for the matching extension.
+        """
+        decision = self._decision.get(v)
+        if decision == UNMATCHED:
+            return None
+        return decision
+
+    # -- introspection -------------------------------------------------------------------
+
+    def metrics(self) -> Mapping[str, float]:
+        undecided = sum(1 for v in self._awake if self._decision.get(v) is None)
+        return {"undecided": float(undecided), "repair_events": float(self._repair_events)}

@@ -1,0 +1,28 @@
+"""MIS algorithms (Section 5 of the paper)."""
+
+from repro.algorithms.mis.dmis import DMis
+from repro.algorithms.mis.smis import SMis
+from repro.algorithms.mis.luby import LubyMIS
+from repro.algorithms.mis.ghaffari import GhaffariMIS
+from repro.algorithms.mis.dynamic_mis import DynamicMIS, dynamic_mis
+from repro.algorithms.mis.greedy import greedy_mis
+from repro.algorithms.mis.baselines import RestartMis
+from repro.algorithms.mis.ablations import (
+    DMisCurrentGraphAblation,
+    SMisNoUndecideAblation,
+    concat_without_backbone_mis,
+)
+
+__all__ = [
+    "DMis",
+    "SMis",
+    "LubyMIS",
+    "GhaffariMIS",
+    "DynamicMIS",
+    "dynamic_mis",
+    "greedy_mis",
+    "RestartMis",
+    "DMisCurrentGraphAblation",
+    "SMisNoUndecideAblation",
+    "concat_without_backbone_mis",
+]

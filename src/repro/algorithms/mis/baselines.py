@@ -1,0 +1,95 @@
+"""Baseline MIS strategies for the comparison experiment (E9).
+
+* :class:`RestartMis` — periodically throw the whole MIS away and recompute
+  from scratch with pipelined Luby (the recovery-based strategy the paper's
+  introduction argues against: it needs a quiet period and its output churns
+  wholesale at every restart).
+* ``SMis`` *alone* (no Concat) — the pure repair strategy; experiment E9 runs
+  :class:`~repro.algorithms.mis.smis.SMis` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.types import MisState, NodeId, Value, mis_state_to_value
+from repro.runtime.algorithm import DistributedAlgorithm
+from repro.runtime.messages import Message
+
+__all__ = ["RestartMis"]
+
+MARK = "mark"
+RAND = "rand"
+
+
+class RestartMis(DistributedAlgorithm):
+    """Recovery-style baseline: restart pipelined Luby every ``period`` rounds.
+
+    Each node counts its own rounds since waking and resets to ``undecided``
+    when the counter hits a multiple of ``period``.  Between restarts it runs
+    plain Luby rounds on whatever the current graph happens to deliver.
+    """
+
+    name = "restart-mis"
+
+    def __init__(self, period: int) -> None:
+        super().__init__()
+        if period < 2:
+            raise ConfigurationError(f"period must be >= 2, got {period}")
+        self._period = period
+        self._state: Dict[NodeId, MisState] = {}
+        self._drawn: Dict[NodeId, float] = {}
+        self._age: Dict[NodeId, int] = {}
+        self._restarts = 0
+
+    @property
+    def period(self) -> int:
+        """Rounds between two restarts."""
+        return self._period
+
+    def on_wake(self, v: NodeId) -> None:
+        self._state[v] = MisState.UNDECIDED
+        self._drawn[v] = float("inf")
+        self._age[v] = 0
+
+    def compose(self, v: NodeId) -> Message:
+        if self._age[v] % self._period == 0 and self._age[v] > 0:
+            if self._state[v] is not MisState.UNDECIDED:
+                self._restarts += 1
+            self._state[v] = MisState.UNDECIDED
+        state = self._state[v]
+        if state is MisState.MIS:
+            return (MARK,)
+        if state is MisState.UNDECIDED:
+            value = float(self.rng(v).random())
+            self._drawn[v] = value
+            return (RAND, value)
+        return None
+
+    def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
+        mark_received = False
+        min_neighbor_rand = float("inf")
+        for message in inbox.values():
+            if not isinstance(message, tuple):
+                continue
+            if message[0] == MARK:
+                mark_received = True
+            elif message[0] == RAND and len(message) == 2 and message[1] < min_neighbor_rand:
+                min_neighbor_rand = message[1]
+        if self._state[v] is MisState.UNDECIDED:
+            if mark_received:
+                self._state[v] = MisState.DOMINATED
+            elif self._drawn[v] < min_neighbor_rand:
+                self._state[v] = MisState.MIS
+        self._age[v] += 1
+
+    def output(self, v: NodeId) -> Value:
+        state = self._state.get(v)
+        if state is None:
+            return None
+        return mis_state_to_value(state)
+
+    def metrics(self) -> Mapping[str, float]:
+        undecided = sum(1 for v in self._awake if self._state.get(v) is MisState.UNDECIDED)
+        return {"undecided": float(undecided), "restarts": float(self._restarts)}

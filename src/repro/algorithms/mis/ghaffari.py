@@ -1,0 +1,26 @@
+"""Pipelined Ghaffari-style MIS for static graphs.
+
+On a static graph the network-static algorithm ``SMis`` never triggers its
+un-decide rules, so it coincides with (a pipelined variant of) Ghaffari's
+algorithm [Gha16]: desire levels, candidate proposals, and the
+mark/candidate-note decision rules.  ``GhaffariMIS`` re-labels
+:class:`~repro.algorithms.mis.smis.SMis` with the un-decide rules switched off
+so that the static ancestor exists as its own named algorithm (used by the E1
+style convergence comparisons and by the tests that cross-check SMis against
+its static origin).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.mis.smis import SMis
+
+__all__ = ["GhaffariMIS"]
+
+
+class GhaffariMIS(SMis):
+    """Ghaffari's MIS algorithm, pipelined, for static graphs (no un-decide rules)."""
+
+    name = "ghaffari"
+
+    def __init__(self) -> None:
+        super().__init__(undecide_enabled=False)

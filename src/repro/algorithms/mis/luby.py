@@ -1,0 +1,25 @@
+"""Pipelined Luby MIS for static graphs.
+
+On a static graph the dynamic algorithm ``DMis`` *is* the single-round-type
+version of Luby's algorithm [ABI86, Lub86]: the intersection graph never loses
+edges, so the restriction to intersection-graph neighbours is vacuous.
+``LubyMIS`` therefore simply re-labels :class:`~repro.algorithms.mis.dmis.DMis`
+so experiments and reports can refer to the classic algorithm by name, and so
+the static baseline is literally the paper's claim "the dynamic algorithm is a
+small modification of the classic one".
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.mis.dmis import DMis
+
+__all__ = ["LubyMIS"]
+
+
+class LubyMIS(DMis):
+    """Luby's algorithm, pipelined (one round type), for static graphs."""
+
+    name = "luby"
+
+    def __init__(self) -> None:
+        super().__init__(restrict_to_intersection=True)

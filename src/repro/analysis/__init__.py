@@ -1,0 +1,56 @@
+"""Analysis and experiment harness.
+
+* :mod:`repro.analysis.conflicts` — colour-conflict and MIS-violation counting.
+* :mod:`repro.analysis.stability` — output-change statistics over traces.
+* :mod:`repro.analysis.convergence` — rounds-to-completion measurements.
+* :mod:`repro.analysis.quality` — solution-quality yardsticks (colour counts,
+  MIS size, matching size) against sequential greedy references.
+* :mod:`repro.analysis.sweep` — replicated parameter sweeps with aggregation.
+* :mod:`repro.analysis.report` — plain-text tables for experiment rows.
+* :mod:`repro.analysis.experiments` — the E1–E13 experiment implementations
+  indexed in DESIGN.md / EXPERIMENTS.md (each returns structured rows; the
+  ``benchmarks/`` tree wraps them in pytest-benchmark targets).
+"""
+
+from repro.analysis.conflicts import (
+    count_monochromatic_edges,
+    count_mis_violations,
+    conflict_resolution_times,
+)
+from repro.analysis.stability import (
+    output_change_counts,
+    changes_per_round,
+    region_change_count,
+    stability_summary,
+)
+from repro.analysis.convergence import (
+    first_round_all_decided,
+    rounds_to_completion,
+    completion_round_for_nodes,
+)
+from repro.analysis.quality import coloring_quality, mis_quality, matching_quality
+from repro.analysis.sweep import Replication, aggregate_rows, replicate
+from repro.analysis.report import format_table, rows_to_csv
+from repro.analysis import experiments
+
+__all__ = [
+    "count_monochromatic_edges",
+    "count_mis_violations",
+    "conflict_resolution_times",
+    "output_change_counts",
+    "changes_per_round",
+    "region_change_count",
+    "stability_summary",
+    "first_round_all_decided",
+    "rounds_to_completion",
+    "completion_round_for_nodes",
+    "coloring_quality",
+    "mis_quality",
+    "matching_quality",
+    "Replication",
+    "replicate",
+    "aggregate_rows",
+    "format_table",
+    "rows_to_csv",
+    "experiments",
+]

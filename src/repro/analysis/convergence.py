@@ -1,0 +1,53 @@
+"""Convergence (rounds-to-completion) measurements.
+
+Used by the E1/E7/E8 experiments that validate the ``O(log n)`` completion
+claims (Lemmas 4.4, 5.4, 5.6, 6.2): how many rounds until every (awake,
+relevant) node has produced a non-⊥ output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.types import NodeId
+from repro.runtime.trace import ExecutionTrace
+
+__all__ = [
+    "first_round_all_decided",
+    "rounds_to_completion",
+    "completion_round_for_nodes",
+]
+
+
+def first_round_all_decided(trace: ExecutionTrace, *, start_round: int = 1) -> Optional[int]:
+    """First round in which every awake node outputs a value ≠ ⊥ (or ``None``)."""
+    for r in range(start_round, trace.num_rounds + 1):
+        outputs = trace.outputs(r)
+        nodes = trace.topology(r).nodes
+        if nodes and all(outputs.get(v) is not None for v in nodes):
+            return r
+    return None
+
+
+def rounds_to_completion(trace: ExecutionTrace, *, start_round: int = 1) -> Optional[int]:
+    """Number of rounds from ``start_round`` until all awake nodes are decided.
+
+    Returns ``None`` when the trace ends before completion (the caller should
+    treat this as a censored observation, not as a huge value).
+    """
+    done = first_round_all_decided(trace, start_round=start_round)
+    if done is None:
+        return None
+    return done - start_round + 1
+
+
+def completion_round_for_nodes(
+    trace: ExecutionTrace, nodes: Iterable[NodeId], *, start_round: int = 1
+) -> Optional[int]:
+    """First round from which on every node in ``nodes`` is decided."""
+    node_list = list(nodes)
+    for r in range(start_round, trace.num_rounds + 1):
+        outputs = trace.outputs(r)
+        if all(outputs.get(v) is not None for v in node_list):
+            return r
+    return None

@@ -1,0 +1,287 @@
+"""Colouring experiments E1–E4 (Lemmas 4.3/4.4/6.1/6.2, Corollary 1.2).
+
+Each function returns a list of row dicts; see DESIGN.md §3 for the mapping
+from experiment id to paper claim, and EXPERIMENTS.md for recorded outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.utils.rng import RngFactory
+from repro.dynamics.adversaries.targeted_coloring import TargetedColoringAdversary
+from repro.problems.coloring import coloring_problem_pair
+from repro.problems.dynamic_problem import TDynamicSpec
+from repro.runtime.simulator import Simulator, run_simulation
+from repro.core.windows import default_window
+from repro.algorithms.coloring.basic_static import BasicColoring
+from repro.algorithms.coloring.dcolor import DColor
+from repro.algorithms.coloring.dynamic_coloring import DynamicColoring
+from repro.analysis.conflicts import conflict_resolution_times
+from repro.analysis.convergence import rounds_to_completion
+from repro.analysis.quality import coloring_quality
+from repro.analysis.sweep import aggregate_rows, replicate
+from repro.analysis.experiments.common import base_topology, churn_adversary, log2, static_adversary
+
+__all__ = [
+    "experiment_e01_coloring_convergence",
+    "experiment_e02_palette_lemma",
+    "experiment_e03_conflict_resolution",
+    "experiment_e04_tdynamic_coloring",
+]
+
+Row = Dict[str, float]
+
+
+# ---------------------------------------------------------------------------
+# E1 — rounds-to-completion of the randomized colouring grows like log n
+# ---------------------------------------------------------------------------
+
+def experiment_e01_coloring_convergence(
+    *,
+    sizes: Sequence[int] = (32, 64, 128, 256, 512),
+    seeds: Sequence[int] = (0, 1, 2),
+    flip_prob: float = 0.01,
+    max_round_factor: int = 20,
+) -> List[Row]:
+    """E1: completion rounds of BasicColoring (static) and DColor (under churn) vs ``n``.
+
+    Paper claim (Lemmas 4.4 / 6.2): all nodes are coloured after ``O(log n)``
+    rounds w.h.p.; the measured completion round divided by ``log₂ n`` should
+    therefore stay bounded as ``n`` grows.
+    """
+    rows: List[Row] = []
+    for n in sizes:
+        max_rounds = int(max_round_factor * log2(n)) + 10
+
+        def run_static(seed: int, n: int = n, max_rounds: int = max_rounds) -> Row:
+            base = base_topology(n, seed)
+            trace = run_simulation(
+                n=n,
+                algorithm=BasicColoring(),
+                adversary=static_adversary(base),
+                rounds=max_rounds,
+                seed=seed,
+                stop_when=lambda t: rounds_to_completion(t) is not None,
+            )
+            done = rounds_to_completion(trace)
+            return {"rounds": float(done) if done is not None else float("nan")}
+
+        def run_dynamic(seed: int, n: int = n, max_rounds: int = max_rounds) -> Row:
+            base = base_topology(n, seed)
+            adversary = churn_adversary(base, seed, flip_prob=flip_prob)
+            trace = run_simulation(
+                n=n,
+                algorithm=DColor(),
+                adversary=adversary,
+                rounds=max_rounds,
+                seed=seed,
+                stop_when=lambda t: rounds_to_completion(t) is not None,
+            )
+            done = rounds_to_completion(trace)
+            return {"rounds": float(done) if done is not None else float("nan")}
+
+        static_rep = replicate(run_static, seeds, label=f"static-n{n}")
+        dynamic_rep = replicate(run_dynamic, seeds, label=f"dynamic-n{n}")
+        rows.append(
+            aggregate_rows(
+                static_rep,
+                mean_keys=("rounds",),
+                max_keys=("rounds",),
+                extra={"n": float(n), "log2_n": log2(n), "algorithm": 0.0},
+            )
+            | {"setting": "basic-static", "rounds_over_log2n": static_rep.mean("rounds") / log2(n)}
+        )
+        rows.append(
+            aggregate_rows(
+                dynamic_rep,
+                mean_keys=("rounds",),
+                max_keys=("rounds",),
+                extra={"n": float(n), "log2_n": log2(n), "algorithm": 1.0},
+            )
+            | {"setting": "dcolor-churn", "rounds_over_log2n": dynamic_rep.mean("rounds") / log2(n)}
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E2 — Lemma 4.3 / 6.1: colour-or-shrink in every round
+# ---------------------------------------------------------------------------
+
+def experiment_e02_palette_lemma(
+    *,
+    n: int = 192,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    rounds: int = 40,
+    flip_prob: float = 0.01,
+) -> List[Row]:
+    """E2: per-round, an uncoloured node either gets coloured or its palette shrinks by ≥ 1/4.
+
+    Paper claim (Lemma 4.3 / 6.1): conditioned on the palette *not* shrinking
+    by a factor ≥ 1/4 this round, the node is coloured with probability at
+    least 1/64.  The experiment partitions uncoloured node-rounds accordingly
+    and reports the empirical colouring rate of the "no big shrink" class —
+    which must be ≥ 1/64 ≈ 0.0156 (in practice it is far larger).
+    """
+    rows: List[Row] = []
+    for setting, dynamic in (("basic-static", False), ("dcolor-churn", True)):
+        shrink_events = 0
+        colored_given_no_shrink = 0
+        no_shrink_events = 0
+        for seed in seeds:
+            base = base_topology(n, seed)
+            algorithm = DColor() if dynamic else BasicColoring()
+            adversary = (
+                churn_adversary(base, seed, flip_prob=flip_prob)
+                if dynamic
+                else static_adversary(base)
+            )
+            sim = Simulator(n=n, algorithm=algorithm, adversary=adversary, seed=seed)
+            previous_palette: Dict[int, frozenset] = {}
+            previous_uncolored: set[int] = set()
+            for _ in range(rounds):
+                sim.run(1)
+                outputs = sim.trace.outputs(sim.trace.num_rounds)
+                for v in previous_uncolored:
+                    before = previous_palette.get(v, frozenset())
+                    after = algorithm.palette_of(v)
+                    if not before:
+                        continue
+                    shrunk = len(after) <= 0.75 * len(before)
+                    if shrunk:
+                        shrink_events += 1
+                    else:
+                        no_shrink_events += 1
+                        if outputs.get(v) is not None:
+                            colored_given_no_shrink += 1
+                previous_uncolored = {
+                    v for v in sim.trace.topology(sim.trace.num_rounds).nodes
+                    if outputs.get(v) is None
+                }
+                previous_palette = {v: algorithm.palette_of(v) for v in previous_uncolored}
+                if not previous_uncolored:
+                    break
+        rate = colored_given_no_shrink / no_shrink_events if no_shrink_events else float("nan")
+        rows.append(
+            {
+                "setting": setting,
+                "n": float(n),
+                "node_rounds_no_shrink": float(no_shrink_events),
+                "node_rounds_shrink": float(shrink_events),
+                "colored_rate_given_no_shrink": rate,
+                "paper_lower_bound": 1.0 / 64.0,
+                "satisfies_bound": float(rate >= 1.0 / 64.0) if no_shrink_events else float("nan"),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E3 — Corollary 1.2: conflicts from inserted edges resolve within O(log n) rounds
+# ---------------------------------------------------------------------------
+
+def experiment_e03_conflict_resolution(
+    *,
+    sizes: Sequence[int] = (64, 128, 256),
+    seeds: Sequence[int] = (0, 1, 2),
+    attacks_per_round: int = 2,
+    rounds_factor: int = 6,
+) -> List[Row]:
+    """E3: a targeted adversary keeps inserting monochromatic edges; measure conflict duration.
+
+    Paper claim (Corollary 1.2): after two nodes are joined by an edge they can
+    only share a colour for ``T = O(log n)`` rounds.  The row reports the mean
+    and maximum observed conflict duration and the window ``T1`` used.
+    """
+    rows: List[Row] = []
+    for n in sizes:
+        T1 = default_window(n)
+        rounds = rounds_factor * T1
+
+        def run(seed: int, n: int = n, T1: int = T1, rounds: int = rounds) -> Row:
+            base = base_topology(n, seed)
+            adversary = TargetedColoringAdversary(
+                base,
+                attacks_per_round=attacks_per_round,
+                lifetime=2 * T1,
+                rng=RngFactory(seed).stream("adversary", "targeted"),
+            )
+            algorithm = DynamicColoring(T1)
+            trace = run_simulation(
+                n=n, algorithm=algorithm, adversary=adversary, rounds=rounds, seed=seed
+            )
+            durations = conflict_resolution_times(trace, adversary.attack_log, max_wait=2 * T1)
+            resolved = [d for d in durations if not d["censored"]]
+            if not resolved:
+                return {"attacks": 0.0, "mean_duration": float("nan"), "max_duration": float("nan")}
+            values = [d["duration"] for d in resolved]
+            return {
+                "attacks": float(len(resolved)),
+                "mean_duration": sum(values) / len(values),
+                "max_duration": max(values),
+            }
+
+        rep = replicate(run, seeds, label=f"conflict-n{n}")
+        rows.append(
+            aggregate_rows(
+                rep,
+                mean_keys=("attacks", "mean_duration"),
+                max_keys=("max_duration",),
+                extra={"n": float(n), "window_T1": float(T1), "log2_n": log2(n)},
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E4 — sliding-window validity of the combined colouring under a churn sweep
+# ---------------------------------------------------------------------------
+
+def experiment_e04_tdynamic_coloring(
+    *,
+    n: int = 128,
+    flip_probs: Sequence[float] = (0.001, 0.01, 0.05, 0.1),
+    seeds: Sequence[int] = (0, 1, 2),
+    rounds_factor: int = 5,
+    window: Optional[int] = None,
+) -> List[Row]:
+    """E4: fraction of rounds whose output is a valid T-dynamic colouring, per churn rate.
+
+    Paper claim (Theorem 1.1(1) + Corollary 1.2): *every* round's output is a
+    T-dynamic solution w.h.p., independent of the churn rate; the colours stay
+    within the union-graph degree + 1 bound.
+    """
+    T1 = window if window is not None else default_window(n)
+    rounds = rounds_factor * T1
+    pair = coloring_problem_pair()
+    spec = TDynamicSpec(pair, T1)
+    rows: List[Row] = []
+    for flip_prob in flip_probs:
+
+        def run(seed: int, flip_prob: float = flip_prob) -> Row:
+            base = base_topology(n, seed)
+            adversary = churn_adversary(base, seed, flip_prob=flip_prob)
+            algorithm = DynamicColoring(T1)
+            trace = run_simulation(
+                n=n, algorithm=algorithm, adversary=adversary, rounds=rounds, seed=seed
+            )
+            summary = spec.validity_summary(trace)
+            quality = coloring_quality(
+                trace.graph.union_graph(trace.num_rounds, T1), trace.outputs(trace.num_rounds)
+            )
+            return {
+                "valid_fraction": summary["valid_fraction"],
+                "mean_violations": summary["mean_violations"],
+                "max_color": quality["max_color"],
+                "colors_used": quality["colors_used"],
+            }
+
+        rep = replicate(run, seeds, label=f"flip{flip_prob}")
+        rows.append(
+            aggregate_rows(
+                rep,
+                mean_keys=("valid_fraction", "mean_violations", "max_color", "colors_used"),
+                extra={"n": float(n), "flip_prob": float(flip_prob), "window_T1": float(T1)},
+            )
+        )
+    return rows

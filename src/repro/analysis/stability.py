@@ -1,0 +1,80 @@
+"""Output-stability statistics over execution traces.
+
+The framework's selling point over "restart" style schemes is that outputs do
+not churn when the graph does not: Theorem 1.1(2) pins the output of every
+node whose α-neighbourhood is static.  The helpers here quantify churn so the
+stability experiments (E5, E9, E13c) can compare algorithms numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.types import Interval, NodeId
+from repro.runtime.trace import ExecutionTrace
+
+__all__ = [
+    "output_change_counts",
+    "changes_per_round",
+    "region_change_count",
+    "stability_summary",
+]
+
+
+def output_change_counts(
+    trace: ExecutionTrace, *, start_round: int = 2, end_round: Optional[int] = None
+) -> Dict[NodeId, int]:
+    """Per-node number of rounds (in the given range) where the output changed."""
+    end = trace.num_rounds if end_round is None else min(end_round, trace.num_rounds)
+    counts: Dict[NodeId, int] = {}
+    for r in range(max(2, start_round), end + 1):
+        current = trace.outputs(r)
+        previous = trace.outputs(r - 1)
+        for v, value in current.items():
+            if v in previous and previous[v] != value:
+                counts[v] = counts.get(v, 0) + 1
+    return counts
+
+
+def changes_per_round(trace: ExecutionTrace) -> List[int]:
+    """Number of nodes whose output changed, per round (round 1 counts first outputs)."""
+    return [record.metrics.outputs_changed for record in trace]
+
+
+def region_change_count(
+    trace: ExecutionTrace, nodes: Iterable[NodeId], interval: Interval
+) -> int:
+    """Total output changes of the given nodes during ``interval`` (excluding its first round)."""
+    total = 0
+    for v in nodes:
+        total += trace.output_changes_in(v, interval)
+    return total
+
+
+def stability_summary(
+    trace: ExecutionTrace, *, warmup: int = 0
+) -> Dict[str, float]:
+    """Aggregate churn statistics after a warm-up prefix.
+
+    Returns the mean and maximum number of per-round output changes and the
+    fraction of (node, round) pairs whose output changed — the headline
+    numbers of the baseline-comparison experiment E9.
+    """
+    start = max(2, warmup + 1)
+    per_round: List[int] = []
+    node_rounds = 0
+    for r in range(start, trace.num_rounds + 1):
+        current = trace.outputs(r)
+        previous = trace.outputs(r - 1)
+        changed = sum(1 for v, value in current.items() if v in previous and previous[v] != value)
+        per_round.append(changed)
+        node_rounds += len(current)
+    if not per_round:
+        return {"mean_changes": 0.0, "max_changes": 0.0, "change_rate": 0.0, "rounds": 0.0}
+    total = float(sum(per_round))
+    return {
+        "mean_changes": total / len(per_round),
+        "max_changes": float(max(per_round)),
+        "change_rate": total / node_rounds if node_rounds else 0.0,
+        "rounds": float(len(per_round)),
+    }

@@ -1,0 +1,71 @@
+"""Abstract roles of the framework's two algorithm types (Definition 3.3).
+
+A **T-dynamic algorithm** ``DAlg`` for a pair ``(P, C)`` must be
+
+* A.1 (*input-extending*): its output is always an extension of its input
+  vector — it never deletes or changes a value that was already decided;
+* A.2 (*finalizing*): started on a partial solution for ``G_j``, after
+  ``T - 1`` further rounds its output is a solution of ``P`` on ``G^{T∩}`` and
+  of ``C`` on ``G^{T∪}``.
+
+A **(T, α)-network-static algorithm** ``SAlg`` must
+
+* B.1 (*partial solution*): output a partial solution for ``(P, C)`` on the
+  *current* graph ``G_r`` at the end of every round;
+* B.2 (*locally static*): whenever the α-neighbourhood of a node is static
+  over an interval ``[r, r2]``, output a fixed non-⊥ value for that node
+  throughout ``[r + T, r2]``.
+
+These are behavioural contracts — they cannot be enforced by the type system,
+so the classes below only carry the metadata (window size, locality radius,
+problem pair) and the shared plumbing; the contracts themselves are verified
+empirically on traces by :mod:`repro.core.properties` and by the test-suite.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+from repro.problems.packing_covering import ProblemPair
+from repro.runtime.algorithm import DistributedAlgorithm
+from repro.core.windows import default_window
+
+__all__ = ["DynamicAlgorithm", "NetworkStaticAlgorithm"]
+
+
+class DynamicAlgorithm(DistributedAlgorithm):
+    """Base class for ``T``-dynamic algorithms (properties A.1 / A.2)."""
+
+    #: Locality radius is not relevant for dynamic algorithms, but the paper's
+    #: window parameter T is: subclasses report their practical window via
+    #: :meth:`window`.
+    name = "dynamic-algorithm"
+
+    @abstractmethod
+    def problem_pair(self) -> ProblemPair:
+        """The packing/covering pair this algorithm solves."""
+
+    def window(self, n: int) -> int:
+        """The practical window size ``T(n)`` for which A.2 empirically holds.
+
+        Defaults to :func:`repro.core.windows.default_window`; subclasses with
+        different constants override this.
+        """
+        return default_window(n)
+
+
+class NetworkStaticAlgorithm(DistributedAlgorithm):
+    """Base class for ``(T, α)``-network-static algorithms (properties B.1 / B.2)."""
+
+    name = "network-static-algorithm"
+
+    #: The locality radius α in property B.2 (both paper algorithms use α = 2).
+    alpha: int = 2
+
+    @abstractmethod
+    def problem_pair(self) -> ProblemPair:
+        """The packing/covering pair this algorithm solves."""
+
+    def window(self, n: int) -> int:
+        """The practical stabilisation time ``T(n)`` of property B.2."""
+        return default_window(n)

@@ -1,0 +1,53 @@
+"""Dynamic-graph substrate (Section 2 of the paper).
+
+This subpackage provides everything "below" the distributed algorithms:
+
+* :mod:`repro.dynamics.topology` — immutable per-round graph snapshots.
+* :mod:`repro.dynamics.dynamic_graph` — the recorded graph sequence
+  ``G_1, G_2, …`` with sliding-window intersection / union graphs
+  (Definition 2.1).
+* :mod:`repro.dynamics.window` — the incremental sliding-window view that
+  backs the T-intersection / T-union queries.
+* :mod:`repro.dynamics.generators` — static base topologies.
+* :mod:`repro.dynamics.churn` — per-edge Markov churn and flip churn models.
+* :mod:`repro.dynamics.mobility` — random-waypoint mobility over a unit square.
+* :mod:`repro.dynamics.adversary` — the adversary interface (obliviousness,
+  adaptive-offline) and the :class:`AdversaryView` handed to adversaries.
+* :mod:`repro.dynamics.adversaries` — concrete adversaries (scripted, churn,
+  mobility, locally-static, targeted-colouring, targeted-MIS, composite).
+"""
+
+from repro.dynamics.topology import Topology, empty_topology, topology_from_networkx
+from repro.dynamics.dynamic_graph import DynamicGraph
+from repro.dynamics.window import SlidingWindow, WindowSnapshot
+from repro.dynamics.adversary import Adversary, AdversaryView, ADAPTIVE_OFFLINE, FULLY_OBLIVIOUS
+from repro.dynamics.wakeup import (
+    AllAwake,
+    ExplicitWakeup,
+    StaggeredWakeup,
+    UniformRandomWakeup,
+    WakeupSchedule,
+)
+from repro.dynamics import generators, churn, mobility, adversaries
+
+__all__ = [
+    "Topology",
+    "empty_topology",
+    "topology_from_networkx",
+    "DynamicGraph",
+    "SlidingWindow",
+    "WindowSnapshot",
+    "Adversary",
+    "AdversaryView",
+    "ADAPTIVE_OFFLINE",
+    "FULLY_OBLIVIOUS",
+    "WakeupSchedule",
+    "AllAwake",
+    "StaggeredWakeup",
+    "UniformRandomWakeup",
+    "ExplicitWakeup",
+    "generators",
+    "churn",
+    "mobility",
+    "adversaries",
+]

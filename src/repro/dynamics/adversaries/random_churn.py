@@ -1,0 +1,87 @@
+"""Stochastic (oblivious) adversaries: edge churn and mobility."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dynamics.adversary import Adversary, AdversaryView, FULLY_OBLIVIOUS
+from repro.dynamics.churn import ChurnProcess
+from repro.dynamics.mobility import RandomWaypointMobility
+from repro.dynamics.topology import Topology
+from repro.dynamics.wakeup import WakeupSchedule
+
+__all__ = ["ChurnAdversary", "MobilityAdversary"]
+
+
+class ChurnAdversary(Adversary):
+    """Animates a base node set with a :class:`~repro.dynamics.churn.ChurnProcess`.
+
+    The churn process decides which edges exist each round; the (optional)
+    wake-up schedule decides which nodes are awake.  Edges touching sleeping
+    nodes are dropped.  The adversary never looks at the execution, so it is
+    fully oblivious (and in particular 2-oblivious, as required by the DMis
+    analysis).
+    """
+
+    obliviousness = FULLY_OBLIVIOUS
+
+    def __init__(
+        self,
+        nodes: int,
+        churn: ChurnProcess,
+        rng: np.random.Generator,
+        *,
+        wakeup: Optional[WakeupSchedule] = None,
+    ) -> None:
+        self._n = int(nodes)
+        self._churn = churn
+        self._rng = rng
+        self._wakeup = wakeup
+
+    def reset(self) -> None:
+        self._churn.reset()
+
+    def step(self, view: AdversaryView) -> Topology:
+        edges = self._churn.step(view.round_index, self._rng)
+        if self._wakeup is None:
+            awake = frozenset(range(self._n))
+        else:
+            awake = self._wakeup.awake_at(view.round_index) & frozenset(range(self._n))
+            prev = view.previous_topology()
+            if prev is not None:
+                awake = awake | prev.nodes
+        kept = [e for e in edges if e[0] in awake and e[1] in awake]
+        return Topology(awake, kept)
+
+    def describe(self) -> str:
+        return f"ChurnAdversary(n={self._n}, churn={type(self._churn).__name__})"
+
+
+class MobilityAdversary(Adversary):
+    """Random-waypoint mobility: the graph is the geometric graph of moving nodes."""
+
+    obliviousness = FULLY_OBLIVIOUS
+
+    def __init__(
+        self,
+        mobility: RandomWaypointMobility,
+        *,
+        wakeup: Optional[WakeupSchedule] = None,
+    ) -> None:
+        self._mobility = mobility
+        self._wakeup = wakeup
+
+    def step(self, view: AdversaryView) -> Topology:
+        topo = self._mobility.step()
+        if self._wakeup is None:
+            return topo
+        awake = self._wakeup.awake_at(view.round_index) & topo.nodes
+        prev = view.previous_topology()
+        if prev is not None:
+            awake = awake | prev.nodes
+        return topo.subgraph(awake)
+
+    def describe(self) -> str:
+        return "MobilityAdversary(random-waypoint)"

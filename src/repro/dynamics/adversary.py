@@ -1,0 +1,157 @@
+"""Adversary interface and the view of the execution it is allowed to see.
+
+The paper's adversary chooses the graph ``G_r`` at the beginning of every
+round.  Its power is graded by *obliviousness* (Section 2):
+
+* a ``ρ``-oblivious adversary does not know the random bits of the last ``ρ``
+  rounds when choosing ``G_r`` — in the simulator this translates to "may
+  only inspect node outputs up to round ``r - ρ``" (outputs of later rounds
+  already depend on later randomness);
+* an *adaptive offline* adversary knows all random bits in advance.  A
+  single-process simulator cannot hand out future randomness without
+  replaying, so the strongest adversary we emulate is *fully adaptive
+  online*: it sees every past output (up to round ``r - 1``) **and** may
+  inspect the algorithm's internal state through
+  :meth:`AdversaryView.algorithm_state`.  Every attack used by the paper's
+  remarks (inserting a conflict edge against the current colouring, cutting
+  the edge over which a fresh MIS node would notify its neighbour) only needs
+  this online power, so the distinction does not weaken the experiments; it
+  is documented in DESIGN.md.
+
+Concrete adversaries live in :mod:`repro.dynamics.adversaries`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import AdversaryError
+from repro.types import Assignment, Round
+from repro.dynamics.topology import Topology
+
+__all__ = ["Adversary", "AdversaryView", "ADAPTIVE_OFFLINE", "FULLY_OBLIVIOUS"]
+
+#: Obliviousness value meaning "the adversary sees everything available"
+#: (the strongest adversary the simulator can emulate; see module docstring).
+ADAPTIVE_OFFLINE = 0
+
+#: Obliviousness value meaning "the adversary never looks at the execution".
+FULLY_OBLIVIOUS = 10**9
+
+
+class AdversaryView:
+    """Read-only, obliviousness-filtered view of the execution so far.
+
+    Instances are created by the simulator once per round and handed to
+    :meth:`Adversary.step`.  ``round_index`` is the round whose graph the
+    adversary is about to provide; outputs are available only up to round
+    ``round_index - obliviousness`` (and never beyond ``round_index - 1``).
+    """
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        round_index: Round,
+        obliviousness: int,
+        topologies: Sequence[Topology],
+        outputs: Sequence[Assignment],
+        state_provider: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        self._n = n
+        self._round_index = round_index
+        self._obliviousness = max(0, int(obliviousness))
+        self._topologies = topologies
+        self._outputs = outputs
+        self._state_provider = state_provider
+
+    @property
+    def n(self) -> int:
+        """Globally known upper bound on the number of nodes."""
+        return self._n
+
+    @property
+    def round_index(self) -> Round:
+        """The round ``r`` whose graph is being chosen."""
+        return self._round_index
+
+    @property
+    def obliviousness(self) -> int:
+        """The ρ used to filter this view."""
+        return self._obliviousness
+
+    # -- topology history (the adversary chose these itself) ----------------
+
+    def previous_topology(self) -> Optional[Topology]:
+        """``G_{r-1}`` or ``None`` before the first round."""
+        return self._topologies[-1] if self._topologies else None
+
+    def topology_history(self) -> Sequence[Topology]:
+        """All previously provided topologies ``G_1 … G_{r-1}``."""
+        return tuple(self._topologies)
+
+    # -- output history (filtered by obliviousness) --------------------------
+
+    def visible_rounds(self) -> int:
+        """Number of rounds whose outputs the adversary may inspect."""
+        limit = self._round_index - max(1, self._obliviousness)
+        return max(0, min(len(self._outputs), limit))
+
+    def output_history(self) -> Sequence[Assignment]:
+        """Outputs of rounds ``1 … visible_rounds()`` (possibly empty)."""
+        return tuple(self._outputs[: self.visible_rounds()])
+
+    def latest_visible_outputs(self) -> Optional[Assignment]:
+        """The most recent output vector the adversary is allowed to see."""
+        k = self.visible_rounds()
+        return self._outputs[k - 1] if k > 0 else None
+
+    # -- adaptive state access -----------------------------------------------
+
+    def algorithm_state(self) -> Any:
+        """Internal algorithm state (adaptive adversaries only).
+
+        Raises
+        ------
+        AdversaryError
+            If the adversary is not adaptive (``obliviousness > 0``) or the
+            simulator did not expose state.
+        """
+        if self._obliviousness > ADAPTIVE_OFFLINE:
+            raise AdversaryError(
+                "only adaptive adversaries (obliviousness == 0) may inspect algorithm state"
+            )
+        if self._state_provider is None:
+            raise AdversaryError("the simulator did not expose algorithm state")
+        return self._state_provider()
+
+
+class Adversary(ABC):
+    """Produces the communication graph of every round.
+
+    Subclasses must set :attr:`obliviousness` (``ρ``) truthfully: the
+    simulator uses it to filter the :class:`AdversaryView`, so an adversary
+    cannot accidentally see more than its declared class allows.
+    """
+
+    #: Declared obliviousness ρ.  ``ADAPTIVE_OFFLINE`` (0) = adaptive.
+    obliviousness: int = 2
+
+    @abstractmethod
+    def step(self, view: AdversaryView) -> Topology:
+        """Return ``G_r`` for ``r = view.round_index``.
+
+        The returned topology's awake node set must contain every node that
+        was awake in the previous round (checked by the simulator).
+        """
+
+    def reset(self) -> None:
+        """Reset internal state so the adversary can be reused across runs."""
+        return None
+
+    # -- description helpers (used by the experiment harness / reports) ------
+
+    def describe(self) -> str:
+        """One-line human-readable description for experiment reports."""
+        return f"{type(self).__name__}(rho={self.obliviousness})"

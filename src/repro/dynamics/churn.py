@@ -1,0 +1,229 @@
+"""Edge-churn processes that animate a static base topology.
+
+The paper's "highly dynamic" setting is about the *frequency* of potential
+changes, not about wholesale re-randomisation of the graph every round
+(Section 1: "highly dynamic networks do not refer to a huge amount of edges
+that change in every round but rather to the frequency of potential
+changes").  These processes therefore perturb a base topology edge-by-edge so
+that the churn *rate* is a controllable experiment parameter:
+
+* :class:`MarkovEdgeChurn` — every base edge is an independent two-state
+  Markov chain (present/absent) with configurable ``p_off``/``p_on``.
+* :class:`FlipChurn` — every base edge flips its state each round with a
+  fixed probability (symmetric special case of the above).
+* :class:`BurstChurn` — occasional bursts delete a random fraction of the
+  currently present edges for one round (models link-failure bursts).
+* :class:`EdgeInsertionChurn` — repeatedly inserts a batch of random
+  *non-base* edges for a configurable lifetime (models fleeting contacts).
+
+Each process is a :class:`ChurnProcess`: it is stepped once per round and
+returns the edge set of that round (always among awake nodes handled by the
+adversary layer).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import Edge, canonical_edge
+from repro.utils.validation import check_non_negative, check_probability
+from repro.dynamics.topology import Topology
+
+__all__ = [
+    "ChurnProcess",
+    "StaticChurn",
+    "MarkovEdgeChurn",
+    "FlipChurn",
+    "BurstChurn",
+    "EdgeInsertionChurn",
+    "CompositeChurn",
+]
+
+
+class ChurnProcess(ABC):
+    """A per-round stochastic process producing the round's edge set."""
+
+    @abstractmethod
+    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
+        """Advance one round and return the edges present this round."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return the process to its initial state (for replication)."""
+
+
+class StaticChurn(ChurnProcess):
+    """No churn at all: the base edge set is returned every round."""
+
+    def __init__(self, base: Topology) -> None:
+        self._edges = base.edges
+
+    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
+        return self._edges
+
+    def reset(self) -> None:  # nothing to do
+        return None
+
+
+class MarkovEdgeChurn(ChurnProcess):
+    """Independent per-edge two-state Markov chains over the base edge set.
+
+    Each base edge is *present* or *absent*; a present edge disappears next
+    round with probability ``p_off`` and an absent edge reappears with
+    probability ``p_on``.  The stationary fraction of present edges is
+    ``p_on / (p_on + p_off)`` (1 if both are 0).
+
+    Parameters
+    ----------
+    base:
+        The base topology whose edges are animated.
+    p_off, p_on:
+        Per-round transition probabilities.
+    start_present:
+        Whether edges start in the present state (default) or absent.
+    """
+
+    def __init__(
+        self,
+        base: Topology,
+        p_off: float,
+        p_on: float,
+        *,
+        start_present: bool = True,
+    ) -> None:
+        check_probability("p_off", p_off)
+        check_probability("p_on", p_on)
+        self._base_edges: Sequence[Edge] = tuple(sorted(base.edges))
+        self._p_off = float(p_off)
+        self._p_on = float(p_on)
+        self._start_present = bool(start_present)
+        self._present = np.full(len(self._base_edges), self._start_present, dtype=bool)
+
+    @property
+    def p_off(self) -> float:
+        return self._p_off
+
+    @property
+    def p_on(self) -> float:
+        return self._p_on
+
+    def reset(self) -> None:
+        self._present = np.full(len(self._base_edges), self._start_present, dtype=bool)
+
+    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
+        if len(self._base_edges) == 0:
+            return frozenset()
+        u = rng.random(len(self._base_edges))
+        turn_off = self._present & (u < self._p_off)
+        turn_on = (~self._present) & (u < self._p_on)
+        self._present = (self._present & ~turn_off) | turn_on
+        return frozenset(
+            e for e, present in zip(self._base_edges, self._present) if present
+        )
+
+
+class FlipChurn(MarkovEdgeChurn):
+    """Symmetric churn: every base edge flips its state with probability ``flip_prob``."""
+
+    def __init__(self, base: Topology, flip_prob: float, *, start_present: bool = True) -> None:
+        super().__init__(base, p_off=flip_prob, p_on=flip_prob, start_present=start_present)
+        self._flip_prob = check_probability("flip_prob", flip_prob)
+
+    @property
+    def flip_prob(self) -> float:
+        return self._flip_prob
+
+
+class BurstChurn(ChurnProcess):
+    """Deletes a random fraction of the base edges for single-round bursts.
+
+    Between bursts the full base edge set is present.  With probability
+    ``burst_prob`` per round, a fraction ``drop_fraction`` of the edges is
+    removed for exactly that round.
+    """
+
+    def __init__(self, base: Topology, burst_prob: float, drop_fraction: float) -> None:
+        check_probability("burst_prob", burst_prob)
+        check_probability("drop_fraction", drop_fraction)
+        self._base_edges: Sequence[Edge] = tuple(sorted(base.edges))
+        self._burst_prob = float(burst_prob)
+        self._drop_fraction = float(drop_fraction)
+
+    def reset(self) -> None:
+        return None
+
+    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
+        if not self._base_edges or rng.random() >= self._burst_prob:
+            return frozenset(self._base_edges)
+        keep = max(0, int(round(len(self._base_edges) * (1.0 - self._drop_fraction))))
+        if keep >= len(self._base_edges):
+            return frozenset(self._base_edges)
+        indices = rng.choice(len(self._base_edges), size=keep, replace=False)
+        return frozenset(self._base_edges[int(i)] for i in indices)
+
+
+class EdgeInsertionChurn(ChurnProcess):
+    """Keeps the base edges and repeatedly inserts short-lived extra edges.
+
+    Every round, ``insertions_per_round`` uniformly random node pairs (that
+    are not base edges) are added and stay present for ``lifetime`` rounds.
+    This models fleeting contacts on top of a stable backbone and is the
+    workload used to probe conflict resolution (experiment E3 uses the
+    *targeted* variant in :mod:`repro.dynamics.adversaries.targeted_coloring`;
+    this one is oblivious).
+    """
+
+    def __init__(
+        self,
+        base: Topology,
+        insertions_per_round: int,
+        lifetime: int,
+    ) -> None:
+        check_non_negative("insertions_per_round", insertions_per_round)
+        if lifetime < 1:
+            raise ConfigurationError(f"lifetime must be >= 1, got {lifetime}")
+        self._base = base
+        self._nodes: Sequence[int] = tuple(sorted(base.nodes))
+        self._insertions = int(insertions_per_round)
+        self._lifetime = int(lifetime)
+        self._active: Dict[Edge, int] = {}
+
+    def reset(self) -> None:
+        self._active.clear()
+
+    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
+        expired = [e for e, expiry in self._active.items() if expiry <= round_index]
+        for e in expired:
+            del self._active[e]
+        n = len(self._nodes)
+        if n >= 2:
+            for _ in range(self._insertions):
+                u, v = rng.choice(n, size=2, replace=False)
+                e = canonical_edge(self._nodes[int(u)], self._nodes[int(v)])
+                if e in self._base.edges:
+                    continue
+                self._active[e] = round_index + self._lifetime
+        return frozenset(self._base.edges) | frozenset(self._active)
+
+
+class CompositeChurn(ChurnProcess):
+    """Union of the edge sets produced by several churn processes."""
+
+    def __init__(self, processes: Sequence[ChurnProcess]) -> None:
+        if not processes:
+            raise ConfigurationError("CompositeChurn needs at least one process")
+        self._processes: List[ChurnProcess] = list(processes)
+
+    def reset(self) -> None:
+        for proc in self._processes:
+            proc.reset()
+
+    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
+        edges: Set[Edge] = set()
+        for proc in self._processes:
+            edges |= proc.step(round_index, rng)
+        return frozenset(edges)

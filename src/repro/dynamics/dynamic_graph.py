@@ -1,0 +1,228 @@
+"""The recorded dynamic graph ``G_1, G_2, …`` and its window queries.
+
+A :class:`DynamicGraph` is the append-only record of the adversary-provided
+graph sequence.  It enforces the model constraints of Section 2:
+
+* the awake node set is non-decreasing (``V_{r} ⊆ V_{r+1}``), and
+* every node id stays within the potential node set ``{0, …, n-1}`` where
+  ``n`` is the globally known upper bound on the number of nodes.
+
+On top of the raw sequence it offers the sliding-window queries of
+Definition 2.1 (``G^{T∩}_r``, ``G^{T∪}_r``) either directly (recomputed from
+the stored history) or through an attached :class:`~repro.dynamics.window.SlidingWindow`
+for the window size the experiment cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+from repro.errors import TopologyError
+from repro.types import Edge, Interval, NodeId
+from repro.dynamics.topology import Topology, empty_topology
+from repro.dynamics.window import SlidingWindow, WindowSnapshot
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """Append-only record of a dynamic graph over ``n`` potential nodes.
+
+    Round indexing follows the paper: the first recorded topology is round 1;
+    ``G_0`` is the empty graph (all nodes asleep).
+
+    Parameters
+    ----------
+    n:
+        Upper bound on the number of nodes; all node ids must be ``< n``.
+    """
+
+    def __init__(self, n: int) -> None:
+        if not isinstance(n, int) or n < 1:
+            raise TopologyError(f"n must be a positive integer, got {n!r}")
+        self._n = n
+        self._rounds: List[Topology] = []
+        self._windows: Dict[int, SlidingWindow] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """The globally known upper bound on the number of nodes."""
+        return self._n
+
+    @property
+    def last_round(self) -> int:
+        """The index of the most recently recorded round (0 if none)."""
+        return len(self._rounds)
+
+    def append(self, topology: Topology) -> Dict[int, WindowSnapshot]:
+        """Record the next round's topology and update all attached windows.
+
+        Returns the snapshot of every attached window keyed by window size.
+
+        Raises
+        ------
+        TopologyError
+            If the topology uses node ids ``>= n`` or if the awake node set
+            shrank compared to the previous round.
+        """
+        for v in topology.nodes:
+            if not 0 <= v < self._n:
+                raise TopologyError(f"node id {v} outside potential node set [0, {self._n})")
+        if self._rounds and not self._rounds[-1].nodes <= topology.nodes:
+            missing = self._rounds[-1].nodes - topology.nodes
+            raise TopologyError(
+                "awake node set must be non-decreasing; nodes disappeared: "
+                f"{sorted(missing)[:10]}"
+            )
+        self._rounds.append(topology)
+        return {T: window.push(topology) for T, window in self._windows.items()}
+
+    def attach_window(self, T: int) -> SlidingWindow:
+        """Attach (or return the existing) incremental window of size ``T``.
+
+        The window is replayed over the already recorded history so attaching
+        late is equivalent to attaching before the first round.
+        """
+        if T not in self._windows:
+            self._windows[T] = SlidingWindow.over(self._rounds, T)
+        return self._windows[T]
+
+    # -- access to recorded rounds -------------------------------------------
+
+    def topology(self, r: int) -> Topology:
+        """Return ``G_r`` (round indices start at 1); ``G_0`` is the empty graph."""
+        if r == 0:
+            return empty_topology()
+        if not 1 <= r <= len(self._rounds):
+            raise TopologyError(f"round {r} has not been recorded (last = {self.last_round})")
+        return self._rounds[r - 1]
+
+    def topologies(self) -> Sequence[Topology]:
+        """All recorded topologies, round 1 first."""
+        return tuple(self._rounds)
+
+    def awake_nodes(self, r: int) -> FrozenSet[NodeId]:
+        """``V_r``: the awake node set in round ``r``."""
+        return self.topology(r).nodes
+
+    # -- window queries (Definition 2.1) --------------------------------------
+
+    def _window_rounds(self, r: int, T: int) -> tuple[bool, Sequence[Topology]]:
+        """Return ``(includes_round_zero, topologies of rounds max(1, r-T+1) … r)``.
+
+        Definition 2.1 sets ``r0 = max(0, r - T + 1)`` and ``G_0`` is the empty
+        graph (all nodes asleep, ``V_0 = ∅``).  Whenever the window reaches
+        back to round 0 the intersection node set is therefore empty.
+        """
+        if not 1 <= r <= len(self._rounds):
+            raise TopologyError(f"round {r} has not been recorded (last = {self.last_round})")
+        r0 = max(0, r - T + 1)
+        includes_zero = r0 == 0
+        first = max(1, r0)
+        return includes_zero, self._rounds[first - 1 : r]
+
+    def intersection_graph(self, r: int, T: int) -> Topology:
+        """``G^{T∩}_r``: nodes and edges present in every round of the window.
+
+        Per Definition 2.1 the window reaches back to round ``r - T + 1``; if
+        that is ``<= 0`` the (empty) graph ``G_0`` is part of the window and
+        the intersection is empty — no node has been awake for ``T`` rounds yet.
+        """
+        includes_zero, rounds = self._window_rounds(r, T)
+        if includes_zero:
+            return empty_topology()
+        nodes: FrozenSet[NodeId] = rounds[0].nodes
+        edges: FrozenSet[Edge] = rounds[0].edges
+        for topo in rounds[1:]:
+            nodes &= topo.nodes
+            edges &= topo.edges
+        edges = frozenset(e for e in edges if e[0] in nodes and e[1] in nodes)
+        return Topology(nodes, edges)
+
+    def union_graph(self, r: int, T: int) -> Topology:
+        """``G^{T∪}_r``: every edge present at least once in the window.
+
+        Definition 2.1 gives the union graph the node set ``V^{T∩}_r`` but the
+        *unrestricted* edge set ``E^{T∪}_r`` — a node's union degree counts
+        every neighbour it has seen during the window, including neighbours
+        that woke up recently (this is exactly the "number of distinct
+        neighbours seen in the last T rounds" bound of Corollary 1.2).  The
+        returned topology therefore contains ``V^{T∩}_r`` plus any endpoint of
+        a union edge; only the nodes of :meth:`intersection_graph` are
+        *constrained* by the T-dynamic checker.
+        """
+        includes_zero, rounds = self._window_rounds(r, T)
+        if includes_zero:
+            return empty_topology()
+        nodes: FrozenSet[NodeId] = rounds[0].nodes
+        for topo in rounds[1:]:
+            nodes &= topo.nodes
+        edges: set[Edge] = set()
+        for topo in rounds:
+            edges.update(topo.edges)
+        node_set = set(nodes)
+        for u, v in edges:
+            node_set.add(u)
+            node_set.add(v)
+        return Topology(node_set, edges)
+
+    def window_snapshot(self, r: int, T: int) -> WindowSnapshot:
+        """Both window graphs of round ``r`` for window size ``T``."""
+        return WindowSnapshot(
+            round_index=r,
+            window_length=min(T, r),
+            intersection=self.intersection_graph(r, T),
+            union=self.union_graph(r, T),
+        )
+
+    # -- stability predicates ---------------------------------------------
+
+    def is_static_on(self, nodes: Iterable[NodeId], interval: Interval) -> bool:
+        """Whether the subgraph induced by ``nodes`` is identical in every round of ``interval``.
+
+        This is the hypothesis of the locally-static guarantees
+        (``G_l[N^α(v)] = G_{l'}[N^α(v)]`` for all ``l, l'`` in the interval).
+        """
+        keep = frozenset(nodes)
+        if interval.end > self.last_round or interval.start < 1:
+            raise TopologyError(
+                f"interval {interval} outside recorded rounds [1, {self.last_round}]"
+            )
+        reference = self.topology(interval.start)
+        for r in range(interval.start + 1, interval.end + 1):
+            if not reference.restricted_equals(self.topology(r), keep):
+                return False
+        return True
+
+    def static_ball_interval(self, center: NodeId, alpha: int, interval: Interval) -> bool:
+        """Whether the ``alpha``-neighbourhood of ``center`` is static throughout ``interval``.
+
+        The ball is evaluated on the topology at ``interval.start`` (if the
+        ball's induced subgraph never changes, the ball itself is the same in
+        every round of the interval, so the choice of reference round is
+        immaterial).
+        """
+        ball = self.topology(interval.start).ball(center, alpha)
+        if not ball:
+            return False
+        return self.is_static_on(ball, interval)
+
+    # -- change statistics ---------------------------------------------------
+
+    def edge_changes(self, r: int) -> tuple[FrozenSet[Edge], FrozenSet[Edge]]:
+        """Return ``(inserted, deleted)`` edges between rounds ``r-1`` and ``r``."""
+        if r < 1:
+            raise TopologyError(f"round must be >= 1, got {r}")
+        prev = self.topology(r - 1) if r > 1 else empty_topology()
+        cur = self.topology(r)
+        return cur.edges - prev.edges, prev.edges - cur.edges
+
+    def churn_per_round(self) -> List[int]:
+        """Number of edge insertions + deletions per recorded round."""
+        counts: List[int] = []
+        for r in range(1, self.last_round + 1):
+            ins, dele = self.edge_changes(r)
+            counts.append(len(ins) + len(dele))
+        return counts

@@ -1,0 +1,224 @@
+"""Static base-topology generators.
+
+These produce the "substrate" graphs that churn models and adversaries then
+animate.  All generators take an explicit :class:`numpy.random.Generator` (or
+none for deterministic families) and return a
+:class:`~repro.dynamics.topology.Topology` over the node ids ``0 … n-1``.
+
+The families cover the settings the paper motivates (wireless/ad-hoc networks
+→ random geometric graphs; overlay / peer-to-peer networks → Gnp, power-law;
+structured testbeds → rings, grids, tori, cliques, stars, regular graphs).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive, check_probability
+from repro.dynamics.topology import Topology, topology_from_networkx
+
+__all__ = [
+    "gnp",
+    "random_regular",
+    "random_geometric",
+    "barabasi_albert",
+    "ring",
+    "path",
+    "star",
+    "clique",
+    "grid",
+    "torus",
+    "empty",
+    "by_name",
+    "GENERATORS",
+]
+
+
+def _require_n(n: int) -> int:
+    if not isinstance(n, int) or n < 1:
+        raise ConfigurationError(f"n must be a positive integer, got {n!r}")
+    return n
+
+
+def empty(n: int) -> Topology:
+    """``n`` awake nodes, no edges."""
+    return Topology(range(_require_n(n)), ())
+
+
+def gnp(n: int, p: float, rng: np.random.Generator) -> Topology:
+    """Erdős–Rényi ``G(n, p)`` graph."""
+    _require_n(n)
+    check_probability("p", p)
+    seed = int(rng.integers(0, 2**31 - 1))
+    return topology_from_networkx(nx.fast_gnp_random_graph(n, p, seed=seed))
+
+
+def random_regular(n: int, degree: int, rng: np.random.Generator) -> Topology:
+    """Random ``degree``-regular graph (``n * degree`` must be even)."""
+    _require_n(n)
+    if degree < 0 or degree >= n:
+        raise ConfigurationError(f"degree must be in [0, n), got {degree}")
+    if (n * degree) % 2 != 0:
+        raise ConfigurationError("n * degree must be even for a regular graph")
+    seed = int(rng.integers(0, 2**31 - 1))
+    return topology_from_networkx(nx.random_regular_graph(degree, n, seed=seed))
+
+
+def random_geometric(n: int, radius: float, rng: np.random.Generator) -> Topology:
+    """Random geometric graph on the unit square with connection ``radius``."""
+    _require_n(n)
+    check_positive("radius", radius)
+    positions = rng.random((n, 2))
+    return geometric_from_positions(positions, radius)
+
+
+def geometric_from_positions(positions: np.ndarray, radius: float) -> Topology:
+    """Connect every pair of points within Euclidean distance ``radius``.
+
+    Shared by :func:`random_geometric` and the mobility model so both produce
+    identical graphs for identical positions.
+    """
+    n = positions.shape[0]
+    edges = []
+    r2 = float(radius) ** 2
+    # O(n^2) pair scan; fine for the experiment scales (n <= a few thousand).
+    diffs_x = positions[:, 0]
+    diffs_y = positions[:, 1]
+    for u in range(n):
+        dx = diffs_x[u + 1 :] - diffs_x[u]
+        dy = diffs_y[u + 1 :] - diffs_y[u]
+        close = np.nonzero(dx * dx + dy * dy <= r2)[0]
+        for offset in close:
+            edges.append((u, u + 1 + int(offset)))
+    return Topology(range(n), edges)
+
+
+def barabasi_albert(n: int, m: int, rng: np.random.Generator) -> Topology:
+    """Barabási–Albert preferential-attachment graph with ``m`` edges per new node."""
+    _require_n(n)
+    if m < 1 or m >= n:
+        raise ConfigurationError(f"m must be in [1, n), got {m}")
+    seed = int(rng.integers(0, 2**31 - 1))
+    return topology_from_networkx(nx.barabasi_albert_graph(n, m, seed=seed))
+
+
+def ring(n: int) -> Topology:
+    """Cycle ``C_n`` (a single node gives an isolated node, two nodes a single edge)."""
+    _require_n(n)
+    if n == 1:
+        return empty(1)
+    if n == 2:
+        return Topology(range(2), [(0, 1)])
+    return Topology(range(n), [(i, (i + 1) % n) for i in range(n)])
+
+
+def path(n: int) -> Topology:
+    """Path ``P_n``."""
+    _require_n(n)
+    return Topology(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+def star(n: int) -> Topology:
+    """Star with centre 0 and ``n - 1`` leaves."""
+    _require_n(n)
+    return Topology(range(n), [(0, i) for i in range(1, n)])
+
+
+def clique(n: int) -> Topology:
+    """Complete graph ``K_n``."""
+    _require_n(n)
+    return Topology(range(n), itertools.combinations(range(n), 2))
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """``rows × cols`` grid; node ``(i, j)`` has id ``i * cols + j``."""
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            v = i * cols + j
+            if j + 1 < cols:
+                edges.append((v, v + 1))
+            if i + 1 < rows:
+                edges.append((v, v + cols))
+    return Topology(range(rows * cols), edges)
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """``rows × cols`` torus (grid with wrap-around edges)."""
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    edges = set()
+    for i in range(rows):
+        for j in range(cols):
+            v = i * cols + j
+            right = i * cols + (j + 1) % cols
+            down = ((i + 1) % rows) * cols + j
+            if right != v:
+                edges.add((v, right))
+            if down != v:
+                edges.add((v, down))
+    return Topology(range(rows * cols), edges)
+
+
+def _regular8(n: int, rng: np.random.Generator) -> Topology:
+    """Random regular graph of degree ≈ 8, adjusting degree so ``n·d`` is even."""
+    if n <= 9:
+        return gnp(n, 0.5, rng)
+    degree = 8
+    if (n * degree) % 2 != 0:  # n odd and degree odd cannot happen for degree=8
+        degree -= 1
+    return random_regular(n, degree, rng)
+
+
+def _square_grid(n: int, rng: np.random.Generator) -> Topology:
+    """Largest square grid with at most ``n`` nodes, padded with isolated nodes to ``n``."""
+    side = max(1, int(math.isqrt(n)))
+    base = grid(side, side)
+    return base.with_nodes(range(side * side, n))
+
+
+#: Registry of named generator factories used by the experiment harness.
+#: Each entry maps a name to a callable ``(n, rng) -> Topology`` with sensible
+#: default parameters for that family.
+GENERATORS: Dict[str, Callable[[int, np.random.Generator], Topology]] = {
+    "gnp_sparse": lambda n, rng: gnp(n, min(1.0, 8.0 / max(n - 1, 1)), rng),
+    "gnp_dense": lambda n, rng: gnp(n, min(1.0, 0.2), rng),
+    "regular8": _regular8,
+    "geometric": lambda n, rng: random_geometric(n, math.sqrt(10.0 / max(n, 1) / math.pi), rng),
+    "ba3": lambda n, rng: barabasi_albert(n, min(3, max(1, n - 1)), rng) if n > 3 else clique(n),
+    "ring": lambda n, rng: ring(n),
+    "grid": _square_grid,
+    "star": lambda n, rng: star(n),
+    "clique": lambda n, rng: clique(n),
+    "empty": lambda n, rng: empty(n),
+}
+
+
+def by_name(name: str, n: int, rng: Optional[np.random.Generator] = None) -> Topology:
+    """Generate the named topology family at size ``n``.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`GENERATORS`.
+    n:
+        Number of nodes.
+    rng:
+        Randomness source; required for the random families, defaults to a
+        fixed-seed generator so analysis scripts stay reproducible.
+    """
+    if name not in GENERATORS:
+        raise ConfigurationError(
+            f"unknown generator {name!r}; available: {sorted(GENERATORS)}"
+        )
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return GENERATORS[name](n, rng)

@@ -1,0 +1,94 @@
+"""Random-waypoint mobility over the unit square.
+
+A standard model for wireless ad-hoc networks (the paper's motivating
+application for MIS-based clustering and colouring-based frequency
+assignment): ``n`` nodes move in the unit square; each node picks a random
+waypoint, moves towards it at its speed, then picks a new one.  Two nodes are
+connected whenever their Euclidean distance is at most the communication
+radius.  The resulting dynamic graph changes a little every round — exactly
+the "frequent but local changes" regime the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import Edge
+from repro.utils.validation import check_positive, check_probability
+from repro.dynamics.generators import geometric_from_positions
+from repro.dynamics.topology import Topology
+
+__all__ = ["RandomWaypointMobility"]
+
+
+class RandomWaypointMobility:
+    """Random-waypoint mobility model producing a geometric graph per round.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    radius:
+        Communication radius (two nodes are adjacent iff within ``radius``).
+    speed:
+        Distance travelled per round (same for all nodes).
+    pause_probability:
+        Probability that a node that reached its waypoint pauses for a round
+        before picking a new waypoint.
+    rng:
+        Randomness source used for initial placement and waypoints.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        radius: float,
+        speed: float,
+        *,
+        pause_probability: float = 0.0,
+        rng: np.random.Generator,
+    ) -> None:
+        if not isinstance(n, int) or n < 1:
+            raise ConfigurationError(f"n must be a positive integer, got {n!r}")
+        check_positive("radius", radius)
+        check_positive("speed", speed)
+        check_probability("pause_probability", pause_probability)
+        self._n = n
+        self._radius = float(radius)
+        self._speed = float(speed)
+        self._pause_probability = float(pause_probability)
+        self._rng = rng
+        self._positions = rng.random((n, 2))
+        self._waypoints = rng.random((n, 2))
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current node positions (copy), shape ``(n, 2)``."""
+        return self._positions.copy()
+
+    def step(self) -> Topology:
+        """Advance one round of movement and return the new communication graph."""
+        delta = self._waypoints - self._positions
+        dist = np.linalg.norm(delta, axis=1)
+        arrived = dist <= self._speed
+        moving = ~arrived
+        # Move nodes that have not yet reached their waypoint.
+        if np.any(moving):
+            step_vec = np.zeros_like(delta)
+            step_vec[moving] = delta[moving] / dist[moving, None] * self._speed
+            self._positions = self._positions + step_vec
+        # Arrived nodes snap to the waypoint and (possibly after a pause) pick a new one.
+        if np.any(arrived):
+            self._positions[arrived] = self._waypoints[arrived]
+            repick = arrived & (self._rng.random(self._n) >= self._pause_probability)
+            count = int(np.count_nonzero(repick))
+            if count:
+                self._waypoints[repick] = self._rng.random((count, 2))
+        return geometric_from_positions(self._positions, self._radius)
+
+    def current_edges(self) -> FrozenSet[Edge]:
+        """The edge set induced by the current positions (without moving)."""
+        return geometric_from_positions(self._positions, self._radius).edges

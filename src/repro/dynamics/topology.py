@@ -1,0 +1,214 @@
+"""Immutable per-round graph snapshots.
+
+A :class:`Topology` is the communication graph ``G_r = (V_r, E_r)`` of a
+single round: the set of awake nodes and the set of undirected edges between
+them.  Topologies are immutable so that recorded traces cannot be mutated
+after the fact, and hashable edge/neighbour queries are O(1).
+
+The class intentionally does not depend on :mod:`networkx` for its hot-path
+operations (neighbour iteration during message delivery); conversion helpers
+are provided for analysis code that wants the richer networkx API.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.types import Edge, NodeId, canonical_edge
+
+__all__ = ["Topology", "empty_topology", "topology_from_networkx"]
+
+
+class Topology:
+    """An immutable simple undirected graph over a set of awake nodes.
+
+    Parameters
+    ----------
+    nodes:
+        The awake node set ``V_r``.
+    edges:
+        Undirected edges; each edge's endpoints must be members of ``nodes``.
+        Edges may be given in any orientation; they are canonicalised.
+
+    Notes
+    -----
+    Isolated nodes are allowed (and are how the model encodes nodes that have
+    "left" the network, see Section 2).  Self-loops and edges to sleeping
+    nodes are rejected.
+    """
+
+    __slots__ = ("_nodes", "_edges", "_adjacency", "_hash")
+
+    def __init__(self, nodes: Iterable[NodeId], edges: Iterable[Tuple[NodeId, NodeId]]) -> None:
+        node_set = frozenset(int(v) for v in nodes)
+        canonical: set[Edge] = set()
+        adjacency: Dict[NodeId, set[NodeId]] = {v: set() for v in node_set}
+        for u, v in edges:
+            e = canonical_edge(int(u), int(v))
+            if e[0] not in node_set or e[1] not in node_set:
+                raise TopologyError(
+                    f"edge {e} references a node outside the awake node set"
+                )
+            if e not in canonical:
+                canonical.add(e)
+                adjacency[e[0]].add(e[1])
+                adjacency[e[1]].add(e[0])
+        self._nodes: FrozenSet[NodeId] = node_set
+        self._edges: FrozenSet[Edge] = frozenset(canonical)
+        self._adjacency: Dict[NodeId, FrozenSet[NodeId]] = {
+            v: frozenset(neigh) for v, neigh in adjacency.items()
+        }
+        self._hash: int | None = None
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def nodes(self) -> FrozenSet[NodeId]:
+        """The awake node set ``V_r``."""
+        return self._nodes
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """The canonicalised undirected edge set ``E_r``."""
+        return self._edges
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of awake nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def has_node(self, v: NodeId) -> bool:
+        """Whether ``v`` is awake in this round."""
+        return v in self._nodes
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        if u == v:
+            return False
+        return canonical_edge(u, v) in self._edges
+
+    def neighbors(self, v: NodeId) -> FrozenSet[NodeId]:
+        """The neighbour set ``N_{G_r}(v)``; empty for sleeping nodes."""
+        return self._adjacency.get(v, frozenset())
+
+    def degree(self, v: NodeId) -> int:
+        """The degree ``d_r(v)``; 0 for sleeping nodes."""
+        return len(self._adjacency.get(v, ()))
+
+    def adjacency(self) -> Mapping[NodeId, FrozenSet[NodeId]]:
+        """The full adjacency mapping (read-only view)."""
+        return dict(self._adjacency)
+
+    # -- derived graphs ---------------------------------------------------
+
+    def subgraph(self, nodes: AbstractSet[NodeId]) -> "Topology":
+        """Return the subgraph induced by ``nodes ∩ V_r``."""
+        keep = self._nodes & frozenset(nodes)
+        edges = [e for e in self._edges if e[0] in keep and e[1] in keep]
+        return Topology(keep, edges)
+
+    def ball(self, center: NodeId, radius: int) -> FrozenSet[NodeId]:
+        """Return the ``radius``-neighbourhood ``N^radius(center)`` (including the centre).
+
+        Used to express the paper's "α-neighbourhood of v is static" conditions.
+        """
+        if center not in self._nodes:
+            return frozenset()
+        if radius < 0:
+            raise TopologyError(f"radius must be >= 0, got {radius}")
+        frontier = {center}
+        seen = {center}
+        for _ in range(radius):
+            nxt: set[NodeId] = set()
+            for u in frontier:
+                nxt.update(self._adjacency.get(u, ()))
+            nxt -= seen
+            if not nxt:
+                break
+            seen |= nxt
+            frontier = nxt
+        return frozenset(seen)
+
+    def induced_edges(self, nodes: AbstractSet[NodeId]) -> FrozenSet[Edge]:
+        """Edges of this topology with both endpoints in ``nodes``."""
+        keep = frozenset(nodes)
+        return frozenset(e for e in self._edges if e[0] in keep and e[1] in keep)
+
+    def with_edges(
+        self,
+        add: Iterable[Tuple[NodeId, NodeId]] = (),
+        remove: Iterable[Tuple[NodeId, NodeId]] = (),
+    ) -> "Topology":
+        """Return a copy with ``add`` edges inserted and ``remove`` edges deleted."""
+        edges = set(self._edges)
+        for u, v in remove:
+            edges.discard(canonical_edge(u, v))
+        for u, v in add:
+            edges.add(canonical_edge(u, v))
+        return Topology(self._nodes, edges)
+
+    def with_nodes(self, add: Iterable[NodeId]) -> "Topology":
+        """Return a copy with extra awake (isolated) nodes added."""
+        return Topology(self._nodes | frozenset(int(v) for v in add), self._edges)
+
+    # -- comparisons ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._nodes, self._edges))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology(n={self.num_nodes}, m={self.num_edges})"
+
+    def restricted_equals(self, other: "Topology", nodes: AbstractSet[NodeId]) -> bool:
+        """Whether this topology and ``other`` agree on the subgraph induced by ``nodes``.
+
+        This is the predicate ``G_l[N^α(v)] = G_{l'}[N^α(v)]`` used by the
+        locally-static guarantees (Definition 3.3, B.2).
+        """
+        keep = frozenset(nodes)
+        if (self._nodes & keep) != (other._nodes & keep):
+            return False
+        return self.induced_edges(keep) == other.induced_edges(keep)
+
+    # -- conversions ------------------------------------------------------
+
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a :class:`networkx.Graph` (for analysis / plotting)."""
+        g = nx.Graph()
+        g.add_nodes_from(self._nodes)
+        g.add_edges_from(self._edges)
+        return g
+
+
+def empty_topology(nodes: Iterable[NodeId] = ()) -> Topology:
+    """Return a topology with the given awake nodes and no edges."""
+    return Topology(nodes, ())
+
+
+def topology_from_networkx(graph: nx.Graph) -> Topology:
+    """Build a :class:`Topology` from a networkx graph (node labels must be ints)."""
+    return Topology(graph.nodes(), graph.edges())

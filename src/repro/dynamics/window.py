@@ -1,0 +1,203 @@
+"""Incremental sliding-window view over a dynamic graph (Definition 2.1).
+
+For a window size ``T`` and round ``r`` with ``r0 = max(1, r - T + 1)`` the
+paper defines
+
+* the *intersection graph* ``G^{T∩}_r = (V^{T∩}_r, E^{T∩}_r)`` whose nodes
+  (edges) are the nodes (edges) present in **every** round of the window, and
+* the *union graph* ``G^{T∪}_r = (V^{T∩}_r, E^{T∪}_r)`` whose edges are the
+  edges present in **at least one** round of the window (over the same node
+  set ``V^{T∩}_r``).
+
+The :class:`SlidingWindow` maintains both incrementally with per-edge and
+per-node presence counters so a round costs O(#edges changed + #edges in the
+oldest round leaving the window) instead of O(T · m).
+
+The window follows the paper's convention for early rounds: before ``T``
+rounds have elapsed the window simply contains every round so far (``r0 =
+max(1, r - T + 1)``), and before the first push the window is empty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, Iterable, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import Edge, NodeId
+from repro.dynamics.topology import Topology
+
+__all__ = ["SlidingWindow", "WindowSnapshot"]
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """The intersection / union graphs of one round's window.
+
+    Attributes
+    ----------
+    round_index:
+        The round ``r`` this snapshot refers to.
+    window_length:
+        The number of rounds actually inside the window (``min(T, r)``).
+    intersection:
+        ``G^{T∩}_r`` as a :class:`~repro.dynamics.topology.Topology`.
+    union:
+        ``G^{T∪}_r`` as a :class:`~repro.dynamics.topology.Topology`; its node
+        set equals the intersection node set ``V^{T∩}_r`` per Definition 2.1.
+    """
+
+    round_index: int
+    window_length: int
+    intersection: Topology
+    union: Topology
+
+
+class SlidingWindow:
+    """Maintains ``G^{T∩}_r`` and ``G^{T∪}_r`` incrementally.
+
+    Parameters
+    ----------
+    T:
+        Window size in rounds (``T >= 1``).
+
+    Examples
+    --------
+    >>> from repro.dynamics.topology import Topology
+    >>> w = SlidingWindow(2)
+    >>> snap1 = w.push(Topology([0, 1, 2], [(0, 1)]))
+    >>> snap2 = w.push(Topology([0, 1, 2], [(0, 1), (1, 2)]))
+    >>> sorted(snap2.intersection.edges)
+    [(0, 1)]
+    >>> sorted(snap2.union.edges)
+    [(0, 1), (1, 2)]
+    """
+
+    def __init__(self, T: int) -> None:
+        if not isinstance(T, int) or T < 1:
+            raise ConfigurationError(f"window size T must be an integer >= 1, got {T!r}")
+        self._T = T
+        self._history: Deque[Topology] = deque()
+        self._edge_counts: Dict[Edge, int] = {}
+        self._node_counts: Dict[NodeId, int] = {}
+        self._round_index = 0
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def T(self) -> int:
+        """The configured window size."""
+        return self._T
+
+    @property
+    def round_index(self) -> int:
+        """The index of the most recently pushed round (0 before any push)."""
+        return self._round_index
+
+    @property
+    def window_length(self) -> int:
+        """Number of rounds currently inside the window."""
+        return len(self._history)
+
+    # -- updates -----------------------------------------------------------
+
+    def push(self, topology: Topology) -> WindowSnapshot:
+        """Append round ``r+1``'s topology and return the updated snapshot."""
+        if len(self._history) == self._T:
+            self._evict(self._history.popleft())
+        self._history.append(topology)
+        for e in topology.edges:
+            self._edge_counts[e] = self._edge_counts.get(e, 0) + 1
+        for v in topology.nodes:
+            self._node_counts[v] = self._node_counts.get(v, 0) + 1
+        self._round_index += 1
+        return self.snapshot()
+
+    def _evict(self, topology: Topology) -> None:
+        for e in topology.edges:
+            count = self._edge_counts[e] - 1
+            if count:
+                self._edge_counts[e] = count
+            else:
+                del self._edge_counts[e]
+        for v in topology.nodes:
+            count = self._node_counts[v] - 1
+            if count:
+                self._node_counts[v] = count
+            else:
+                del self._node_counts[v]
+
+    # -- queries -----------------------------------------------------------
+
+    def intersection_nodes(self) -> FrozenSet[NodeId]:
+        """``V^{T∩}_r``: nodes awake in every round of the window."""
+        length = len(self._history)
+        if length == 0:
+            return frozenset()
+        return frozenset(v for v, c in self._node_counts.items() if c == length)
+
+    def intersection_edges(self) -> FrozenSet[Edge]:
+        """``E^{T∩}_r``: edges present in every round of the window."""
+        length = len(self._history)
+        if length == 0:
+            return frozenset()
+        nodes = self.intersection_nodes()
+        return frozenset(
+            e
+            for e, c in self._edge_counts.items()
+            if c == length and e[0] in nodes and e[1] in nodes
+        )
+
+    def union_edges(self) -> FrozenSet[Edge]:
+        """``E^{T∪}_r``: every edge present at least once in the window.
+
+        Per Definition 2.1 the union edge set is *not* restricted to the
+        intersection node set — a node's union degree counts every neighbour
+        it has seen during the window, including recently woken ones.
+        """
+        return frozenset(self._edge_counts)
+
+    def union_edges_all(self) -> FrozenSet[Edge]:
+        """Alias of :meth:`union_edges` (kept for readability at call sites)."""
+        return self.union_edges()
+
+    def intersection_graph(self) -> Topology:
+        """``G^{T∩}_r`` as a topology."""
+        return Topology(self.intersection_nodes(), self.intersection_edges())
+
+    def union_graph(self) -> Topology:
+        """``G^{T∪}_r`` as a topology (``V^{T∩}_r`` plus the endpoints of union edges)."""
+        nodes = set(self.intersection_nodes())
+        edges = self.union_edges()
+        for u, v in edges:
+            nodes.add(u)
+            nodes.add(v)
+        return Topology(nodes, edges)
+
+    def union_degree(self, v: NodeId) -> int:
+        """``d^{∪T}_r(v)``: the number of distinct neighbours ``v`` has seen in the window."""
+        return sum(1 for e in self._edge_counts if e[0] == v or e[1] == v)
+
+    def snapshot(self) -> WindowSnapshot:
+        """Return an immutable snapshot of the current window graphs."""
+        return WindowSnapshot(
+            round_index=self._round_index,
+            window_length=len(self._history),
+            intersection=self.intersection_graph(),
+            union=self.union_graph(),
+        )
+
+    def history(self) -> Tuple[Topology, ...]:
+        """The topologies currently in the window, oldest first."""
+        return tuple(self._history)
+
+    # -- bulk construction ---------------------------------------------------
+
+    @classmethod
+    def over(cls, topologies: Iterable[Topology], T: int) -> "SlidingWindow":
+        """Build a window by pushing every topology in ``topologies`` in order."""
+        window = cls(T)
+        for topo in topologies:
+            window.push(topo)
+        return window

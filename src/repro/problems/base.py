@@ -1,0 +1,95 @@
+"""Base class for locally checkable distributed graph problems.
+
+A distributed graph problem (Definition 2.2) is a set of pairs ``(G, y)`` of
+a graph and an output vector.  The paper restricts attention to problems whose
+feasibility can be verified by checking a constant-radius neighbourhood of
+every node (the class ``LD(O(1))`` of [FKP11] / LCL problems of [NS93]); MIS
+and colouring need radius 1.
+
+:class:`DistributedGraphProblem` captures exactly that: subclasses implement
+the per-node LCL condition :meth:`check_node`, and the generic methods derive
+full-solution checks, violation listings and partial-assignment handling.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Mapping
+
+from repro.types import Assignment, NodeId, Value
+from repro.dynamics.topology import Topology
+
+__all__ = ["DistributedGraphProblem"]
+
+
+class DistributedGraphProblem(ABC):
+    """A locally checkable graph problem.
+
+    Subclasses provide :meth:`check_node` — the LCL condition of node ``v``
+    given the graph and the (complete in ``v``'s neighbourhood) output values.
+    """
+
+    #: Human-readable problem name.
+    name: str = "problem"
+
+    #: Radius of the LCL check (all shipped problems use radius 1).
+    radius: int = 1
+
+    # -- per-node LCL condition -------------------------------------------------
+
+    @abstractmethod
+    def check_node(self, graph: Topology, assignment: Assignment, v: NodeId) -> bool:
+        """Whether the LCL condition of ``v`` holds under ``assignment``.
+
+        Implementations may assume ``assignment.get(v)`` is not ``⊥`` — the
+        callers below only invoke the check on nodes with an output — but must
+        tolerate ``⊥`` values on neighbours (treating them as unconstrained or
+        constrained, depending on the problem's partial-solution semantics, is
+        the job of :mod:`repro.problems.packing_covering`, not of this method;
+        here neighbours are expected to carry real values).
+        """
+
+    # -- whole-graph checks --------------------------------------------------------
+
+    def value_of(self, assignment: Assignment, v: NodeId) -> Value:
+        """The output of ``v`` (``None`` = ⊥ when missing)."""
+        return assignment.get(v)
+
+    def is_solution(self, graph: Topology, assignment: Assignment) -> bool:
+        """Whether ``assignment`` is a (complete) solution on ``graph``.
+
+        Requires every node of the graph to produce an output ``≠ ⊥`` and the
+        LCL condition to hold everywhere (Definition 2.2: "In a solution we
+        require that all nodes produce some output").
+        """
+        for v in graph.nodes:
+            if assignment.get(v) is None:
+                return False
+        return all(self.check_node(graph, assignment, v) for v in graph.nodes)
+
+    def violations(self, graph: Topology, assignment: Assignment) -> List[NodeId]:
+        """Nodes whose LCL condition fails (⊥ nodes are reported as violations)."""
+        bad: List[NodeId] = []
+        for v in graph.nodes:
+            if assignment.get(v) is None or not self.check_node(graph, assignment, v):
+                bad.append(v)
+        return sorted(bad)
+
+    def undecided_nodes(self, graph: Topology, assignment: Assignment) -> List[NodeId]:
+        """Nodes of ``graph`` whose output is ⊥."""
+        return sorted(v for v in graph.nodes if assignment.get(v) is None)
+
+    # -- misc ------------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return f"{self.name} (LCL radius {self.radius})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def restrict_assignment(assignment: Assignment, nodes) -> Mapping[NodeId, Value]:
+    """Restrict an assignment to a node set (helper shared by the checkers)."""
+    keep = set(nodes)
+    return {v: value for v, value in assignment.items() if v in keep}

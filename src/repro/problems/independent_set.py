@@ -1,0 +1,42 @@
+"""The independent-set problem (the packing half of MIS).
+
+Output encoding (Definition 2.2): ``1`` = in the set, ``0`` = not in the set
+(dominated), ``⊥`` = undecided.  The packing property is that no two adjacent
+nodes both output ``1``; removing edges can only remove such constraints, so
+the problem is packing (Definition 3.1).
+
+Partial packing (Section 5.2): an assignment with ⊥ entries is partial packing
+iff no two adjacent nodes are both in the set — undecided nodes can always be
+completed to ``0`` (dominated) without violating anyone's condition.
+"""
+
+from __future__ import annotations
+
+from repro.types import Assignment, NodeId
+from repro.dynamics.topology import Topology
+from repro.problems.packing_covering import PackingProblem
+
+__all__ = ["IndependentSetProblem"]
+
+
+class IndependentSetProblem(PackingProblem):
+    """``M = {v : y_v = 1}`` must be an independent set."""
+
+    name = "independent-set"
+
+    def check_node(self, graph: Topology, assignment: Assignment, v: NodeId) -> bool:
+        """No neighbour of an MIS node may also be an MIS node."""
+        if assignment.get(v) != 1:
+            return True
+        return all(assignment.get(u) != 1 for u in graph.neighbors(v))
+
+    def check_node_partial(self, graph: Topology, assignment: Assignment, v: NodeId) -> bool:
+        """Partial packing: identical to the full condition (⊥ neighbours are harmless)."""
+        return self.check_node(graph, assignment, v)
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def members(assignment: Assignment) -> frozenset[NodeId]:
+        """The set ``M`` encoded by an assignment."""
+        return frozenset(v for v, value in assignment.items() if value == 1)

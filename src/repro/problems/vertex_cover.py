@@ -1,0 +1,76 @@
+"""Minimal vertex cover as a packing/covering pair (extra problem).
+
+Output encoding: ``1`` = in the cover, ``0`` = not in the cover, ``⊥`` =
+undecided.
+
+* **Coverage** — every edge has at least one endpoint in the cover — survives
+  edge deletions (a deleted edge no longer needs covering), so it is the
+  *packing* half and is checked on the intersection graph.
+* **Minimality** — every cover node has at least one neighbour outside the
+  cover (i.e. it is not redundant)¹ — survives edge insertions (the witness
+  edge stays), so it is the *covering* half and is checked on the union graph.
+
+¹ This is the standard local notion of (inclusion-)minimality used for LCL
+formulations: a node whose neighbours are all in the cover could be removed.
+It is the complement view of the MIS conditions (the complement of an MIS is a
+minimal vertex cover), which is also how the test-suite cross-validates the
+two problem definitions.
+"""
+
+from __future__ import annotations
+
+from repro.types import Assignment, NodeId
+from repro.dynamics.topology import Topology
+from repro.problems.packing_covering import CoveringProblem, PackingProblem, ProblemPair
+
+__all__ = [
+    "VertexCoverCoverageProblem",
+    "VertexCoverMinimalityProblem",
+    "vertex_cover_problem_pair",
+]
+
+
+class VertexCoverCoverageProblem(PackingProblem):
+    """Every edge must have an endpoint with output 1 (packing half)."""
+
+    name = "vertex-cover-coverage"
+
+    def check_node(self, graph: Topology, assignment: Assignment, v: NodeId) -> bool:
+        if assignment.get(v) == 1:
+            return True
+        if assignment.get(v) is None:
+            return False
+        return all(assignment.get(u) == 1 for u in graph.neighbors(v))
+
+    def check_node_partial(self, graph: Topology, assignment: Assignment, v: NodeId) -> bool:
+        """Partial packing: a decided non-cover node may not have a decided non-cover neighbour."""
+        if assignment.get(v) != 0:
+            return True
+        return all(assignment.get(u) != 0 for u in graph.neighbors(v))
+
+
+class VertexCoverMinimalityProblem(CoveringProblem):
+    """Every cover node needs a neighbour outside the cover (covering half)."""
+
+    name = "vertex-cover-minimality"
+
+    def check_node(self, graph: Topology, assignment: Assignment, v: NodeId) -> bool:
+        if assignment.get(v) != 1:
+            return assignment.get(v) is not None
+        return any(assignment.get(u) == 0 for u in graph.neighbors(v))
+
+    def check_node_partial(self, graph: Topology, assignment: Assignment, v: NodeId) -> bool:
+        """Partial covering: a decided cover node needs a *decided* outside witness.
+
+        If all of ``v``'s neighbours were in the cover (or could still end up
+        there), the completion putting every ⊥ neighbour into the cover would
+        violate ``v``'s minimality, so the witness must already exist.
+        """
+        if assignment.get(v) != 1:
+            return True
+        return any(assignment.get(u) == 0 for u in graph.neighbors(v))
+
+
+def vertex_cover_problem_pair() -> ProblemPair:
+    """The (coverage, minimality) pair defining minimal vertex cover."""
+    return ProblemPair(packing=VertexCoverCoverageProblem(), covering=VertexCoverMinimalityProblem())

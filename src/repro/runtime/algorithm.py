@@ -1,0 +1,175 @@
+"""The node-level algorithm API.
+
+Every distributed algorithm in the package — the paper's ``DColor``,
+``SColor``, ``DMis``, ``SMis``, their static ancestors, the ``Concat``
+combiner, the baselines and the ablations — implements
+:class:`DistributedAlgorithm`.
+
+Design constraints enforced by the API (all dictated by the model of
+Section 2):
+
+* **One identical round type.**  There is a single ``compose`` / ``deliver``
+  pair per round, no global phase counter.  This is what makes asynchronous
+  wake-up possible (Section 7.2) — a node that wakes late simply starts
+  executing the same round body as everyone else.
+* **No early degree knowledge.**  ``compose(v)`` is called *before* any
+  message of the round is delivered, so an algorithm cannot use its
+  current-round degree (or neighbourhood) when choosing what to send; it only
+  learns the degree from the size of the inbox passed to ``deliver``.
+* **Locality.**  The only information about the rest of the system an
+  algorithm ever receives is the per-node inbox.  Algorithms never see the
+  topology object.
+* **Fresh per-round randomness.**  Each node owns an independent random
+  stream created from the experiment's master seed via
+  :class:`~repro.utils.rng.RngFactory`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.types import Assignment, NodeId, Value
+from repro.utils.rng import RngFactory
+from repro.runtime.messages import Message
+
+__all__ = ["AlgorithmSetup", "DistributedAlgorithm"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSetup:
+    """Static configuration handed to an algorithm before round 1.
+
+    Attributes
+    ----------
+    n:
+        The globally known upper bound on the number of nodes (every node id
+        is in ``[0, n)``).  This is the only global knowledge the model grants
+        (needed e.g. for SMis's ``1/(5n)`` desire-level floor).
+    rng_factory:
+        Factory for the per-node random streams of this algorithm instance.
+    input:
+        Optional input vector ``φ`` (``node -> value``); ``None`` entries and
+        missing nodes mean ``⊥``.  Dynamic algorithms must *extend* this input
+        (property A.1), never overwrite it.
+    """
+
+    n: int
+    rng_factory: RngFactory
+    input: Optional[Assignment] = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def input_value(self, v: NodeId) -> Value:
+        """The input value of node ``v`` (``None`` = ⊥ if absent)."""
+        if self.input is None:
+            return None
+        return self.input.get(v)
+
+
+class DistributedAlgorithm(ABC):
+    """Base class for synchronous local-broadcast algorithms.
+
+    Lifecycle driven by the :class:`~repro.runtime.simulator.Simulator`::
+
+        setup(AlgorithmSetup)           # once, before round 1
+        for each round r = 1, 2, …:
+            on_wake(v)                  # for nodes awake for the first time
+            begin_round(r)
+            m_v = compose(v)            # for every awake node, BEFORE delivery
+            deliver(v, inbox_v)         # inbox_v = {u: m_u for u in N_{G_r}(v)}
+            end_round(r)
+            output(v)                   # collected into the trace
+
+    Subclasses must implement :meth:`on_wake`, :meth:`compose`,
+    :meth:`deliver` and :meth:`output`; the round hooks are optional.
+    """
+
+    #: Short identifier used for RNG stream derivation and reports.
+    name: str = "algorithm"
+
+    def __init__(self) -> None:
+        self._setup: Optional[AlgorithmSetup] = None
+        self._node_rngs: Dict[NodeId, np.random.Generator] = {}
+        self._awake: set[NodeId] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def setup(self, setup: AlgorithmSetup) -> None:
+        """Store the configuration; subclasses may extend (call ``super().setup``)."""
+        self._setup = setup
+        self._node_rngs = {}
+        self._awake = set()
+
+    @property
+    def config(self) -> AlgorithmSetup:
+        """The setup object (raises if :meth:`setup` has not been called)."""
+        if self._setup is None:
+            raise AlgorithmError(f"{type(self).__name__} used before setup()")
+        return self._setup
+
+    @property
+    def n(self) -> int:
+        """The global node-count upper bound."""
+        return self.config.n
+
+    @property
+    def awake_nodes(self) -> frozenset[NodeId]:
+        """Nodes that have woken up so far (as seen by this algorithm)."""
+        return frozenset(self._awake)
+
+    def rng(self, v: NodeId) -> np.random.Generator:
+        """The private random stream of node ``v`` for this algorithm instance."""
+        gen = self._node_rngs.get(v)
+        if gen is None:
+            gen = self.config.rng_factory.node_stream(self.name, v)
+            self._node_rngs[v] = gen
+        return gen
+
+    # -- hooks driven by the simulator ------------------------------------------
+
+    def wake(self, v: NodeId) -> None:
+        """Internal: record the wake-up and dispatch to :meth:`on_wake`."""
+        if v in self._awake:
+            return
+        self._awake.add(v)
+        self.on_wake(v)
+
+    @abstractmethod
+    def on_wake(self, v: NodeId) -> None:
+        """Initialise the local state of node ``v`` (it just woke up)."""
+
+    def begin_round(self, round_index: int) -> None:
+        """Optional hook called at the beginning of every round."""
+
+    @abstractmethod
+    def compose(self, v: NodeId) -> Message:
+        """Return the message node ``v`` broadcasts this round (``None`` = silent)."""
+
+    @abstractmethod
+    def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
+        """Process the messages node ``v`` received from its current neighbours."""
+
+    def end_round(self, round_index: int) -> None:
+        """Optional hook called after every node has been delivered to."""
+
+    @abstractmethod
+    def output(self, v: NodeId) -> Value:
+        """The output of node ``v`` at the end of the current round (``None`` = ⊥)."""
+
+    # -- optional introspection ---------------------------------------------------
+
+    def outputs(self) -> Dict[NodeId, Value]:
+        """The full output vector over the nodes that have woken up."""
+        return {v: self.output(v) for v in self._awake}
+
+    def state_summary(self) -> Any:
+        """Internal state exposed to adaptive adversaries / debugging (optional)."""
+        return None
+
+    def metrics(self) -> Mapping[str, float]:
+        """Algorithm-specific counters merged into the round metrics (optional)."""
+        return {}

@@ -1,0 +1,53 @@
+"""Message typing and size accounting.
+
+Messages are ordinary (small) Python objects — tuples of primitives in all
+shipped algorithms.  The paper notes that all presented algorithms can be
+implemented with ``poly log n`` bits per message; :func:`estimate_bits`
+provides the size estimate that experiment E12 uses to verify this for the
+implementations (colour values, random numbers, desire levels, marks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+__all__ = ["Message", "estimate_bits"]
+
+#: Anything hashable and small; ``None`` means "no message" (the node stays
+#: silent this round — its neighbours still learn of its presence, which the
+#: model allows since communication is by local broadcast).
+Message = Hashable
+
+#: Number of bits assumed for a floating-point payload (a double).
+_FLOAT_BITS = 64
+#: Per-character cost of a string payload.
+_CHAR_BITS = 8
+#: Structural overhead charged per container element (length/terminator).
+_CONTAINER_OVERHEAD = 2
+
+
+def estimate_bits(message: Any) -> int:
+    """Estimate the number of bits needed to encode ``message``.
+
+    The estimate is intentionally simple and conservative: integers cost
+    their binary length (+1 sign bit), floats 64 bits, booleans and ``None``
+    1 bit, strings 8 bits per character, and containers the sum of their
+    elements plus a small structural overhead.  The absolute constants do not
+    matter for experiment E12 — only the growth with ``n`` does.
+    """
+    if message is None or isinstance(message, bool):
+        return 1
+    if isinstance(message, int):
+        return max(1, int(message).bit_length()) + 1
+    if isinstance(message, float):
+        return _FLOAT_BITS
+    if isinstance(message, str):
+        return _CHAR_BITS * max(1, len(message))
+    if isinstance(message, (tuple, list, set, frozenset)):
+        return _CONTAINER_OVERHEAD + sum(estimate_bits(item) for item in message)
+    if isinstance(message, dict):
+        return _CONTAINER_OVERHEAD + sum(
+            estimate_bits(k) + estimate_bits(v) for k, v in message.items()
+        )
+    # Fallback for exotic payloads: charge the repr length.
+    return _CHAR_BITS * max(1, len(repr(message)))

@@ -1,0 +1,76 @@
+"""Per-round execution metrics.
+
+The simulator records a :class:`RoundMetrics` per round: message counts and
+sizes (for experiment E12), output-change counts (for the stability
+experiments) and any algorithm-specific counters exposed through
+:meth:`repro.runtime.algorithm.DistributedAlgorithm.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["RoundMetrics"]
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Aggregated statistics of a single simulated round.
+
+    Attributes
+    ----------
+    round_index:
+        The round these metrics belong to.
+    num_awake:
+        Number of awake nodes.
+    num_edges:
+        Number of edges in the round's communication graph.
+    messages_sent:
+        Number of (node, broadcast) messages composed (= awake nodes).
+    messages_delivered:
+        Total number of (sender, receiver) deliveries (= 2 · num_edges).
+    max_message_bits:
+        Estimated size of the largest message composed this round.
+    total_message_bits:
+        Sum of the estimated sizes of all composed messages.
+    outputs_changed:
+        Number of nodes whose output differs from the previous round
+        (newly awake nodes count as changed when their first output is not ⊥).
+    algorithm_counters:
+        Extra counters reported by the algorithm.
+    """
+
+    round_index: int
+    num_awake: int
+    num_edges: int
+    messages_sent: int
+    messages_delivered: int
+    max_message_bits: int
+    total_message_bits: int
+    outputs_changed: int
+    algorithm_counters: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_message_bits(self) -> float:
+        """Average composed-message size in bits (0 if no messages)."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.total_message_bits / self.messages_sent
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to a plain dict (used by the experiment report writer)."""
+        base: Dict[str, float] = {
+            "round": float(self.round_index),
+            "num_awake": float(self.num_awake),
+            "num_edges": float(self.num_edges),
+            "messages_sent": float(self.messages_sent),
+            "messages_delivered": float(self.messages_delivered),
+            "max_message_bits": float(self.max_message_bits),
+            "total_message_bits": float(self.total_message_bits),
+            "mean_message_bits": self.mean_message_bits,
+            "outputs_changed": float(self.outputs_changed),
+        }
+        for key, value in self.algorithm_counters.items():
+            base[f"alg.{key}"] = float(value)
+        return base

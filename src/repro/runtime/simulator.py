@@ -1,0 +1,239 @@
+"""The synchronous round engine.
+
+The :class:`Simulator` couples one adversary with one algorithm and executes
+the round structure of Section 2:
+
+1. the adversary provides ``G_r = (V_r, E_r)`` (its view of the execution is
+   filtered by its declared obliviousness);
+2. newly awake nodes are woken (``on_wake``);
+3. every awake node composes one broadcast message — *before* it learns
+   anything about the round's topology;
+4. every awake node receives the messages of its ``G_r``-neighbours and
+   performs its local computation (``deliver``);
+5. every awake node's output is recorded.
+
+The engine is deliberately simple and allocation-light: per round it builds
+one dict of messages and one inbox dict per node; no global state is ever
+handed to the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.types import Assignment, NodeId, Value
+from repro.utils.rng import RngFactory
+from repro.dynamics.adversary import Adversary, AdversaryView, ADAPTIVE_OFFLINE
+from repro.dynamics.topology import Topology
+from repro.runtime.algorithm import AlgorithmSetup, DistributedAlgorithm
+from repro.runtime.messages import Message, estimate_bits
+from repro.runtime.metrics import RoundMetrics
+from repro.runtime.trace import ExecutionTrace
+
+__all__ = ["Simulator", "run_simulation"]
+
+
+class Simulator:
+    """Run one algorithm against one adversary for a number of rounds.
+
+    Parameters
+    ----------
+    n:
+        Upper bound on the number of nodes (global knowledge).
+    algorithm:
+        The distributed algorithm under test (not yet set up; the simulator
+        calls :meth:`~repro.runtime.algorithm.DistributedAlgorithm.setup`).
+    adversary:
+        The adversary providing the graph sequence.
+    seed:
+        Master seed; the algorithm and the adversary-view bookkeeping derive
+        independent streams from it.  (Stochastic adversaries receive their
+        own generator at construction time — by convention derived from the
+        same experiment seed via ``RngFactory.stream("adversary", …)``.)
+    input:
+        Optional input vector ``φ`` forwarded to the algorithm's setup.
+    expose_state_to_adversary:
+        If true, adaptive adversaries (obliviousness 0) may inspect
+        ``algorithm.state_summary()`` when choosing the next graph.
+    stop_when:
+        Optional predicate over the :class:`~repro.runtime.trace.ExecutionTrace`
+        evaluated after every round; the run stops early when it returns true.
+    """
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        algorithm: DistributedAlgorithm,
+        adversary: Adversary,
+        seed: int = 0,
+        rng_factory: Optional[RngFactory] = None,
+        input: Optional[Assignment] = None,
+        expose_state_to_adversary: bool = False,
+        stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
+    ) -> None:
+        if not isinstance(n, int) or n < 1:
+            raise ConfigurationError(f"n must be a positive integer, got {n!r}")
+        self._n = n
+        self._algorithm = algorithm
+        self._adversary = adversary
+        self._rng_factory = rng_factory if rng_factory is not None else RngFactory(seed)
+        self._input = input
+        self._expose_state = expose_state_to_adversary
+        self._stop_when = stop_when
+        self._trace = ExecutionTrace(n, algorithm.name, adversary.describe())
+        self._output_history: list[Assignment] = []
+        self._previous_outputs: Dict[NodeId, Value] = {}
+        self._started = False
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        """The trace recorded so far."""
+        return self._trace
+
+    @property
+    def algorithm(self) -> DistributedAlgorithm:
+        """The algorithm under test."""
+        return self._algorithm
+
+    def run(self, rounds: int) -> ExecutionTrace:
+        """Execute ``rounds`` further rounds and return the trace."""
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        if not self._started:
+            self._algorithm.setup(
+                AlgorithmSetup(
+                    n=self._n,
+                    rng_factory=self._rng_factory.child("algorithm"),
+                    input=self._input,
+                )
+            )
+            self._started = True
+        for _ in range(rounds):
+            self._run_round()
+            if self._stop_when is not None and self._stop_when(self._trace):
+                break
+        return self._trace
+
+    # -- internals -----------------------------------------------------------------
+
+    def _adversary_view(self, round_index: int) -> AdversaryView:
+        state_provider = None
+        if self._expose_state and self._adversary.obliviousness == ADAPTIVE_OFFLINE:
+            state_provider = self._algorithm.state_summary
+        return AdversaryView(
+            n=self._n,
+            round_index=round_index,
+            obliviousness=self._adversary.obliviousness,
+            topologies=self._trace.graph.topologies(),
+            outputs=tuple(self._output_history),
+            state_provider=state_provider,
+        )
+
+    def _run_round(self) -> None:
+        round_index = self._trace.num_rounds + 1
+
+        # (1) The adversary changes the graph.
+        topology = self._adversary.step(self._adversary_view(round_index))
+        if not isinstance(topology, Topology):
+            raise SimulationError(
+                f"adversary {self._adversary.describe()} returned {type(topology).__name__},"
+                " expected a Topology"
+            )
+
+        # (2) Wake-ups — nodes awake for the first time initialise their state.
+        previously_awake = (
+            self._trace.topology(round_index - 1).nodes if round_index > 1 else frozenset()
+        )
+        for v in sorted(topology.nodes - previously_awake):
+            self._algorithm.wake(v)
+
+        self._algorithm.begin_round(round_index)
+
+        # (3) Compose — strictly before any delivery.
+        messages: Dict[NodeId, Message] = {}
+        total_bits = 0
+        max_bits = 0
+        for v in topology.nodes:
+            message = self._algorithm.compose(v)
+            messages[v] = message
+            bits = estimate_bits(message)
+            total_bits += bits
+            if bits > max_bits:
+                max_bits = bits
+
+        # (4) Deliver along the edges of G_r.
+        deliveries = 0
+        for v in topology.nodes:
+            neighbors = topology.neighbors(v)
+            inbox: Mapping[NodeId, Message] = {u: messages[u] for u in neighbors}
+            deliveries += len(inbox)
+            self._algorithm.deliver(v, inbox)
+
+        self._algorithm.end_round(round_index)
+
+        # (5) Outputs.
+        outputs: Dict[NodeId, Value] = {v: self._algorithm.output(v) for v in topology.nodes}
+        changed = sum(
+            1
+            for v, value in outputs.items()
+            if v not in self._previous_outputs or self._previous_outputs[v] != value
+        )
+        metrics = RoundMetrics(
+            round_index=round_index,
+            num_awake=topology.num_nodes,
+            num_edges=topology.num_edges,
+            messages_sent=len(messages),
+            messages_delivered=deliveries,
+            max_message_bits=max_bits,
+            total_message_bits=total_bits,
+            outputs_changed=changed,
+            algorithm_counters=dict(self._algorithm.metrics()),
+        )
+        self._trace.record(topology, outputs, metrics)
+        self._output_history.append(outputs)
+        self._previous_outputs = outputs
+
+
+def run_simulation(
+    *,
+    n: int,
+    algorithm: DistributedAlgorithm,
+    adversary: Adversary,
+    rounds: int,
+    seed: int = 0,
+    input: Optional[Assignment] = None,
+    expose_state_to_adversary: bool = False,
+    stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
+) -> ExecutionTrace:
+    """One-shot convenience wrapper around :class:`Simulator`.
+
+    Examples
+    --------
+    >>> from repro.dynamics import generators
+    >>> from repro.dynamics.adversaries import StaticAdversary
+    >>> from repro.algorithms.coloring import BasicColoring
+    >>> topo = generators.ring(8)
+    >>> trace = run_simulation(
+    ...     n=8,
+    ...     algorithm=BasicColoring(),
+    ...     adversary=StaticAdversary(topo),
+    ...     rounds=50,
+    ...     seed=1,
+    ... )
+    >>> all(value is not None for value in trace.outputs(trace.num_rounds).values())
+    True
+    """
+    sim = Simulator(
+        n=n,
+        algorithm=algorithm,
+        adversary=adversary,
+        seed=seed,
+        input=input,
+        expose_state_to_adversary=expose_state_to_adversary,
+        stop_when=stop_when,
+    )
+    return sim.run(rounds)

@@ -1,0 +1,170 @@
+"""Execution traces: the complete record of a simulated run.
+
+An :class:`ExecutionTrace` bundles the dynamic graph the adversary produced,
+the per-round output vectors of the algorithm and the per-round metrics.  All
+verification (T-dynamic validity, properties A.1/A.2/B.1/B.2, stability
+claims) is carried out *on traces*, never on live algorithm state, so the
+checkers cannot be fooled by an algorithm that misreports its own state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.types import Assignment, Interval, NodeId, Round, Value
+from repro.dynamics.dynamic_graph import DynamicGraph
+from repro.dynamics.topology import Topology
+from repro.runtime.metrics import RoundMetrics
+
+__all__ = ["RoundRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything recorded about one round."""
+
+    round_index: Round
+    topology: Topology
+    outputs: Mapping[NodeId, Value]
+    metrics: RoundMetrics
+
+
+class ExecutionTrace:
+    """The chronological record of a simulation run."""
+
+    def __init__(self, n: int, algorithm_name: str, adversary_description: str) -> None:
+        self._graph = DynamicGraph(n)
+        self._records: List[RoundRecord] = []
+        self._algorithm_name = algorithm_name
+        self._adversary_description = adversary_description
+
+    # -- recording (used by the simulator) ------------------------------------
+
+    def record(self, topology: Topology, outputs: Mapping[NodeId, Value], metrics: RoundMetrics) -> None:
+        """Append one round's record (topology is validated by the dynamic graph)."""
+        self._graph.append(topology)
+        record = RoundRecord(
+            round_index=self._graph.last_round,
+            topology=topology,
+            outputs=dict(outputs),
+            metrics=metrics,
+        )
+        self._records.append(record)
+
+    # -- identification ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """The node-count upper bound of the run."""
+        return self._graph.n
+
+    @property
+    def algorithm_name(self) -> str:
+        """Name of the algorithm that produced the outputs."""
+        return self._algorithm_name
+
+    @property
+    def adversary_description(self) -> str:
+        """One-line description of the adversary that produced the graphs."""
+        return self._adversary_description
+
+    # -- access -----------------------------------------------------------------
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """The recorded dynamic graph (round-indexed, with window queries)."""
+        return self._graph
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of recorded rounds."""
+        return len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return iter(self._records)
+
+    def record_at(self, r: Round) -> RoundRecord:
+        """The full record of round ``r`` (1-based)."""
+        if not 1 <= r <= len(self._records):
+            raise SimulationError(f"round {r} not recorded (trace has {len(self._records)})")
+        return self._records[r - 1]
+
+    def topology(self, r: Round) -> Topology:
+        """``G_r``."""
+        return self._graph.topology(r)
+
+    def outputs(self, r: Round) -> Assignment:
+        """The output vector at the end of round ``r``."""
+        return self.record_at(r).outputs
+
+    def output_of(self, v: NodeId, r: Round) -> Value:
+        """Output of node ``v`` at the end of round ``r`` (⊥ if not awake)."""
+        return self.record_at(r).outputs.get(v)
+
+    def output_series(self, v: NodeId) -> List[Value]:
+        """Output of node ``v`` in every recorded round (⊥ while asleep)."""
+        return [record.outputs.get(v) for record in self._records]
+
+    def metrics(self, r: Round) -> RoundMetrics:
+        """Metrics of round ``r``."""
+        return self.record_at(r).metrics
+
+    def metric_series(self, key: str) -> List[float]:
+        """A single metric across all rounds (see :meth:`RoundMetrics.as_dict`)."""
+        return [record.metrics.as_dict().get(key, float("nan")) for record in self._records]
+
+    # -- convenience analyses --------------------------------------------------
+
+    def rounds(self) -> Sequence[Round]:
+        """All recorded round indices (1-based)."""
+        return range(1, len(self._records) + 1)
+
+    def changed_nodes(self, r: Round) -> frozenset[NodeId]:
+        """Nodes whose output at round ``r`` differs from round ``r - 1``."""
+        current = self.record_at(r).outputs
+        previous: Mapping[NodeId, Value]
+        previous = self.record_at(r - 1).outputs if r > 1 else {}
+        changed = {
+            v
+            for v in current
+            if v not in previous or previous[v] != current[v]
+        }
+        return frozenset(changed)
+
+    def output_changes_in(self, v: NodeId, interval: Interval) -> int:
+        """Number of rounds in ``interval`` (excluding its first round) where ``v``'s output changed."""
+        changes = 0
+        for r in range(max(2, interval.start + 1), interval.end + 1):
+            if self.output_of(v, r) != self.output_of(v, r - 1):
+                changes += 1
+        return changes
+
+    def first_round_where(self, predicate) -> Optional[Round]:
+        """First round ``r`` with ``predicate(record)`` true, or ``None``."""
+        for record in self._records:
+            if predicate(record):
+                return record.round_index
+        return None
+
+    def summary(self) -> Dict[str, float]:
+        """Coarse summary used by reports."""
+        if not self._records:
+            return {"rounds": 0.0}
+        last = self._records[-1]
+        return {
+            "rounds": float(len(self._records)),
+            "n": float(self._graph.n),
+            "final_awake": float(last.metrics.num_awake),
+            "final_edges": float(last.metrics.num_edges),
+            "total_output_changes": float(
+                sum(record.metrics.outputs_changed for record in self._records)
+            ),
+            "max_message_bits": float(
+                max(record.metrics.max_message_bits for record in self._records)
+            ),
+        }

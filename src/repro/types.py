@@ -1,0 +1,119 @@
+"""Shared type aliases and small value types used across the package.
+
+The module is intentionally dependency-light: it only defines aliases,
+sentinels and tiny frozen dataclasses that every other layer (dynamics,
+runtime, problems, algorithms, analysis) can import without creating cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Tuple
+
+#: Nodes are identified by non-negative integers ``0 … n-1``.
+NodeId = int
+
+#: Rounds are numbered ``1, 2, 3, …`` (round 0 is the empty pre-start state).
+Round = int
+
+#: An undirected edge in canonical form ``(min(u, v), max(u, v))``.
+Edge = Tuple[NodeId, NodeId]
+
+#: Colours are positive integers ``1 … deg+1`` (paper notation ``[k]``).
+Color = int
+
+#: A per-node output value.  ``None`` encodes the paper's ``⊥`` ("no output").
+Value = Hashable
+
+#: A (possibly partial) output vector: node -> value, ``None`` meaning ``⊥``.
+Assignment = Mapping[NodeId, Value]
+
+#: Sentinel re-export so call sites can write ``BOTTOM`` instead of ``None``
+#: when they mean "the node has not produced an output yet".
+BOTTOM = None
+
+
+def canonical_edge(u: NodeId, v: NodeId) -> Edge:
+    """Return the canonical representation of the undirected edge ``{u, v}``.
+
+    Raises
+    ------
+    ValueError
+        If ``u == v`` (the dynamic-graph model uses simple graphs).
+    """
+    if u == v:
+        raise ValueError(f"self-loops are not allowed (node {u})")
+    return (u, v) if u < v else (v, u)
+
+
+class MisState(enum.Enum):
+    """Tri-state output of the MIS algorithms (Sections 5.1 and 5.2).
+
+    The paper encodes a node's output as ``1`` (in the independent set),
+    ``0`` (dominated) or ``⊥`` (undecided).  The enum keeps the intent
+    readable; :func:`mis_state_to_value` converts to the paper's encoding.
+    """
+
+    MIS = "mis"
+    DOMINATED = "dominated"
+    UNDECIDED = "undecided"
+
+    @property
+    def decided(self) -> bool:
+        """Whether the node has committed to an output (``mis`` or ``dominated``)."""
+        return self is not MisState.UNDECIDED
+
+
+def mis_state_to_value(state: MisState) -> Value:
+    """Map a :class:`MisState` to the paper's vector notation (1 / 0 / ``⊥``)."""
+    if state is MisState.MIS:
+        return 1
+    if state is MisState.DOMINATED:
+        return 0
+    return BOTTOM
+
+
+def value_to_mis_state(value: Value) -> MisState:
+    """Inverse of :func:`mis_state_to_value`."""
+    if value == 1:
+        return MisState.MIS
+    if value == 0:
+        return MisState.DOMINATED
+    if value is BOTTOM:
+        return MisState.UNDECIDED
+    raise ValueError(f"not a valid MIS output value: {value!r}")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed round interval ``[start, end]`` used by stability statements.
+
+    The paper's locally-static guarantees are phrased over intervals
+    ``[r, r2]``; this tiny type avoids passing bare tuples around.
+    """
+
+    start: Round
+    end: Round
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"empty interval [{self.start}, {self.end}]")
+
+    def __contains__(self, r: object) -> bool:
+        return isinstance(r, int) and self.start <= r <= self.end
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def shift(self, offset: int) -> "Interval":
+        """Return the interval translated by ``offset`` rounds."""
+        return Interval(self.start + offset, self.end + offset)
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Return the overlap with ``other`` or ``None`` if disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)

@@ -1,0 +1,19 @@
+"""Utility helpers shared across the :mod:`repro` package."""
+
+from repro.utils.rng import RngFactory, derive_seed, spawn_generator
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngFactory",
+    "derive_seed",
+    "spawn_generator",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,9 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this package.
+PAPER_TITLE = "Local Distributed Algorithms in Highly Dynamic Networks"
+PAPER_AUTHORS = ("Philipp Bamberger", "Fabian Kuhn", "Yannic Maus")
+PAPER_ARXIV = "1802.10199v3"
+PAPER_VENUE = "IPDPS 2019"

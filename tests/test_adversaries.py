@@ -1,0 +1,216 @@
+"""Unit tests for the adversary framework and the concrete adversaries."""
+
+import pytest
+
+from repro.errors import AdversaryError, ConfigurationError
+from repro.dynamics import generators
+from repro.dynamics.adversary import ADAPTIVE_OFFLINE, AdversaryView, FULLY_OBLIVIOUS
+from repro.dynamics.adversaries import (
+    ChurnAdversary,
+    FreezeAfterAdversary,
+    LocallyStaticAdversary,
+    PhaseAdversary,
+    ScriptedAdversary,
+    StaticAdversary,
+    TargetedColoringAdversary,
+    TargetedMisAdversary,
+)
+from repro.dynamics.churn import FlipChurn, StaticChurn
+from repro.dynamics.topology import Topology
+from repro.dynamics.wakeup import StaggeredWakeup
+
+
+def make_view(round_index, outputs=(), topologies=(), obliviousness=FULLY_OBLIVIOUS, state=None):
+    return AdversaryView(
+        n=10,
+        round_index=round_index,
+        obliviousness=obliviousness,
+        topologies=tuple(topologies),
+        outputs=tuple(outputs),
+        state_provider=state,
+    )
+
+
+class TestAdversaryView:
+    def test_oblivious_view_hides_recent_outputs(self):
+        outputs = [{0: r} for r in range(1, 6)]
+        view = make_view(6, outputs=outputs, obliviousness=2)
+        assert view.visible_rounds() == 4
+        assert view.latest_visible_outputs() == {0: 4}
+
+    def test_adaptive_view_sees_previous_round(self):
+        outputs = [{0: 1}, {0: 2}]
+        view = make_view(3, outputs=outputs, obliviousness=ADAPTIVE_OFFLINE)
+        assert view.latest_visible_outputs() == {0: 2}
+
+    def test_fully_oblivious_sees_nothing(self):
+        outputs = [{0: 1}, {0: 2}]
+        view = make_view(3, outputs=outputs, obliviousness=FULLY_OBLIVIOUS)
+        assert view.latest_visible_outputs() is None
+
+    def test_state_access_requires_adaptive(self):
+        view = make_view(2, obliviousness=2, state=lambda: "secret")
+        with pytest.raises(AdversaryError):
+            view.algorithm_state()
+
+    def test_state_access_requires_provider(self):
+        view = make_view(2, obliviousness=ADAPTIVE_OFFLINE)
+        with pytest.raises(AdversaryError):
+            view.algorithm_state()
+
+    def test_state_access_adaptive(self):
+        view = make_view(2, obliviousness=ADAPTIVE_OFFLINE, state=lambda: {"x": 1})
+        assert view.algorithm_state() == {"x": 1}
+
+    def test_previous_topology(self):
+        topo = Topology([0, 1], [(0, 1)])
+        view = make_view(2, topologies=[topo])
+        assert view.previous_topology() == topo
+        assert make_view(1).previous_topology() is None
+
+
+class TestScriptedAndStatic:
+    def test_scripted_replays(self):
+        topologies = [Topology([0, 1], [(0, 1)]), Topology([0, 1], [])]
+        adversary = ScriptedAdversary(topologies)
+        assert adversary.step(make_view(1)) == topologies[0]
+        assert adversary.step(make_view(2)) == topologies[1]
+        assert adversary.step(make_view(5)) == topologies[1]  # repeat_last
+
+    def test_scripted_exhaustion_raises_without_repeat(self):
+        adversary = ScriptedAdversary([Topology([0], [])], repeat_last=False)
+        with pytest.raises(AdversaryError):
+            adversary.step(make_view(2))
+
+    def test_scripted_needs_topologies(self):
+        with pytest.raises(AdversaryError):
+            ScriptedAdversary([])
+
+    def test_static_with_wakeup(self):
+        base = generators.path(4)
+        adversary = StaticAdversary(base, wakeup=StaggeredWakeup(4, batch_size=2))
+        first = adversary.step(make_view(1))
+        assert first.nodes == frozenset({0, 1})
+        later = adversary.step(make_view(5))
+        assert later == base
+
+
+class TestChurnAdversary:
+    def test_respects_wakeup_monotonicity(self, rng_factory):
+        base = generators.ring(6)
+        adversary = ChurnAdversary(
+            6,
+            StaticChurn(base),
+            rng_factory.stream("adv"),
+            wakeup=StaggeredWakeup(6, batch_size=2),
+        )
+        previous_nodes = frozenset()
+        previous_topo = None
+        for r in range(1, 6):
+            view = make_view(r, topologies=[previous_topo] if previous_topo else [])
+            topo = adversary.step(view)
+            assert previous_nodes <= topo.nodes
+            previous_nodes = topo.nodes
+            previous_topo = topo
+
+    def test_edges_only_between_awake_nodes(self, rng_factory):
+        base = generators.clique(6)
+        adversary = ChurnAdversary(
+            6, FlipChurn(base, 0.2), rng_factory.stream("adv2"), wakeup=StaggeredWakeup(6, batch_size=3)
+        )
+        topo = adversary.step(make_view(1))
+        for u, v in topo.edges:
+            assert u in topo.nodes and v in topo.nodes
+        assert topo.nodes == frozenset({0, 1, 2})
+
+
+class TestLocallyStaticAdversary:
+    def test_protected_ball_edges_never_change(self, rng_factory):
+        base = generators.gnp(30, 0.15, rng_factory.stream("ls-base"))
+        center = max(base.nodes, key=base.degree)
+        adversary = LocallyStaticAdversary(
+            base, center=center, protected_radius=2, churn=FlipChurn(base, 0.5), rng=rng_factory.stream("ls")
+        )
+        protected = adversary.protected_nodes
+        reference = None
+        for r in range(1, 15):
+            topo = adversary.step(make_view(r))
+            incident = frozenset(e for e in topo.edges if e[0] in protected or e[1] in protected)
+            if reference is None:
+                reference = incident
+            assert incident == reference
+
+    def test_invalid_center_rejected(self, rng_factory):
+        base = generators.path(4)
+        with pytest.raises(ConfigurationError):
+            LocallyStaticAdversary(base, center=99, protected_radius=1, churn=StaticChurn(base), rng=rng_factory.stream("x"))
+
+
+class TestTargetedAdversaries:
+    def test_coloring_adversary_inserts_monochromatic_edges(self, rng_factory):
+        base = generators.empty(6)
+        adversary = TargetedColoringAdversary(base, attacks_per_round=2, lifetime=3, rng=rng_factory.stream("t"))
+        outputs = [{v: 1 for v in range(6)}]  # everyone has colour 1
+        view = make_view(2, outputs=outputs, obliviousness=1)
+        topo = adversary.step(view)
+        assert topo.num_edges >= 1
+        assert adversary.attack_log
+        for _, (u, v) in adversary.attack_log:
+            assert outputs[0][u] == outputs[0][v]
+
+    def test_coloring_adversary_without_outputs_keeps_base(self, rng_factory):
+        base = generators.ring(5)
+        adversary = TargetedColoringAdversary(base, attacks_per_round=2, lifetime=2, rng=rng_factory.stream("t2"))
+        topo = adversary.step(make_view(1, obliviousness=1))
+        assert topo.edges == base.edges
+
+    def test_mis_adversary_cut_mode(self, rng_factory):
+        base = generators.star(5)
+        adversary = TargetedMisAdversary(
+            base, mode="cut_notification", attacks_per_round=3, rng=rng_factory.stream("t3")
+        )
+        outputs = [{0: 1, 1: None, 2: None, 3: None, 4: None}]
+        topo = adversary.step(make_view(2, outputs=outputs, obliviousness=1))
+        # All notification edges from the fresh MIS node 0 to undecided leaves are cut candidates.
+        assert topo.num_edges < base.num_edges
+        assert all(action == "cut" for _, action, _ in adversary.attack_log)
+
+    def test_mis_adversary_join_mode(self, rng_factory):
+        base = generators.empty(6)
+        adversary = TargetedMisAdversary(base, mode="join_mis", attacks_per_round=2, rng=rng_factory.stream("t4"))
+        outputs = [{v: 1 for v in range(6)}]
+        topo = adversary.step(make_view(2, outputs=outputs, obliviousness=1))
+        assert topo.num_edges >= 1
+
+    def test_mis_adversary_invalid_mode(self, rng_factory):
+        with pytest.raises(ConfigurationError):
+            TargetedMisAdversary(generators.empty(3), mode="bogus", attacks_per_round=1, rng=rng_factory.stream("x"))
+
+
+class TestCompositeAdversaries:
+    def test_phase_adversary_switches(self):
+        first = StaticAdversary(Topology([0, 1], [(0, 1)]))
+        second = StaticAdversary(Topology([0, 1], []))
+        adversary = PhaseAdversary([(2, first), (None, second)])
+        assert adversary.step(make_view(1)).num_edges == 1
+        assert adversary.step(make_view(2)).num_edges == 1
+        assert adversary.step(make_view(3)).num_edges == 0
+        assert adversary.step(make_view(99)).num_edges == 0
+
+    def test_phase_adversary_validation(self):
+        adv = StaticAdversary(Topology([0], []))
+        with pytest.raises(ConfigurationError):
+            PhaseAdversary([])
+        with pytest.raises(ConfigurationError):
+            PhaseAdversary([(None, adv), (2, adv)])
+
+    def test_freeze_after(self, rng_factory):
+        base = generators.gnp(12, 0.3, rng_factory.stream("fa"))
+        inner = ChurnAdversary(12, FlipChurn(base, 0.5), rng_factory.stream("fa2"))
+        adversary = FreezeAfterAdversary(inner, freeze_round=3)
+        topologies = [adversary.step(make_view(r)) for r in range(1, 8)]
+        assert topologies[2] == topologies[3] == topologies[6]
+
+    def test_freeze_after_validation(self):
+        with pytest.raises(ConfigurationError):
+            FreezeAfterAdversary(StaticAdversary(Topology([0], [])), freeze_round=0)

@@ -1,0 +1,125 @@
+"""Unit tests for the churn processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dynamics import generators
+from repro.dynamics.churn import (
+    BurstChurn,
+    CompositeChurn,
+    EdgeInsertionChurn,
+    FlipChurn,
+    MarkovEdgeChurn,
+    StaticChurn,
+)
+
+
+@pytest.fixture
+def base(rng_factory):
+    return generators.gnp(20, 0.3, rng_factory.stream("churn-base"))
+
+
+class TestStaticChurn:
+    def test_returns_base_every_round(self, base, rng_factory):
+        churn = StaticChurn(base)
+        rng = rng_factory.stream("static")
+        for r in range(1, 5):
+            assert churn.step(r, rng) == base.edges
+
+
+class TestMarkovAndFlip:
+    def test_zero_probabilities_keep_edges(self, base, rng_factory):
+        churn = MarkovEdgeChurn(base, p_off=0.0, p_on=0.0)
+        assert churn.step(1, rng_factory.stream("m")) == base.edges
+
+    def test_always_off(self, base, rng_factory):
+        churn = MarkovEdgeChurn(base, p_off=1.0, p_on=0.0)
+        rng = rng_factory.stream("m2")
+        assert churn.step(1, rng) == frozenset()
+        assert churn.step(2, rng) == frozenset()
+
+    def test_oscillation_with_full_probabilities(self, base, rng_factory):
+        churn = MarkovEdgeChurn(base, p_off=1.0, p_on=1.0)
+        rng = rng_factory.stream("m3")
+        assert churn.step(1, rng) == frozenset()
+        assert churn.step(2, rng) == base.edges
+
+    def test_edges_stay_within_base(self, base, rng_factory):
+        churn = FlipChurn(base, 0.3)
+        rng = rng_factory.stream("flip")
+        for r in range(1, 20):
+            assert churn.step(r, rng) <= base.edges
+
+    def test_reset_restores_initial_state(self, base, rng_factory):
+        churn = FlipChurn(base, 0.5)
+        rng = rng_factory.stream("flip-reset")
+        first = churn.step(1, rng)
+        churn.reset()
+        again = churn.step(1, rng_factory.stream("flip-reset"))
+        assert first == again
+
+    def test_flip_prob_accessor(self, base):
+        assert FlipChurn(base, 0.25).flip_prob == 0.25
+
+    def test_invalid_probability_rejected(self, base):
+        with pytest.raises(ConfigurationError):
+            MarkovEdgeChurn(base, p_off=1.5, p_on=0.0)
+
+    def test_empty_base_graph(self, rng_factory):
+        churn = MarkovEdgeChurn(generators.empty(5), p_off=0.5, p_on=0.5)
+        assert churn.step(1, rng_factory.stream("e")) == frozenset()
+
+
+class TestBurstChurn:
+    def test_no_burst_keeps_all_edges(self, base, rng_factory):
+        churn = BurstChurn(base, burst_prob=0.0, drop_fraction=0.5)
+        assert churn.step(1, rng_factory.stream("b")) == base.edges
+
+    def test_burst_drops_expected_fraction(self, base, rng_factory):
+        churn = BurstChurn(base, burst_prob=1.0, drop_fraction=0.5)
+        edges = churn.step(1, rng_factory.stream("b2"))
+        assert len(edges) == round(base.num_edges * 0.5)
+        assert edges <= base.edges
+
+    def test_full_drop(self, base, rng_factory):
+        churn = BurstChurn(base, burst_prob=1.0, drop_fraction=1.0)
+        assert churn.step(1, rng_factory.stream("b3")) == frozenset()
+
+
+class TestEdgeInsertionChurn:
+    def test_keeps_base_and_adds_extras(self, base, rng_factory):
+        churn = EdgeInsertionChurn(base, insertions_per_round=3, lifetime=2)
+        rng = rng_factory.stream("ins")
+        edges = churn.step(1, rng)
+        assert base.edges <= edges
+
+    def test_inserted_edges_expire(self, base, rng_factory):
+        churn = EdgeInsertionChurn(base, insertions_per_round=5, lifetime=1)
+        rng = rng_factory.stream("ins2")
+        first = churn.step(1, rng)
+        inserted = first - base.edges
+        later = churn.step(3, rng)
+        # Lifetime 1 starting at round 1 expires before round 3.
+        assert not (inserted & (later - base.edges)) or inserted <= base.edges
+
+    def test_invalid_lifetime_rejected(self, base):
+        with pytest.raises(ConfigurationError):
+            EdgeInsertionChurn(base, insertions_per_round=1, lifetime=0)
+
+    def test_reset_clears_active_edges(self, base, rng_factory):
+        churn = EdgeInsertionChurn(base, insertions_per_round=5, lifetime=10)
+        churn.step(1, rng_factory.stream("ins3"))
+        churn.reset()
+        assert churn.step(1, rng_factory.stream("ins4")) - base.edges is not None
+
+
+class TestCompositeChurn:
+    def test_union_of_processes(self, base, rng_factory):
+        half_a = FlipChurn(base, 1.0)  # toggles everything off in round 1
+        keep = StaticChurn(base)
+        churn = CompositeChurn([half_a, keep])
+        assert churn.step(1, rng_factory.stream("c")) == base.edges
+
+    def test_requires_processes(self):
+        with pytest.raises(ConfigurationError):
+            CompositeChurn([])

@@ -1,0 +1,120 @@
+"""Tests of the core framework: window defaults, Concat mechanics, runner helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dynamics import generators
+from repro.dynamics.adversaries import StaticAdversary
+from repro.problems import coloring_problem_pair, mis_problem_pair
+from repro.runtime.simulator import run_simulation
+from repro.core import Concat, default_window, run_combined, run_dynamic_problem, window_for
+from repro.algorithms.common import NullBackbone
+from repro.algorithms.coloring import DColor, SColor, DynamicColoring
+from repro.algorithms.mis import DMis, SMis, DynamicMIS
+from repro.analysis.experiments.common import churn_adversary
+
+
+class TestWindowDefaults:
+    def test_grows_logarithmically(self):
+        assert default_window(1024) > default_window(32)
+        ratio = default_window(2**16) / math.log2(2**16)
+        assert 3.0 <= ratio <= 6.0
+
+    def test_minimum_enforced(self):
+        assert default_window(2) >= 8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            default_window(0)
+        with pytest.raises(ConfigurationError):
+            default_window(8, multiplier=0)
+
+    def test_window_for_scaling(self):
+        assert window_for(128, 0.5) < window_for(128, 1.0)
+        assert window_for(128, 0.01) >= 2
+
+
+class TestConcatMechanics:
+    def test_requires_t1_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            Concat(SColor, DColor, T1=1)
+
+    def test_keeps_at_most_t1_minus_one_instances(self):
+        n = 12
+        topo = generators.ring(n)
+        algorithm = Concat(SColor, DColor, T1=4)
+        run_simulation(n=n, algorithm=algorithm, adversary=StaticAdversary(topo), rounds=10, seed=1)
+        assert algorithm.live_instances == 3
+
+    def test_problem_pair_taken_from_backbone(self):
+        algorithm = Concat(SMis, DMis, T1=3)
+        assert algorithm.problem_pair().name == mis_problem_pair().name
+
+    def test_named_subclasses(self):
+        assert DynamicColoring(4).name == "dynamic-coloring"
+        assert DynamicMIS(4).name == "dynamic-mis"
+        assert DynamicColoring(4).T1 == 4
+
+    def test_output_is_oldest_instance_and_backbone_exposed(self):
+        n = 10
+        topo = generators.ring(n)
+        algorithm = DynamicColoring(5)
+        trace = run_simulation(n=n, algorithm=algorithm, adversary=StaticAdversary(topo), rounds=20, seed=3)
+        final = trace.outputs(trace.num_rounds)
+        # On a static ring everything is coloured long before round 20, and the
+        # backbone agrees with the combiner output once stable.
+        assert all(value is not None for value in final.values())
+        for v in range(n):
+            assert algorithm.backbone_output(v) == final[v]
+
+    def test_metrics_and_state_summary(self):
+        n = 8
+        topo = generators.ring(n)
+        algorithm = DynamicColoring(3)
+        run_simulation(n=n, algorithm=algorithm, adversary=StaticAdversary(topo), rounds=5, seed=0)
+        assert algorithm.metrics()["live_instances"] == 2.0
+        summary = algorithm.state_summary()
+        assert summary["round"] == 5 and len(summary["live_instances"]) == 2
+
+    def test_null_backbone_outputs_bottom(self):
+        n = 8
+        topo = generators.ring(n)
+        backbone = NullBackbone(coloring_problem_pair)
+        trace = run_simulation(n=n, algorithm=backbone, adversary=StaticAdversary(topo), rounds=3, seed=0)
+        assert all(value is None for value in trace.outputs(3).values())
+        assert backbone.problem_pair().name == coloring_problem_pair().name
+
+
+class TestRunnerHelpers:
+    def test_run_combined_returns_validity(self):
+        n = 24
+        base = generators.gnp(n, 0.2, __import__("numpy").random.default_rng(0))
+        result = run_combined(
+            n=n,
+            static_factory=SColor,
+            dynamic_factory=DColor,
+            adversary=churn_adversary(base, 1, flip_prob=0.02),
+            rounds=40,
+            seed=1,
+            window=12,
+        )
+        assert result.window == 12
+        assert result.trace.num_rounds == 40
+        assert 0.0 <= result.valid_fraction <= 1.0
+        assert result.validity["rounds_checked"] == 40.0
+
+    def test_run_dynamic_problem_accepts_any_algorithm(self):
+        n = 16
+        base = generators.ring(n)
+        result = run_dynamic_problem(
+            n=n,
+            algorithm=SColor(),
+            pair=coloring_problem_pair(),
+            adversary=StaticAdversary(base),
+            rounds=25,
+            seed=2,
+        )
+        assert result.trace.algorithm_name == "scolor"
+        assert result.valid_fraction > 0.0

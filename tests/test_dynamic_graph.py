@@ -1,0 +1,140 @@
+"""Unit tests for :mod:`repro.dynamics.dynamic_graph` (Definition 2.1 semantics)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.types import Interval
+from repro.dynamics.dynamic_graph import DynamicGraph
+from repro.dynamics.topology import Topology
+
+
+def topo(edges, nodes=range(4)):
+    return Topology(nodes, edges)
+
+
+class TestRecording:
+    def test_rejects_bad_n(self):
+        with pytest.raises(TopologyError):
+            DynamicGraph(0)
+
+    def test_rejects_node_outside_range(self):
+        graph = DynamicGraph(3)
+        with pytest.raises(TopologyError):
+            graph.append(Topology([0, 5], []))
+
+    def test_rejects_shrinking_node_set(self):
+        graph = DynamicGraph(4)
+        graph.append(Topology([0, 1, 2], []))
+        with pytest.raises(TopologyError):
+            graph.append(Topology([0, 1], []))
+
+    def test_round_zero_is_empty(self):
+        graph = DynamicGraph(4)
+        assert graph.topology(0).num_nodes == 0
+
+    def test_round_indexing(self):
+        graph = DynamicGraph(4)
+        graph.append(topo([(0, 1)]))
+        graph.append(topo([(1, 2)]))
+        assert graph.last_round == 2
+        assert graph.topology(1).edges == frozenset({(0, 1)})
+        assert graph.topology(2).edges == frozenset({(1, 2)})
+        with pytest.raises(TopologyError):
+            graph.topology(3)
+
+
+class TestWindowQueries:
+    def test_definition_21_round_zero_convention(self):
+        """For r <= T - 1 the window includes the empty G_0, so both graphs are empty."""
+        graph = DynamicGraph(4)
+        graph.append(topo([(0, 1)]))
+        graph.append(topo([(0, 1)]))
+        T = 3
+        assert graph.intersection_graph(1, T).num_nodes == 0
+        assert graph.intersection_graph(2, T).num_nodes == 0
+        assert graph.union_graph(2, T).num_nodes == 0
+        graph.append(topo([(0, 1)]))
+        # Round 3 is the first round with a full window of T = 3 real rounds.
+        assert graph.intersection_graph(3, T).edges == frozenset({(0, 1)})
+
+    def test_intersection_and_union_content(self):
+        graph = DynamicGraph(4)
+        graph.append(topo([(0, 1), (1, 2)]))
+        graph.append(topo([(0, 1), (2, 3)]))
+        inter = graph.intersection_graph(2, 2)
+        union = graph.union_graph(2, 2)
+        assert inter.edges == frozenset({(0, 1)})
+        assert union.edges == frozenset({(0, 1), (1, 2), (2, 3)})
+
+    def test_union_edges_include_recently_woken_neighbours(self):
+        graph = DynamicGraph(5)
+        graph.append(Topology([0, 1], [(0, 1)]))
+        graph.append(Topology([0, 1, 2], [(0, 1), (1, 2)]))
+        union = graph.union_graph(2, 2)
+        # Node 2 woke mid-window: it is not constrained (not in V^{T∩}), but the
+        # edge it contributed counts towards node 1's union degree.
+        assert graph.intersection_graph(2, 2).nodes == frozenset({0, 1})
+        assert (1, 2) in union.edges
+        assert union.degree(1) == 2
+
+    def test_window_snapshot(self):
+        graph = DynamicGraph(4)
+        graph.append(topo([(0, 1)]))
+        snap = graph.window_snapshot(1, 1)
+        assert snap.intersection.edges == frozenset({(0, 1)})
+        assert snap.round_index == 1
+
+    def test_attached_window_matches_direct(self):
+        graph = DynamicGraph(4)
+        graph.append(topo([(0, 1), (1, 2)]))
+        window = graph.attach_window(2)
+        graph.append(topo([(1, 2), (2, 3)]))
+        assert window.intersection_edges() == frozenset({(1, 2)})
+        # Direct query with T = 2 at round 2 does not reach round 0, so both agree.
+        assert graph.intersection_graph(2, 2).edges == frozenset({(1, 2)})
+
+
+class TestStabilityPredicates:
+    def test_is_static_on(self):
+        graph = DynamicGraph(4)
+        graph.append(topo([(0, 1), (2, 3)]))
+        graph.append(topo([(0, 1), (1, 2)]))
+        graph.append(topo([(0, 1), (1, 2)]))
+        assert graph.is_static_on({0, 1}, Interval(1, 3))
+        assert not graph.is_static_on({1, 2, 3}, Interval(1, 2))
+        assert graph.is_static_on({1, 2, 3}, Interval(2, 3))
+
+    def test_is_static_interval_bounds_checked(self):
+        graph = DynamicGraph(4)
+        graph.append(topo([]))
+        with pytest.raises(TopologyError):
+            graph.is_static_on({0}, Interval(1, 5))
+
+    def test_static_ball_interval(self):
+        graph = DynamicGraph(6)
+        base = Topology(range(6), [(0, 1), (1, 2), (3, 4), (4, 5)])
+        changed = Topology(range(6), [(0, 1), (1, 2), (3, 4)])
+        graph.append(base)
+        graph.append(changed)
+        # Ball around 0 (radius 2) = {0,1,2}; its induced edges never change.
+        assert graph.static_ball_interval(0, 2, Interval(1, 2))
+        # Ball around 5 loses its only edge.
+        assert not graph.static_ball_interval(5, 1, Interval(1, 2))
+
+
+class TestChangeStatistics:
+    def test_edge_changes(self):
+        graph = DynamicGraph(4)
+        graph.append(topo([(0, 1)]))
+        graph.append(topo([(1, 2)]))
+        inserted, deleted = graph.edge_changes(2)
+        assert inserted == frozenset({(1, 2)})
+        assert deleted == frozenset({(0, 1)})
+        first_inserted, first_deleted = graph.edge_changes(1)
+        assert first_inserted == frozenset({(0, 1)}) and first_deleted == frozenset()
+
+    def test_churn_per_round(self):
+        graph = DynamicGraph(4)
+        graph.append(topo([(0, 1)]))
+        graph.append(topo([(1, 2)]))
+        assert graph.churn_per_round() == [1, 2]

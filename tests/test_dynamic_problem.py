@@ -1,0 +1,101 @@
+"""Tests of the T-dynamic solution checker (sliding-window feasibility)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dynamics.dynamic_graph import DynamicGraph
+from repro.dynamics.topology import Topology
+from repro.problems import TDynamicSpec, coloring_problem_pair, mis_problem_pair
+from repro.runtime.metrics import RoundMetrics
+from repro.runtime.trace import ExecutionTrace
+
+
+def _metrics(r):
+    return RoundMetrics(r, 0, 0, 0, 0, 0, 0, 0)
+
+
+class TestCheckRound:
+    def test_window_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            TDynamicSpec(coloring_problem_pair(), 0)
+
+    def test_early_rounds_unconstrained(self):
+        """Per Definition 2.1, rounds r < T have an empty window (G_0 included)."""
+        graph = DynamicGraph(3)
+        graph.append(Topology([0, 1], [(0, 1)]))
+        spec = TDynamicSpec(coloring_problem_pair(), T=3)
+        result = spec.check_round(graph, {0: None, 1: None}, 1)
+        assert result.constrained_nodes == 0
+        assert result.is_valid
+
+    def test_packing_checked_on_intersection(self):
+        graph = DynamicGraph(3)
+        # Edge (0,1) present in round 1 only; (1,2) present in both.
+        graph.append(Topology([0, 1, 2], [(0, 1), (1, 2)]))
+        graph.append(Topology([0, 1, 2], [(1, 2)]))
+        spec = TDynamicSpec(coloring_problem_pair(), T=2)
+        # Same colour on 0 and 1 is fine (edge not in intersection), same on 1, 2 is not.
+        ok = spec.check_round(graph, {0: 1, 1: 1, 2: 2}, 2)
+        assert ok.is_valid
+        bad = spec.check_round(graph, {0: 2, 1: 1, 2: 1}, 2)
+        assert not bad.is_valid and set(bad.packing_violations) == {1, 2}
+
+    def test_covering_checked_on_union(self):
+        graph = DynamicGraph(3)
+        graph.append(Topology([0, 1, 2], [(0, 1), (0, 2)]))
+        graph.append(Topology([0, 1, 2], []))
+        spec = TDynamicSpec(coloring_problem_pair(), T=2)
+        # Node 0 has union degree 2, so colour 3 is allowed; colour 4 is not.
+        assert spec.check_round(graph, {0: 3, 1: 1, 2: 1}, 2).is_valid
+        result = spec.check_round(graph, {0: 4, 1: 1, 2: 1}, 2)
+        assert result.covering_violations == (0,)
+
+    def test_undecided_constrained_node_is_violation(self):
+        graph = DynamicGraph(2)
+        graph.append(Topology([0, 1], [(0, 1)]))
+        spec = TDynamicSpec(mis_problem_pair(), T=1)
+        result = spec.check_round(graph, {0: 1, 1: None}, 1)
+        assert result.undecided_nodes == (1,)
+        assert not result.is_valid
+        assert result.num_violations == 1
+
+    def test_mis_pair_on_windows(self):
+        graph = DynamicGraph(3)
+        graph.append(Topology([0, 1, 2], [(0, 1)]))
+        graph.append(Topology([0, 1, 2], [(1, 2)]))
+        spec = TDynamicSpec(mis_problem_pair(), T=2)
+        # 0 and 2 in the MIS, 1 dominated: intersection graph has no edges, so
+        # independence is trivial; union graph gives node 1 a dominator.
+        assert spec.check_round(graph, {0: 1, 1: 0, 2: 1}, 2).is_valid
+        # Node 0 dominated without any MIS neighbour in the union graph.
+        result = spec.check_round(graph, {0: 0, 1: 0, 2: 1}, 2)
+        assert 0 in result.covering_violations
+
+
+class TestTraceChecks:
+    def _trace(self):
+        trace = ExecutionTrace(3, "alg", "adv")
+        topo = Topology([0, 1, 2], [(0, 1), (1, 2)])
+        trace.record(topo, {0: 1, 1: 2, 2: 1}, _metrics(1))
+        trace.record(topo, {0: 1, 1: 2, 2: 1}, _metrics(2))
+        trace.record(topo, {0: 1, 1: 1, 2: 1}, _metrics(3))  # conflict in round 3
+        return trace
+
+    def test_check_trace_and_summary(self):
+        spec = TDynamicSpec(coloring_problem_pair(), T=1)
+        results = spec.check_trace(self._trace())
+        assert [r.is_valid for r in results] == [True, True, False]
+        summary = spec.validity_summary(self._trace())
+        assert summary["rounds_checked"] == 3.0
+        assert summary["valid_rounds"] == 2.0
+        assert 0 < summary["valid_fraction"] < 1
+
+    def test_empty_summary(self):
+        spec = TDynamicSpec(coloring_problem_pair(), T=1)
+        trace = ExecutionTrace(2, "alg", "adv")
+        summary = spec.validity_summary(trace)
+        assert summary["rounds_checked"] == 0.0 and summary["valid_fraction"] == 1.0
+
+    def test_describe(self):
+        spec = TDynamicSpec(coloring_problem_pair(), T=4)
+        assert "T=4" in spec.describe()

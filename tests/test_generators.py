@@ -1,0 +1,85 @@
+"""Unit tests for the topology generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dynamics import generators
+
+
+class TestDeterministicFamilies:
+    def test_ring(self):
+        topo = generators.ring(5)
+        assert topo.num_nodes == 5 and topo.num_edges == 5
+        assert all(topo.degree(v) == 2 for v in topo.nodes)
+
+    def test_ring_small_cases(self):
+        assert generators.ring(1).num_edges == 0
+        assert generators.ring(2).num_edges == 1
+
+    def test_path(self):
+        topo = generators.path(5)
+        assert topo.num_edges == 4
+        assert topo.degree(0) == 1 and topo.degree(2) == 2
+
+    def test_star(self):
+        topo = generators.star(6)
+        assert topo.degree(0) == 5
+        assert all(topo.degree(v) == 1 for v in range(1, 6))
+
+    def test_clique(self):
+        topo = generators.clique(5)
+        assert topo.num_edges == 10
+
+    def test_grid_and_torus(self):
+        grid = generators.grid(3, 4)
+        torus = generators.torus(3, 4)
+        assert grid.num_nodes == 12 and torus.num_nodes == 12
+        assert grid.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert all(torus.degree(v) in (3, 4) for v in torus.nodes)
+
+    def test_empty(self):
+        topo = generators.empty(7)
+        assert topo.num_nodes == 7 and topo.num_edges == 0
+
+
+class TestRandomFamilies:
+    def test_gnp_reproducible(self, rng_factory):
+        a = generators.gnp(30, 0.2, rng_factory.stream("g"))
+        b = generators.gnp(30, 0.2, rng_factory.stream("g"))
+        assert a == b
+
+    def test_gnp_rejects_bad_probability(self, rng_factory):
+        with pytest.raises(ConfigurationError):
+            generators.gnp(10, 1.5, rng_factory.stream("g"))
+
+    def test_random_regular_degrees(self, rng_factory):
+        topo = generators.random_regular(20, 4, rng_factory.stream("r"))
+        assert all(topo.degree(v) == 4 for v in topo.nodes)
+
+    def test_random_regular_parity_check(self, rng_factory):
+        with pytest.raises(ConfigurationError):
+            generators.random_regular(5, 3, rng_factory.stream("r"))
+
+    def test_random_geometric_radius(self, rng_factory):
+        topo = generators.random_geometric(40, 0.3, rng_factory.stream("geo"))
+        assert topo.num_nodes == 40
+
+    def test_barabasi_albert(self, rng_factory):
+        topo = generators.barabasi_albert(30, 2, rng_factory.stream("ba"))
+        assert topo.num_nodes == 30
+        assert topo.num_edges >= 2 * (30 - 2) - 2
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(generators.GENERATORS))
+    def test_every_family_generates(self, name, rng_factory):
+        topo = generators.by_name(name, 20, rng_factory.stream("byname", name))
+        assert 1 <= topo.num_nodes <= 20
+        assert all(0 <= v < 20 for v in topo.nodes)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generators.by_name("nope", 10)
+
+    def test_default_rng_is_deterministic(self):
+        assert generators.by_name("gnp_sparse", 16) == generators.by_name("gnp_sparse", 16)

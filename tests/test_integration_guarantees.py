@@ -1,0 +1,138 @@
+"""Integration tests: end-to-end runs checking the paper's headline guarantees.
+
+These are the test-suite versions of the experiments — smaller sizes, hard
+assertions.  They exercise the full stack (generators → adversaries →
+simulator → Concat-combined algorithms → trace checkers).
+"""
+
+import pytest
+
+from repro.types import Interval
+from repro.utils.rng import RngFactory
+from repro.dynamics import generators
+from repro.dynamics.adversaries import (
+    ChurnAdversary,
+    FreezeAfterAdversary,
+    LocallyStaticAdversary,
+    MobilityAdversary,
+    TargetedColoringAdversary,
+)
+from repro.dynamics.churn import FlipChurn
+from repro.dynamics.mobility import RandomWaypointMobility
+from repro.dynamics.wakeup import StaggeredWakeup, UniformRandomWakeup
+from repro.problems import TDynamicSpec, coloring_problem_pair, mis_problem_pair
+from repro.runtime.simulator import run_simulation
+from repro.core import default_window, verify_locally_static, verify_t_dynamic
+from repro.algorithms.coloring import DynamicColoring
+from repro.algorithms.mis import DynamicMIS, SMis
+from repro.analysis.conflicts import conflict_resolution_times
+from repro.analysis.convergence import rounds_to_completion
+from repro.analysis.stability import region_change_count
+
+N = 40
+T1 = default_window(N)
+
+
+def make_base(seed: int):
+    return generators.gnp(N, 0.15, RngFactory(seed).stream("base"))
+
+
+class TestTheorem11Guarantees:
+    def test_coloring_t_dynamic_every_round_under_churn(self):
+        base = make_base(1)
+        adversary = ChurnAdversary(N, FlipChurn(base, 0.03), RngFactory(1).stream("adv"))
+        trace = run_simulation(n=N, algorithm=DynamicColoring(T1), adversary=adversary, rounds=3 * T1, seed=1)
+        assert verify_t_dynamic(trace, coloring_problem_pair(), T1) == []
+
+    def test_mis_t_dynamic_high_validity_under_churn(self):
+        base = make_base(2)
+        adversary = ChurnAdversary(N, FlipChurn(base, 0.03), RngFactory(2).stream("adv"))
+        trace = run_simulation(n=N, algorithm=DynamicMIS(T1), adversary=adversary, rounds=3 * T1, seed=2)
+        spec = TDynamicSpec(mis_problem_pair(), T1)
+        assert spec.validity_summary(trace)["valid_fraction"] >= 0.9
+
+    def test_locally_static_region_keeps_fixed_output(self):
+        # A grid keeps balls small, so the protected region is a genuine
+        # sub-region of the graph (in a sparse Gnp of this size a radius-3
+        # ball would swallow almost every node).
+        base = generators.grid(7, 7)
+        n = base.num_nodes
+        T = default_window(n)
+        center = 24  # middle of the 7x7 grid
+        adversary = LocallyStaticAdversary(
+            base, center=center, protected_radius=3, churn=FlipChurn(base, 0.08), rng=RngFactory(3).stream("adv")
+        )
+        rounds = 5 * T
+        trace = run_simulation(n=n, algorithm=DynamicColoring(T), adversary=adversary, rounds=rounds, seed=3)
+        protected = adversary.protected_nodes
+        inner = {v for v in protected if base.ball(v, 2) <= protected}
+        assert inner  # the scenario actually protects something
+        grace_interval = Interval(2 * T + 2, rounds)
+        assert region_change_count(trace, inner, grace_interval) == 0
+        # Control: churned region does change under an 8% flip rate.
+        outside = set(base.nodes) - protected
+        assert outside and region_change_count(trace, outside, grace_interval) > 0
+
+    def test_verify_locally_static_on_static_graph(self):
+        base = make_base(4)
+        trace = run_simulation(
+            n=N, algorithm=DynamicMIS(T1), adversary=ChurnAdversary(N, FlipChurn(base, 0.0), RngFactory(4).stream("a")),
+            rounds=4 * T1, seed=4,
+        )
+        reports = verify_locally_static(trace, alpha=2, grace=2 * T1 + 1)
+        assert reports and all(report.stabilised for report in reports)
+
+
+class TestCorollary12ConflictResolution:
+    def test_inserted_conflicts_resolve_within_window(self):
+        base = make_base(5)
+        adversary = TargetedColoringAdversary(
+            base, attacks_per_round=2, lifetime=2 * T1, rng=RngFactory(5).stream("adv")
+        )
+        trace = run_simulation(n=N, algorithm=DynamicColoring(T1), adversary=adversary, rounds=4 * T1, seed=5)
+        durations = conflict_resolution_times(trace, adversary.attack_log, max_wait=2 * T1)
+        resolved = [d for d in durations if not d["censored"]]
+        assert resolved, "the adversary should have found conflicts to create"
+        assert max(d["duration"] for d in resolved) <= T1
+        # During the whole attack the sliding-window solution stays valid.
+        assert verify_t_dynamic(trace, coloring_problem_pair(), T1) == []
+
+
+class TestAsynchronousWakeup:
+    @pytest.mark.parametrize("schedule_kind", ["staggered", "uniform"])
+    def test_coloring_valid_under_gradual_wakeup(self, schedule_kind):
+        base = make_base(6)
+        if schedule_kind == "staggered":
+            wakeup = StaggeredWakeup(N, batch_size=4, interval=2)
+        else:
+            wakeup = UniformRandomWakeup(N, spread=2 * T1, rng=RngFactory(6).stream("wake"))
+        adversary = ChurnAdversary(N, FlipChurn(base, 0.02), RngFactory(6).stream("adv"), wakeup=wakeup)
+        trace = run_simulation(n=N, algorithm=DynamicColoring(T1), adversary=adversary, rounds=4 * T1, seed=6)
+        assert verify_t_dynamic(trace, coloring_problem_pair(), T1) == []
+
+    def test_awake_sets_grow_monotonically(self):
+        base = make_base(7)
+        wakeup = StaggeredWakeup(N, batch_size=3, interval=1)
+        adversary = ChurnAdversary(N, FlipChurn(base, 0.02), RngFactory(7).stream("adv"), wakeup=wakeup)
+        trace = run_simulation(n=N, algorithm=DynamicMIS(T1), adversary=adversary, rounds=T1, seed=7)
+        previous = frozenset()
+        for r in trace.rounds():
+            nodes = trace.topology(r).nodes
+            assert previous <= nodes
+            previous = nodes
+
+
+class TestFreezeAndMobilityScenarios:
+    def test_smis_decides_after_freeze(self):
+        base = make_base(8)
+        inner = ChurnAdversary(N, FlipChurn(base, 0.05), RngFactory(8).stream("adv"))
+        adversary = FreezeAfterAdversary(inner, freeze_round=10)
+        trace = run_simulation(n=N, algorithm=SMis(), adversary=adversary, rounds=10 + 4 * T1, seed=8)
+        done = rounds_to_completion(trace, start_round=10)
+        assert done is not None
+
+    def test_mobility_scenario_runs_and_stays_valid(self):
+        mobility = RandomWaypointMobility(N, radius=0.3, speed=0.02, rng=RngFactory(9).stream("mob"))
+        adversary = MobilityAdversary(mobility)
+        trace = run_simulation(n=N, algorithm=DynamicColoring(T1), adversary=adversary, rounds=2 * T1, seed=9)
+        assert verify_t_dynamic(trace, coloring_problem_pair(), T1) == []

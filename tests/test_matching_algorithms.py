@@ -1,0 +1,131 @@
+"""Tests of the maximal-matching extension (the §7.1 recipe demonstration)."""
+
+import pytest
+
+from repro.dynamics import generators
+from repro.dynamics.adversaries import ChurnAdversary, StaticAdversary
+from repro.dynamics.churn import FlipChurn
+from repro.problems import matching_problem_pair
+from repro.problems.matching import UNMATCHED, matched_pairs
+from repro.runtime.simulator import run_simulation
+from repro.utils.rng import RngFactory
+from repro.core import default_window, verify_never_retracts, verify_t_dynamic
+from repro.algorithms.matching import DMatch, DynamicMatching, SMatch, dynamic_matching
+
+
+def assert_is_maximal_matching(graph, assignment):
+    """Direct maximal-matching check used as ground truth in these tests."""
+    pairs = matched_pairs(assignment)
+    matched_nodes = {v for pair in pairs for v in pair}
+    # validity: matched pairs are edges, each node matched at most once (by construction of pairs)
+    for u, v in pairs:
+        assert graph.has_edge(u, v)
+    # every node decided, matched nodes consistent
+    for v in graph.nodes:
+        value = assignment.get(v)
+        assert value is not None
+        if value != UNMATCHED:
+            assert (min(v, value), max(v, value)) in pairs
+    # maximality: no edge with both endpoints unmatched
+    for u, v in graph.edges:
+        assert not (assignment.get(u) == UNMATCHED and assignment.get(v) == UNMATCHED)
+
+
+class TestDMatch:
+    def test_static_graph_reaches_maximal_matching(self, medium_gnp):
+        n = medium_gnp.num_nodes
+        trace = run_simulation(
+            n=n, algorithm=DMatch(), adversary=StaticAdversary(medium_gnp), rounds=80, seed=1
+        )
+        final = trace.outputs(trace.num_rounds)
+        assert_is_maximal_matching(medium_gnp, final)
+
+    def test_never_retracts(self, medium_gnp):
+        n = medium_gnp.num_nodes
+        adversary = ChurnAdversary(n, FlipChurn(medium_gnp, 0.03), RngFactory(2).stream("adv"))
+        trace = run_simulation(n=n, algorithm=DMatch(), adversary=adversary, rounds=50, seed=2)
+        assert verify_never_retracts(trace) == []
+
+    def test_matched_partners_adjacent_in_union_graph(self, medium_gnp):
+        n = medium_gnp.num_nodes
+        adversary = ChurnAdversary(n, FlipChurn(medium_gnp, 0.05), RngFactory(3).stream("adv"))
+        trace = run_simulation(n=n, algorithm=DMatch(), adversary=adversary, rounds=50, seed=3)
+        final = trace.outputs(trace.num_rounds)
+        union = trace.graph.union_graph(trace.num_rounds, trace.num_rounds)
+        for u, v in matched_pairs(final):
+            assert union.has_edge(u, v)
+
+    def test_isolated_nodes_become_unmatched(self):
+        topo = generators.empty(5)
+        trace = run_simulation(n=5, algorithm=DMatch(), adversary=StaticAdversary(topo), rounds=5, seed=4)
+        assert all(value == UNMATCHED for value in trace.outputs(5).values())
+
+
+class TestSMatch:
+    def test_static_graph_converges_and_stays(self, medium_gnp):
+        n = medium_gnp.num_nodes
+        algorithm = SMatch()
+        trace = run_simulation(
+            n=n, algorithm=algorithm, adversary=StaticAdversary(medium_gnp), rounds=100, seed=5
+        )
+        final = trace.outputs(trace.num_rounds)
+        pairs = matched_pairs(final)
+        assert pairs  # something matched
+        for u, v in pairs:
+            assert medium_gnp.has_edge(u, v)
+        # Maximality over the internal decisions: no edge joins two nodes that
+        # both consider themselves unmatched or free (⊥ outputs hide the
+        # internal unmatched state, see SMatch.output).
+        matched_nodes = {v for pair in pairs for v in pair}
+        for u, v in medium_gnp.edges:
+            assert u in matched_nodes or v in matched_nodes
+        # stability after convergence: last 10 rounds identical
+        for r in range(trace.num_rounds - 9, trace.num_rounds + 1):
+            assert trace.outputs(r) == final
+
+    def test_matched_pair_unmatches_when_edge_disappears(self):
+        pair_graph = generators.path(2)
+        apart = generators.empty(2)
+        from repro.dynamics.adversaries import ScriptedAdversary
+
+        adversary = ScriptedAdversary([pair_graph] * 10 + [apart] * 3)
+        trace = run_simulation(n=2, algorithm=SMatch(), adversary=adversary, rounds=13, seed=6)
+        mid = trace.outputs(10)
+        assert mid == {0: 1, 1: 0}
+        final = trace.outputs(13)
+        assert final[0] != 1 and final[1] != 0  # the stale partners were dropped
+
+    def test_repair_metric_counts_events(self, small_gnp):
+        n = small_gnp.num_nodes
+        algorithm = SMatch()
+        adversary = ChurnAdversary(n, FlipChurn(small_gnp, 0.2), RngFactory(7).stream("adv"))
+        run_simulation(n=n, algorithm=algorithm, adversary=adversary, rounds=40, seed=7)
+        assert algorithm.metrics()["repair_events"] > 0
+
+
+class TestDynamicMatching:
+    def test_t_dynamic_under_churn(self, medium_gnp):
+        n = medium_gnp.num_nodes
+        T1 = default_window(n)
+        adversary = ChurnAdversary(n, FlipChurn(medium_gnp, 0.02), RngFactory(8).stream("adv"))
+        trace = run_simulation(n=n, algorithm=DynamicMatching(T1), adversary=adversary, rounds=3 * T1, seed=8)
+        violations = verify_t_dynamic(trace, matching_problem_pair(), T1)
+        assert len(violations) <= 0.05 * trace.num_rounds
+
+    def test_static_graph_valid_and_stable(self, small_gnp):
+        n = small_gnp.num_nodes
+        T1 = default_window(n)
+        trace = run_simulation(
+            n=n, algorithm=DynamicMatching(T1), adversary=StaticAdversary(small_gnp), rounds=4 * T1, seed=9
+        )
+        assert verify_t_dynamic(trace, matching_problem_pair(), T1) == []
+        final = trace.outputs(trace.num_rounds)
+        assert_is_maximal_matching(small_gnp, final)
+        grace = 3 * T1
+        for v in range(n):
+            values = {trace.output_of(v, r) for r in range(grace + 1, trace.num_rounds + 1)}
+            assert len(values) == 1
+
+    def test_factory(self):
+        assert dynamic_matching(100).T1 == default_window(100)
+        assert dynamic_matching(100, window=7).T1 == 7

@@ -1,0 +1,192 @@
+"""Tests of the problem framework: LCL base, MIS pair, colouring pair, matching, vertex cover."""
+
+import pytest
+
+from repro.dynamics.topology import Topology
+from repro.dynamics import generators
+from repro.problems import (
+    DominatingSetProblem,
+    IndependentSetProblem,
+    DegreePlusOneRangeProblem,
+    ProperColoringProblem,
+    MatchingMaximalityProblem,
+    MatchingValidityProblem,
+    UNMATCHED,
+    VertexCoverCoverageProblem,
+    VertexCoverMinimalityProblem,
+    coloring_problem_pair,
+    is_maximal_independent_set,
+    is_proper_coloring,
+    matching_problem_pair,
+    mis_problem_pair,
+    vertex_cover_problem_pair,
+)
+from repro.problems.mis import mis_assignment_from_set
+from repro.problems.coloring import num_colors_used
+from repro.problems.matching import matched_pairs
+
+
+@pytest.fixture
+def path5():
+    return generators.path(5)
+
+
+class TestIndependentSet:
+    def test_solution_check(self, path5):
+        problem = IndependentSetProblem()
+        good = {0: 1, 1: 0, 2: 1, 3: 0, 4: 1}
+        bad = {0: 1, 1: 1, 2: 0, 3: 0, 4: 1}
+        assert problem.is_solution(path5, good)
+        assert not problem.is_solution(path5, bad)
+        assert problem.violations(path5, bad) == [0, 1]
+
+    def test_partial_packing(self, path5):
+        problem = IndependentSetProblem()
+        assert problem.is_partial_packing(path5, {0: 1, 2: 1})
+        assert not problem.is_partial_packing(path5, {0: 1, 1: 1})
+
+    def test_undecided_nodes_reported(self, path5):
+        problem = IndependentSetProblem()
+        assert problem.undecided_nodes(path5, {0: 1}) == [1, 2, 3, 4]
+
+    def test_members_helper(self):
+        assert IndependentSetProblem.members({0: 1, 1: 0, 2: None}) == frozenset({0})
+
+
+class TestDominatingSet:
+    def test_solution_check(self, path5):
+        problem = DominatingSetProblem()
+        good = {0: 1, 1: 0, 2: 1, 3: 0, 4: 1}
+        assert problem.is_solution(path5, good)
+        bad = {0: 0, 1: 0, 2: 1, 3: 0, 4: 1}
+        assert not problem.is_solution(path5, bad)
+
+    def test_partial_covering_only_checks_declared_dominated(self, path5):
+        problem = DominatingSetProblem()
+        # Node 4 declared dominated without a dominator -> not partial covering.
+        assert not problem.is_partial_covering(path5, {4: 0})
+        # Node 4 undecided -> fine; node 3 dominated by 2.
+        assert problem.is_partial_covering(path5, {2: 1, 3: 0})
+
+
+class TestMisPair:
+    def test_pair_full_solution(self, path5):
+        pair = mis_problem_pair()
+        mis = {0, 2, 4}
+        assignment = mis_assignment_from_set(path5, mis)
+        assert pair.is_full_solution(path5, assignment)
+        assert is_maximal_independent_set(path5, mis)
+
+    def test_not_maximal(self, path5):
+        assert not is_maximal_independent_set(path5, {0})
+        assert not is_maximal_independent_set(path5, {0, 1})
+
+    def test_partial_solution_characterisation(self, path5):
+        pair = mis_problem_pair()
+        # Independent but with an undominated declared-dominated node.
+        assert not pair.is_partial_solution(path5, {0: 1, 3: 0})
+        assert pair.is_partial_solution(path5, {0: 1, 1: 0})
+
+    def test_members_outside_graph_rejected(self, triangle):
+        assert not is_maximal_independent_set(triangle, {99})
+
+
+class TestColoringPair:
+    def test_proper_coloring_check(self, path5):
+        assert is_proper_coloring(path5, {0: 1, 1: 2, 2: 1, 3: 2, 4: 1})
+        assert not is_proper_coloring(path5, {0: 1, 1: 1, 2: 2, 3: 1, 4: 2})
+        assert not is_proper_coloring(path5, {0: 1})  # incomplete
+        assert is_proper_coloring(path5, {0: 1}, require_complete=False)
+
+    def test_degree_plus_one_range(self, path5):
+        problem = DegreePlusOneRangeProblem()
+        assert problem.check_node(path5, {0: 2}, 0)   # deg(0)+1 = 2
+        assert not problem.check_node(path5, {0: 3}, 0)
+        assert not problem.check_node(path5, {0: 0}, 0)
+
+    def test_partial_characterisations(self, path5):
+        packing = ProperColoringProblem()
+        covering = DegreePlusOneRangeProblem()
+        assert packing.is_partial_packing(path5, {0: 1, 1: 2})
+        assert not packing.is_partial_packing(path5, {0: 1, 1: 1})
+        assert covering.is_partial_covering(path5, {1: 3})
+        assert not covering.is_partial_covering(path5, {0: 5})
+
+    def test_pair_name_and_full_solution(self, path5):
+        pair = coloring_problem_pair()
+        assignment = {0: 1, 1: 2, 2: 1, 3: 2, 4: 1}
+        assert pair.is_full_solution(path5, assignment)
+        assert "proper-coloring" in pair.name
+
+    def test_num_colors_used(self):
+        assert num_colors_used({0: 1, 1: 2, 2: 1, 3: None}) == 2
+
+
+class TestMatchingPair:
+    def test_valid_matching(self, path5):
+        validity = MatchingValidityProblem()
+        maximality = MatchingMaximalityProblem()
+        assignment = {0: 1, 1: 0, 2: 3, 3: 2, 4: UNMATCHED}
+        assert validity.is_solution(path5, assignment)
+        assert maximality.is_solution(path5, assignment)
+        assert matching_problem_pair().is_full_solution(path5, assignment)
+        assert matched_pairs(assignment) == frozenset({(0, 1), (2, 3)})
+
+    def test_non_mutual_pointer_invalid(self, path5):
+        validity = MatchingValidityProblem()
+        assert not validity.check_node(path5, {0: 1, 1: UNMATCHED}, 0)
+
+    def test_non_edge_partner_invalid(self, path5):
+        validity = MatchingValidityProblem()
+        assert not validity.check_node(path5, {0: 3, 3: 0}, 0)
+
+    def test_maximality_violated_by_uncovered_edge(self, path5):
+        maximality = MatchingMaximalityProblem()
+        assignment = {0: UNMATCHED, 1: UNMATCHED, 2: 3, 3: 2, 4: UNMATCHED}
+        assert not maximality.check_node(path5, assignment, 0)
+
+    def test_partial_semantics(self, path5):
+        validity = MatchingValidityProblem()
+        maximality = MatchingMaximalityProblem()
+        # Pointing at an undecided partner is not partial covering.
+        assert not validity.check_node_partial(path5, {0: 1}, 0)
+        assert validity.check_node_partial(path5, {0: 1, 1: 0}, 0)
+        # Unmatched next to an undecided node is still fine for partial packing.
+        assert maximality.check_node_partial(path5, {0: UNMATCHED}, 0)
+        assert not maximality.check_node_partial(path5, {0: UNMATCHED, 1: UNMATCHED}, 0)
+
+
+class TestVertexCoverPair:
+    def test_cover_and_minimality(self, path5):
+        coverage = VertexCoverCoverageProblem()
+        minimality = VertexCoverMinimalityProblem()
+        assignment = {0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+        assert coverage.is_solution(path5, assignment)
+        assert minimality.is_solution(path5, assignment)
+        assert vertex_cover_problem_pair().is_full_solution(path5, assignment)
+
+    def test_uncovered_edge_detected(self, path5):
+        coverage = VertexCoverCoverageProblem()
+        assert not coverage.check_node(path5, {0: 0, 1: 0}, 0)
+
+    def test_redundant_cover_node_detected(self):
+        triangle = Topology([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        minimality = VertexCoverMinimalityProblem()
+        all_in = {0: 1, 1: 1, 2: 1}
+        assert not minimality.check_node(triangle, all_in, 0)
+
+    def test_complement_of_mis_is_minimal_cover(self, medium_gnp):
+        """Cross-validation: V minus a greedy MIS is a minimal vertex cover."""
+        from repro.algorithms.mis.greedy import greedy_mis
+
+        mis = greedy_mis(medium_gnp)
+        assignment = {v: (0 if v in mis else 1) for v in medium_gnp.nodes}
+        assert vertex_cover_problem_pair().is_full_solution(medium_gnp, assignment)
+
+    def test_partial_semantics(self, path5):
+        coverage = VertexCoverCoverageProblem()
+        minimality = VertexCoverMinimalityProblem()
+        assert coverage.check_node_partial(path5, {0: 0}, 0)
+        assert not coverage.check_node_partial(path5, {0: 0, 1: 0}, 0)
+        assert not minimality.check_node_partial(path5, {0: 1}, 0)
+        assert minimality.check_node_partial(path5, {0: 1, 1: 0}, 0)

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for the core data structures and problem invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.types import canonical_edge
+from repro.dynamics.topology import Topology
+from repro.dynamics.window import SlidingWindow
+from repro.problems.coloring import coloring_problem_pair, is_proper_coloring
+from repro.problems.mis import mis_assignment_from_set, mis_problem_pair
+from repro.runtime.messages import estimate_bits
+from repro.algorithms.coloring.greedy import greedy_coloring
+from repro.algorithms.mis.greedy import greedy_mis
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+NODE_COUNT = st.integers(min_value=2, max_value=12)
+
+
+@st.composite
+def topologies(draw, min_nodes=2, max_nodes=12):
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible)) if possible else st.just([]))
+    return Topology(range(n), edges)
+
+
+@st.composite
+def topology_sequences(draw, length=6, n=8):
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    sequence = []
+    for _ in range(length):
+        edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible)))
+        sequence.append(Topology(range(n), edges))
+    return sequence
+
+
+# ---------------------------------------------------------------------------
+# Basic structures
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, 1000), st.integers(0, 1000))
+def test_canonical_edge_is_sorted_or_raises(u, v):
+    if u == v:
+        return
+    edge = canonical_edge(u, v)
+    assert edge[0] < edge[1]
+    assert edge == canonical_edge(v, u)
+
+
+@given(topologies())
+def test_degree_sums_to_twice_edges(topo):
+    assert sum(topo.degree(v) for v in topo.nodes) == 2 * topo.num_edges
+
+
+@given(topologies(), st.integers(0, 3))
+def test_ball_monotone_in_radius(topo, radius):
+    center = min(topo.nodes)
+    assert topo.ball(center, radius) <= topo.ball(center, radius + 1)
+
+
+@given(topologies())
+def test_subgraph_of_all_nodes_is_identity(topo):
+    assert topo.subgraph(topo.nodes) == topo
+
+
+@settings(max_examples=30)
+@given(topology_sequences(), st.integers(1, 6))
+def test_sliding_window_matches_bruteforce(sequence, T):
+    window = SlidingWindow(T)
+    for r, topo in enumerate(sequence, start=1):
+        snap = window.push(topo)
+        lo = max(0, r - T)
+        expected_union = set()
+        expected_inter = set(sequence[lo].edges)
+        for t in sequence[lo:r]:
+            expected_union |= t.edges
+            expected_inter &= t.edges
+        assert snap.union.edges == frozenset(expected_union)
+        assert snap.intersection.edges == frozenset(expected_inter)
+
+
+@settings(max_examples=30)
+@given(topology_sequences(length=5))
+def test_intersection_subset_of_union(sequence):
+    window = SlidingWindow(3)
+    for topo in sequence:
+        snap = window.push(topo)
+        assert snap.intersection.edges <= snap.union.edges
+        assert snap.intersection.nodes == snap.union.nodes
+
+
+# ---------------------------------------------------------------------------
+# Packing / covering monotonicity (Definition 3.1)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40)
+@given(topologies())
+def test_greedy_coloring_solves_pair_and_survives_edge_removal(topo):
+    pair = coloring_problem_pair()
+    colors = greedy_coloring(topo)
+    assert pair.packing.is_solution(topo, colors)
+    assert pair.covering.is_solution(topo, colors)
+    # Packing survives removing an arbitrary edge.
+    if topo.edges:
+        edge = sorted(topo.edges)[0]
+        smaller = topo.with_edges(remove=[edge])
+        assert pair.packing.is_solution(smaller, colors)
+
+
+@settings(max_examples=40)
+@given(topologies())
+def test_degree_range_covering_survives_edge_addition(topo):
+    pair = coloring_problem_pair()
+    colors = greedy_coloring(topo)
+    nodes = sorted(topo.nodes)
+    missing = [
+        (u, v)
+        for i, u in enumerate(nodes)
+        for v in nodes[i + 1 :]
+        if not topo.has_edge(u, v)
+    ]
+    if missing:
+        bigger = topo.with_edges(add=[missing[0]])
+        assert pair.covering.is_solution(bigger, colors)
+
+
+@settings(max_examples=40)
+@given(topologies())
+def test_greedy_mis_solves_pair_with_expected_monotonicity(topo):
+    pair = mis_problem_pair()
+    assignment = mis_assignment_from_set(topo, greedy_mis(topo))
+    assert pair.packing.is_solution(topo, assignment)
+    assert pair.covering.is_solution(topo, assignment)
+    # Independence survives edge removal.
+    if topo.edges:
+        smaller = topo.with_edges(remove=[sorted(topo.edges)[0]])
+        assert pair.packing.is_solution(smaller, assignment)
+    # Domination survives edge addition.
+    nodes = sorted(topo.nodes)
+    missing = [
+        (u, v)
+        for i, u in enumerate(nodes)
+        for v in nodes[i + 1 :]
+        if not topo.has_edge(u, v)
+    ]
+    if missing:
+        bigger = topo.with_edges(add=[missing[0]])
+        assert pair.covering.is_solution(bigger, assignment)
+
+
+@settings(max_examples=40)
+@given(topologies())
+def test_greedy_coloring_is_proper_and_degree_bounded(topo):
+    colors = greedy_coloring(topo)
+    assert is_proper_coloring(topo, colors)
+    assert all(1 <= colors[v] <= topo.degree(v) + 1 for v in topo.nodes)
+
+
+# ---------------------------------------------------------------------------
+# Message accounting
+# ---------------------------------------------------------------------------
+
+@given(
+    st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(-10**6, 10**6), st.floats(allow_nan=False), st.text(max_size=8)),
+        lambda children: st.lists(children, max_size=4) | st.dictionaries(st.text(max_size=3), children, max_size=3),
+        max_leaves=8,
+    )
+)
+def test_estimate_bits_always_positive(message):
+    assert estimate_bits(message) >= 1

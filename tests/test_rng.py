@@ -1,0 +1,62 @@
+"""Unit tests for :mod:`repro.utils.rng`."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngFactory, derive_seed, spawn_generator
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_differs_by_name(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_differs_by_master_seed(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_non_negative_63_bit(self):
+        seed = derive_seed(123456789, "component", 42)
+        assert 0 <= seed < 2**63
+
+
+class TestRngFactory:
+    def test_same_stream_same_sequence(self):
+        a = RngFactory(3).stream("x")
+        b = RngFactory(3).stream("x")
+        assert list(a.integers(0, 100, 5)) == list(b.integers(0, 100, 5))
+
+    def test_different_streams_differ(self):
+        factory = RngFactory(3)
+        a = factory.stream("x").random(4).tolist()
+        b = factory.stream("y").random(4).tolist()
+        assert a != b
+
+    def test_node_streams_independent(self):
+        factory = RngFactory(3)
+        streams = factory.node_streams("alg", range(4))
+        values = {node: float(rng.random()) for node, rng in streams.items()}
+        assert len(set(values.values())) == 4
+
+    def test_node_stream_matches_node_streams(self):
+        factory = RngFactory(9)
+        single = factory.node_stream("alg", 2)
+        multi = RngFactory(9).node_streams("alg", [2])[2]
+        assert float(single.random()) == float(multi.random())
+
+    def test_child_factories_are_independent(self):
+        factory = RngFactory(5)
+        child_a = factory.child("a")
+        child_b = factory.child("b")
+        assert float(child_a.stream("s").random()) != float(child_b.stream("s").random())
+
+    def test_seed_property(self):
+        assert RngFactory(77).seed == 77
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngFactory("not-a-seed")  # type: ignore[arg-type]
+
+    def test_spawn_generator_matches_factory(self):
+        assert float(spawn_generator(4, "z").random()) == float(RngFactory(4).stream("z").random())

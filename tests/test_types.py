@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.types`."""
+
+import pytest
+
+from repro.types import (
+    BOTTOM,
+    Interval,
+    MisState,
+    canonical_edge,
+    mis_state_to_value,
+    value_to_mis_state,
+)
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical_edge(3, 3)
+
+
+class TestMisState:
+    def test_decided_flags(self):
+        assert MisState.MIS.decided
+        assert MisState.DOMINATED.decided
+        assert not MisState.UNDECIDED.decided
+
+    def test_roundtrip_values(self):
+        for state in MisState:
+            assert value_to_mis_state(mis_state_to_value(state)) is state
+
+    def test_value_encoding_matches_paper(self):
+        assert mis_state_to_value(MisState.MIS) == 1
+        assert mis_state_to_value(MisState.DOMINATED) == 0
+        assert mis_state_to_value(MisState.UNDECIDED) is BOTTOM
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            value_to_mis_state(7)
+
+
+class TestInterval:
+    def test_membership_and_length(self):
+        interval = Interval(3, 7)
+        assert 3 in interval and 7 in interval and 5 in interval
+        assert 2 not in interval and 8 not in interval
+        assert len(interval) == 5
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_shift(self):
+        assert Interval(1, 3).shift(4) == Interval(5, 7)
+
+    def test_intersect_overlap(self):
+        assert Interval(1, 5).intersect(Interval(4, 9)) == Interval(4, 5)
+
+    def test_intersect_disjoint(self):
+        assert Interval(1, 3).intersect(Interval(5, 9)) is None
+
+    def test_non_integer_not_member(self):
+        assert "3" not in Interval(1, 5)

@@ -1,0 +1,60 @@
+"""Unit tests for :mod:`repro.utils.validation`."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.1])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", value)
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", True)
+        with pytest.raises(ConfigurationError):
+            check_positive("x", "3")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -2)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0, 0.5, 1])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == float(value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", value)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", 3.5, (int, float)) == 3.5
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            check_type("x", "3", int)

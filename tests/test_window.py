@@ -1,0 +1,112 @@
+"""Unit tests for the incremental sliding window (Definition 2.1 machinery)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dynamics.topology import Topology
+from repro.dynamics.window import SlidingWindow
+
+
+def topo(edges, nodes=range(4)):
+    return Topology(nodes, edges)
+
+
+class TestSlidingWindowBasics:
+    def test_invalid_window_size(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(0)
+
+    def test_empty_window(self):
+        window = SlidingWindow(3)
+        assert window.window_length == 0
+        assert window.intersection_nodes() == frozenset()
+        assert window.union_edges() == frozenset()
+
+    def test_single_round(self):
+        window = SlidingWindow(3)
+        snap = window.push(topo([(0, 1), (2, 3)]))
+        assert snap.intersection.edges == frozenset({(0, 1), (2, 3)})
+        assert snap.union.edges == frozenset({(0, 1), (2, 3)})
+        assert snap.window_length == 1
+
+    def test_intersection_and_union(self):
+        window = SlidingWindow(2)
+        window.push(topo([(0, 1)]))
+        snap = window.push(topo([(0, 1), (1, 2)]))
+        assert snap.intersection.edges == frozenset({(0, 1)})
+        assert snap.union.edges == frozenset({(0, 1), (1, 2)})
+
+    def test_eviction(self):
+        window = SlidingWindow(2)
+        window.push(topo([(0, 1)]))
+        window.push(topo([(1, 2)]))
+        snap = window.push(topo([(2, 3)]))
+        # Round 1's edge (0,1) left the window.
+        assert (0, 1) not in snap.union.edges
+        assert snap.union.edges == frozenset({(1, 2), (2, 3)})
+        assert snap.intersection.edges == frozenset()
+
+    def test_node_intersection(self):
+        window = SlidingWindow(2)
+        window.push(Topology([0, 1], [(0, 1)]))
+        snap = window.push(Topology([0, 1, 2], [(0, 1), (1, 2)]))
+        # Node 2 was not awake in the first round of the window, so it is not
+        # in V^{T∩}; the union edge set is nevertheless unrestricted
+        # (Definition 2.1 / "neighbours seen during the window").
+        assert snap.intersection.nodes == frozenset({0, 1})
+        assert (1, 2) in snap.union.edges
+
+    def test_union_edges_unrestricted(self):
+        window = SlidingWindow(2)
+        window.push(Topology([0, 1], [(0, 1)]))
+        window.push(Topology([0, 1, 2], [(1, 2)]))
+        assert window.union_edges() == frozenset({(0, 1), (1, 2)})
+        assert window.union_edges_all() == window.union_edges()
+
+    def test_union_degree_counts_all_neighbours_seen(self):
+        window = SlidingWindow(3)
+        window.push(topo([(0, 1)]))
+        window.push(topo([(0, 2)]))
+        window.push(topo([(0, 3)]))
+        assert window.union_degree(0) == 3
+        assert window.union_degree(1) == 1
+        assert window.union_degree(99) == 0
+
+    def test_round_index_advances(self):
+        window = SlidingWindow(2)
+        assert window.round_index == 0
+        window.push(topo([]))
+        window.push(topo([]))
+        window.push(topo([]))
+        assert window.round_index == 3
+        assert window.window_length == 2
+
+    def test_over_classmethod(self):
+        topologies = [topo([(0, 1)]), topo([(1, 2)]), topo([(1, 2), (2, 3)])]
+        window = SlidingWindow.over(topologies, T=2)
+        assert window.intersection_edges() == frozenset({(1, 2)})
+        assert window.history() == tuple(topologies[1:])
+
+
+class TestAgainstBruteForce:
+    def test_matches_direct_computation(self, rng_factory):
+        rng = rng_factory.stream("window-brute")
+        nodes = list(range(6))
+        all_edges = [(i, j) for i in nodes for j in nodes if i < j]
+        topologies = []
+        for _ in range(12):
+            mask = rng.random(len(all_edges)) < 0.4
+            edges = [e for e, keep in zip(all_edges, mask) if keep]
+            topologies.append(Topology(nodes, edges))
+        T = 4
+        window = SlidingWindow(T)
+        for r, topology in enumerate(topologies, start=1):
+            snap = window.push(topology)
+            lo = max(0, r - T)
+            expected_union = set()
+            expected_intersection = set(topologies[lo].edges)
+            for t in topologies[lo:r]:
+                expected_union |= t.edges
+                expected_intersection &= t.edges
+            assert snap.union.edges == frozenset(expected_union)
+            assert snap.intersection.edges == frozenset(expected_intersection)
