@@ -3,6 +3,10 @@
 Regenerates the rounds-to-completion series for the basic static colouring and
 for DColor under 1% edge churn, for n = 32 … 512, and reports the ratio to
 log₂ n (paper claim: bounded as n grows).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
 """
 
 from repro.analysis.experiments import experiment_e01_coloring_convergence

@@ -2,6 +2,10 @@
 
 Regenerates the per-round statistics: conditioned on a node's palette *not*
 shrinking by ≥ 1/4, the node must be coloured with probability ≥ 1/64.
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
 """
 
 from repro.analysis.experiments import experiment_e02_palette_lemma

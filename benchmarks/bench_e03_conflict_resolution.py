@@ -1,4 +1,9 @@
-"""E3 — conflicts from adversarially inserted edges resolve within the window (Corollary 1.2)."""
+"""E3 — conflicts from adversarially inserted edges resolve within the window (Corollary 1.2).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e03_conflict_resolution
 from bench_utils import regenerate

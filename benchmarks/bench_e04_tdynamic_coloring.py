@@ -1,4 +1,9 @@
-"""E4 — T-dynamic validity of the combined colouring across churn rates (Theorem 1.1(1) + Cor. 1.2)."""
+"""E4 — T-dynamic validity of the combined colouring across churn rates (Theorem 1.1(1) + Cor. 1.2).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e04_tdynamic_coloring
 from bench_utils import regenerate

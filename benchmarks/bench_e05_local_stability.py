@@ -1,4 +1,9 @@
-"""E5 — locally static graph ⇒ locally static output (Theorem 1.1(2), Corollaries 1.2/1.3)."""
+"""E5 — locally static graph ⇒ locally static output (Theorem 1.1(2), Corollaries 1.2/1.3).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e05_local_stability
 from bench_utils import regenerate

@@ -1,4 +1,9 @@
-"""E6 — DMis undecided-edge decay (Lemma 5.2: E[|E(H_{r+2})|] <= (2/3)·|E(H_r)|)."""
+"""E6 — DMis undecided-edge decay (Lemma 5.2: E[|E(H_{r+2})|] <= (2/3)·|E(H_r)|).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e06_mis_edge_decay
 from bench_utils import regenerate

@@ -1,4 +1,9 @@
-"""E7 — DMis completion time and DynamicMIS sliding-window validity (Lemma 5.4, Corollary 1.3)."""
+"""E7 — DMis completion time and DynamicMIS sliding-window validity (Lemma 5.4, Corollary 1.3).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e07_mis_convergence
 from bench_utils import regenerate

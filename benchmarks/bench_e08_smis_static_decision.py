@@ -1,4 +1,9 @@
-"""E8 — SMis decides quickly once the graph (and hence every 2-neighbourhood) freezes (Lemma 5.6)."""
+"""E8 — SMis decides quickly once the graph (and hence every 2-neighbourhood) freezes (Lemma 5.6).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e08_smis_freeze_decision
 from bench_utils import regenerate

@@ -1,4 +1,9 @@
-"""E9 — framework vs recovery-style baselines under continuous churn (Section 1 motivation)."""
+"""E9 — framework vs recovery-style baselines under continuous churn (Section 1 motivation).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e09_baseline_comparison
 from bench_utils import regenerate

@@ -1,4 +1,9 @@
-"""E10 — adversary sensitivity (2-oblivious vs adaptive; remarks after Lemma 5.2 / §4.3)."""
+"""E10 — adversary sensitivity (2-oblivious vs adaptive; remarks after Lemma 5.2 / §4.3).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e10_adversary_sensitivity
 from bench_utils import regenerate

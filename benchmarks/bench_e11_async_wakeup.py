@@ -1,4 +1,9 @@
-"""E11 — guarantees are preserved under asynchronous wake-up (Sections 2 / 7.2)."""
+"""E11 — guarantees are preserved under asynchronous wake-up (Sections 2 / 7.2).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e11_async_wakeup
 from bench_utils import regenerate

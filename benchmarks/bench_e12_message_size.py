@@ -1,4 +1,9 @@
-"""E12 — message sizes stay polylogarithmic in n (Section 2 remark)."""
+"""E12 — message sizes stay polylogarithmic in n (Section 2 remark).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e12_message_size
 from bench_utils import regenerate

@@ -1,4 +1,9 @@
-"""E13 — ablations of the paper's design choices (intersection graph, un-decide rules, backbone)."""
+"""E13 — ablations of the paper's design choices (intersection graph, un-decide rules, backbone).
+
+The experiment is declared and executed through the ``repro.scenarios``
+registry/spec API; seed replications run on the parallel batch executor
+(see ``bench_utils.regenerate``).
+"""
 
 from repro.analysis.experiments import experiment_e13_ablations
 from bench_utils import regenerate

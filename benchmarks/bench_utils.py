@@ -1,8 +1,16 @@
-"""Shared helpers for the benchmark modules."""
+"""Shared helpers for the benchmark modules.
+
+Every benchmark regenerates one experiment through the declarative scenario
+API (:mod:`repro.scenarios`).  The seed replications and sweep points inside
+an experiment are independent work units, so :func:`regenerate` runs them on
+the parallel batch executor by default — set ``REPRO_BENCH_SERIAL=1`` to
+force the (row-identical) serial path.
+"""
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Callable, Dict, List, Sequence
 
@@ -30,7 +38,12 @@ def regenerate(
     time, and a single execution keeps the whole benchmark suite laptop-sized.
     The table is printed (visible with ``-s``) and appended to
     ``benchmarks/results/tables.txt``.
+
+    Seed replications fan out across cores through the scenario batch
+    executor unless ``REPRO_BENCH_SERIAL=1`` (both paths produce identical
+    rows; the parallel one is just faster).
     """
+    kwargs.setdefault("parallel", os.environ.get("REPRO_BENCH_SERIAL") != "1")
     rows = benchmark.pedantic(lambda: experiment(**kwargs), rounds=1, iterations=1)
     table = format_table(rows, title=title, columns=columns)
     print()

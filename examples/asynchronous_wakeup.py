@@ -4,16 +4,16 @@
 Section 2 of the paper models gradual deployment by a growing awake-node set
 ``V_r``; Section 7.2 stresses that all presented algorithms use a single round
 type precisely so that late-waking nodes can simply start executing without a
-global clock.  This example deploys a sensor field in batches (a new batch
-powers on every few rounds), lets the links churn mildly, and runs both
-combined algorithms:
+global clock.  This example deploys a sensor field in batches — declared as a
+``staggered`` wake-up component on the scenario spec — lets the links churn
+mildly, and runs both combined algorithms:
 
-* ``DynamicColoring`` — slot assignment for the sensors' TDMA schedule;
-* ``DynamicMatching`` — pairing sensors for mutual health-checks (the §7.1
+* ``dynamic-coloring`` — slot assignment for the sensors' TDMA schedule;
+* ``dynamic-matching`` — pairing sensors for mutual health-checks (the §7.1
   recipe extension).
 
 For each it reports the sliding-window validity and when the last-deployed
-batch converged to a stable output.
+batch converged to a stable output (the ``last-wakers-convergence`` metric).
 
 Run with::
 
@@ -24,52 +24,47 @@ from __future__ import annotations
 
 import sys
 
-from repro import RngFactory, run_simulation
-from repro.dynamics import generators
-from repro.dynamics.adversaries import ChurnAdversary
-from repro.dynamics.churn import FlipChurn
-from repro.dynamics.wakeup import StaggeredWakeup
-from repro.algorithms.coloring import dynamic_coloring
-from repro.algorithms.matching import dynamic_matching
-from repro.problems import TDynamicSpec, coloring_problem_pair, matching_problem_pair
-from repro.analysis.convergence import completion_round_for_nodes
+from repro import ScenarioSpec, component, run_scenario
 from repro.analysis.report import format_table
 
 
-def run_one(label, algorithm, pair, n, rounds, wakeup, seed):
-    rng = RngFactory(seed)
-    base = generators.random_geometric(n, 0.2, rng.stream("field"))
-    adversary = ChurnAdversary(n, FlipChurn(base, 0.01), rng.stream("adversary"), wakeup=wakeup)
-    trace = run_simulation(n=n, algorithm=algorithm, adversary=adversary, rounds=rounds, seed=seed)
-
-    validity = TDynamicSpec(pair, algorithm.T1).validity_summary(trace)
-    last_batch = list(range(n - 8, n))  # the nodes that woke up last
-    last_batch_wake = max(
-        next(r for r in trace.rounds() if v in trace.topology(r).nodes) for v in last_batch
-    )
-    converged = completion_round_for_nodes(trace, last_batch, start_round=last_batch_wake)
-    return {
-        "algorithm": label,
-        "valid_fraction": validity["valid_fraction"],
-        "last_batch_wake_round": float(last_batch_wake),
-        "last_batch_decided_round": float(converged) if converged is not None else float("nan"),
-        "rounds_to_decide_after_wake": float(converged - last_batch_wake) if converged else float("nan"),
-    }
-
-
 def main(n: int = 96, rounds: int | None = None, seed: int = 3) -> int:
-    coloring = dynamic_coloring(n)
-    matching = dynamic_matching(n)
-    total_rounds = rounds if rounds is not None else 6 * coloring.T1
-    wakeup = StaggeredWakeup(n, batch_size=8, interval=3)
+    base = ScenarioSpec(
+        n=n,
+        topology=component("random_geometric", radius=0.2),
+        adversary=component("flip-churn", flip_prob=0.01),
+        wakeup=component("staggered", batch_size=8, interval=3),
+        algorithm="dynamic-coloring",
+        rounds=rounds if rounds is not None else "6*T1",
+        seeds=(seed,),
+    )
 
-    rows = [
-        run_one("dynamic-coloring (TDMA slots)", coloring, coloring_problem_pair(), n, total_rounds, wakeup, seed),
-        run_one("dynamic-matching (health-check pairs)", matching, matching_problem_pair(), n, total_rounds, wakeup, seed),
-    ]
+    rows = []
+    for label, algorithm, problem in (
+        ("dynamic-coloring (TDMA slots)", "dynamic-coloring", "coloring"),
+        ("dynamic-matching (health-check pairs)", "dynamic-matching", "matching"),
+    ):
+        spec = base.replace(
+            name=label,
+            algorithm=component(algorithm),
+            metrics=(
+                component("validity", problem=problem),
+                component("last-wakers-convergence", tail=8),
+            ),
+        )
+        row = run_scenario(spec).rows[0]
+        rows.append(
+            {
+                "algorithm": label,
+                "valid_fraction": row["valid_fraction"],
+                "last_batch_wake_round": row["last_batch_wake_round"],
+                "last_batch_decided_round": row["last_batch_decided_round"],
+                "rounds_to_decide_after_wake": row["rounds_to_decide_after_wake"],
+            }
+        )
 
     print(f"staggered deployment of {n} sensors (8 per batch, every 3 rounds), "
-          f"window T1={coloring.T1}, {total_rounds} rounds\n")
+          f"window T1={base.resolved_window()}, {base.resolved_rounds()} rounds\n")
     print(format_table(rows, title="guarantees under asynchronous wake-up"))
     print("Nodes awake for fewer than T1 rounds are unconstrained by the sliding-window\n"
           "definition (Definition 2.1), which is why validity stays at 1 even while batches join.")

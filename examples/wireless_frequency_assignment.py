@@ -7,9 +7,11 @@ channel.  In a mobile ad-hoc network the interference graph changes every
 round as nodes move, so a static colouring is useless — this is exactly the
 "highly dynamic" setting the framework targets.
 
-The script simulates ``n`` stations moving in the unit square under a
-random-waypoint model, connected whenever they are within radio range, and
-maintains a frequency assignment with ``DynamicColoring``.  It reports
+The scenario simulates ``n`` stations moving in the unit square under a
+random-waypoint model (the ``mobility`` adversary component), connected
+whenever they are within radio range, and maintains a frequency assignment
+with ``dynamic-coloring``.  A custom ``frequencies-in-use`` metric —
+registered here with the standard ``@METRICS.register`` decorator — reports
 
 * how often the assignment was a valid T-dynamic solution (proper on every
   link that persisted through the window, frequencies within each station's
@@ -27,52 +29,60 @@ from __future__ import annotations
 
 import sys
 
-from repro import RngFactory, run_simulation
-from repro.dynamics.adversaries import MobilityAdversary
-from repro.dynamics.mobility import RandomWaypointMobility
-from repro.algorithms.coloring import dynamic_coloring
-from repro.problems import TDynamicSpec, coloring_problem_pair
-from repro.problems.coloring import num_colors_used
+from repro import ScenarioSpec, component, run_scenario
 from repro.analysis.report import format_table
-from repro.analysis.stability import stability_summary
+from repro.problems.coloring import num_colors_used
+from repro.scenarios import METRICS
+
+
+@METRICS.register("frequencies-in-use")
+def _frequencies_in_use(ctx, *, warmup="2*T1"):
+    """Mean / max distinct output values per round after warm-up."""
+    start = ctx.resolve(warmup)
+    trace = ctx.trace
+    per_round = [num_colors_used(trace.outputs(r)) for r in range(start, trace.num_rounds + 1)]
+    if not per_round:
+        return {"mean_frequencies_in_use": float("nan"), "max_frequencies_in_use": float("nan")}
+    return {
+        "mean_frequencies_in_use": sum(per_round) / len(per_round),
+        "max_frequencies_in_use": float(max(per_round)),
+    }
 
 
 def main(n: int = 80, rounds: int | None = None, seed: int = 7) -> int:
-    rng = RngFactory(seed)
-
     # Stations move at 2% of the arena per round and hear each other within
     # ~1.5 average hop distances — a gently but continuously changing topology.
-    mobility = RandomWaypointMobility(
-        n, radius=0.18, speed=0.02, pause_probability=0.2, rng=rng.stream("mobility")
+    spec = ScenarioSpec(
+        name="wireless-frequency-assignment",
+        n=n,
+        adversary=component("mobility", radius=0.18, speed=0.02, pause_probability=0.2),
+        algorithm="dynamic-coloring",
+        rounds=rounds if rounds is not None else "5*T1",
+        seeds=(seed,),
+        metrics=(
+            component("validity", problem="coloring"),
+            component("stability", warmup="2*T1"),
+            component("frequencies-in-use", warmup="2*T1"),
+        ),
     )
-    adversary = MobilityAdversary(mobility)
+    row = run_scenario(spec).rows[0]
 
-    algorithm = dynamic_coloring(n)
-    total_rounds = rounds if rounds is not None else 5 * algorithm.T1
-    trace = run_simulation(
-        n=n, algorithm=algorithm, adversary=adversary, rounds=total_rounds, seed=seed
-    )
-
-    spec = TDynamicSpec(coloring_problem_pair(), algorithm.T1)
-    validity = spec.validity_summary(trace)
-    stability = stability_summary(trace, warmup=2 * algorithm.T1)
-
-    per_round_frequencies = [
-        num_colors_used(trace.outputs(r)) for r in range(2 * algorithm.T1, trace.num_rounds + 1)
-    ]
-    frequency_row = {
-        "mean_frequencies_in_use": sum(per_round_frequencies) / len(per_round_frequencies),
-        "max_frequencies_in_use": max(per_round_frequencies),
-        "stations": float(n),
-    }
-
-    print(f"frequency assignment for {n} mobile stations, window T1={algorithm.T1}, "
-          f"{total_rounds} rounds of random-waypoint mobility\n")
-    print(format_table([validity], title="T-dynamic validity of the assignment"))
-    print(format_table([frequency_row], title="frequencies in use (steady state)"))
+    print(f"frequency assignment for {n} mobile stations, window T1={spec.resolved_window()}, "
+          f"{spec.resolved_rounds()} rounds of random-waypoint mobility\n")
     print(format_table(
-        [stability],
+        [row],
+        title="T-dynamic validity of the assignment",
+        columns=("rounds_checked", "valid_rounds", "valid_fraction", "mean_violations"),
+    ))
+    print(format_table(
+        [row | {"stations": float(n)}],
+        title="frequencies in use (steady state)",
+        columns=("mean_frequencies_in_use", "max_frequencies_in_use", "stations"),
+    ))
+    print(format_table(
+        [row],
         title="re-tuning cost: per-round frequency switches after warm-up",
+        columns=("mean_changes", "max_changes", "change_rate"),
     ))
     return 0
 

@@ -53,6 +53,14 @@ from repro.problems import (
     TDynamicSpec,
 )
 from repro.core import Concat, default_window, run_combined
+from repro import scenarios
+from repro.scenarios import (
+    ScenarioSpec,
+    available,
+    component,
+    run_scenario,
+    sweep,
+)
 
 __all__ = [
     "__version__",
@@ -70,4 +78,10 @@ __all__ = [
     "Concat",
     "default_window",
     "run_combined",
+    "scenarios",
+    "ScenarioSpec",
+    "component",
+    "run_scenario",
+    "sweep",
+    "available",
 ]

@@ -31,7 +31,6 @@ from repro.analysis.convergence import (
 from repro.analysis.quality import coloring_quality, mis_quality, matching_quality
 from repro.analysis.sweep import Replication, aggregate_rows, replicate
 from repro.analysis.report import format_table, rows_to_csv
-from repro.analysis import experiments
 
 __all__ = [
     "count_monochromatic_edges",
@@ -54,3 +53,13 @@ __all__ = [
     "rows_to_csv",
     "experiments",
 ]
+
+
+def __getattr__(name):
+    # Imported lazily (PEP 562): the experiments build on repro.scenarios,
+    # which itself imports this package — eager import would be a cycle.
+    if name == "experiments":
+        import importlib
+
+        return importlib.import_module("repro.analysis.experiments")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

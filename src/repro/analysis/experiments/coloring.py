@@ -2,26 +2,21 @@
 
 Each function returns a list of row dicts; see DESIGN.md §3 for the mapping
 from experiment id to paper claim, and EXPERIMENTS.md for recorded outcomes.
+
+All four experiments are expressed through the declarative scenario API
+(:mod:`repro.scenarios`): a workload is a :class:`ScenarioSpec` whose
+components are registry names, seed replication and grids run through
+:func:`run_scenario` / :func:`sweep`, and the rows are aggregated from the
+per-seed results.  The rng stream layout matches the pre-scenario harness, so
+regenerated numbers are unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.utils.rng import RngFactory
-from repro.dynamics.adversaries.targeted_coloring import TargetedColoringAdversary
-from repro.problems.coloring import coloring_problem_pair
-from repro.problems.dynamic_problem import TDynamicSpec
-from repro.runtime.simulator import Simulator, run_simulation
-from repro.core.windows import default_window
-from repro.algorithms.coloring.basic_static import BasicColoring
-from repro.algorithms.coloring.dcolor import DColor
-from repro.algorithms.coloring.dynamic_coloring import DynamicColoring
-from repro.analysis.conflicts import conflict_resolution_times
-from repro.analysis.convergence import rounds_to_completion
-from repro.analysis.quality import coloring_quality
-from repro.analysis.sweep import aggregate_rows, replicate
-from repro.analysis.experiments.common import base_topology, churn_adversary, log2, static_adversary
+from repro.scenarios import ScenarioSpec, component, run_scenario, sweep
+from repro.analysis.experiments.common import DEFAULT_FAMILY, log2
 
 __all__ = [
     "experiment_e01_coloring_convergence",
@@ -43,6 +38,7 @@ def experiment_e01_coloring_convergence(
     seeds: Sequence[int] = (0, 1, 2),
     flip_prob: float = 0.01,
     max_round_factor: int = 20,
+    parallel: bool = False,
 ) -> List[Row]:
     """E1: completion rounds of BasicColoring (static) and DColor (under churn) vs ``n``.
 
@@ -50,56 +46,43 @@ def experiment_e01_coloring_convergence(
     rounds w.h.p.; the measured completion round divided by ``log₂ n`` should
     therefore stay bounded as ``n`` grows.
     """
+    static_spec = ScenarioSpec(
+        n=max(sizes),
+        name="basic-static",
+        topology=DEFAULT_FAMILY,
+        algorithm="basic-coloring",
+        adversary="static",
+        rounds=f"{max_round_factor}*log2n + 10",
+        seeds=tuple(seeds),
+        stop="all-decided",
+        metrics=(component("convergence", on_incomplete="nan"),),
+    )
+    dynamic_spec = static_spec.replace(
+        name="dcolor-churn",
+        algorithm=component("dcolor"),
+        adversary=component("flip-churn", flip_prob=flip_prob),
+    )
+    static_results = sweep(static_spec, over={"n": list(sizes)}, parallel=parallel)
+    dynamic_results = sweep(dynamic_spec, over={"n": list(sizes)}, parallel=parallel)
+
     rows: List[Row] = []
-    for n in sizes:
-        max_rounds = int(max_round_factor * log2(n)) + 10
-
-        def run_static(seed: int, n: int = n, max_rounds: int = max_rounds) -> Row:
-            base = base_topology(n, seed)
-            trace = run_simulation(
-                n=n,
-                algorithm=BasicColoring(),
-                adversary=static_adversary(base),
-                rounds=max_rounds,
-                seed=seed,
-                stop_when=lambda t: rounds_to_completion(t) is not None,
-            )
-            done = rounds_to_completion(trace)
-            return {"rounds": float(done) if done is not None else float("nan")}
-
-        def run_dynamic(seed: int, n: int = n, max_rounds: int = max_rounds) -> Row:
-            base = base_topology(n, seed)
-            adversary = churn_adversary(base, seed, flip_prob=flip_prob)
-            trace = run_simulation(
-                n=n,
-                algorithm=DColor(),
-                adversary=adversary,
-                rounds=max_rounds,
-                seed=seed,
-                stop_when=lambda t: rounds_to_completion(t) is not None,
-            )
-            done = rounds_to_completion(trace)
-            return {"rounds": float(done) if done is not None else float("nan")}
-
-        static_rep = replicate(run_static, seeds, label=f"static-n{n}")
-        dynamic_rep = replicate(run_dynamic, seeds, label=f"dynamic-n{n}")
+    for static_res, dynamic_res in zip(static_results, dynamic_results):
+        n = static_res.spec.n
         rows.append(
-            aggregate_rows(
-                static_rep,
+            static_res.aggregate(
                 mean_keys=("rounds",),
                 max_keys=("rounds",),
                 extra={"n": float(n), "log2_n": log2(n), "algorithm": 0.0},
             )
-            | {"setting": "basic-static", "rounds_over_log2n": static_rep.mean("rounds") / log2(n)}
+            | {"setting": "basic-static", "rounds_over_log2n": static_res.mean("rounds") / log2(n)}
         )
         rows.append(
-            aggregate_rows(
-                dynamic_rep,
+            dynamic_res.aggregate(
                 mean_keys=("rounds",),
                 max_keys=("rounds",),
                 extra={"n": float(n), "log2_n": log2(n), "algorithm": 1.0},
             )
-            | {"setting": "dcolor-churn", "rounds_over_log2n": dynamic_rep.mean("rounds") / log2(n)}
+            | {"setting": "dcolor-churn", "rounds_over_log2n": dynamic_res.mean("rounds") / log2(n)}
         )
     return rows
 
@@ -114,53 +97,35 @@ def experiment_e02_palette_lemma(
     seeds: Sequence[int] = (0, 1, 2, 3),
     rounds: int = 40,
     flip_prob: float = 0.01,
+    parallel: bool = False,
 ) -> List[Row]:
     """E2: per-round, an uncoloured node either gets coloured or its palette shrinks by ≥ 1/4.
 
     Paper claim (Lemma 4.3 / 6.1): conditioned on the palette *not* shrinking
     by a factor ≥ 1/4 this round, the node is coloured with probability at
-    least 1/64.  The experiment partitions uncoloured node-rounds accordingly
-    and reports the empirical colouring rate of the "no big shrink" class —
-    which must be ≥ 1/64 ≈ 0.0156 (in practice it is far larger).
+    least 1/64.  The scenario attaches the ``palette-shrink`` probe, which
+    partitions uncoloured node-rounds accordingly; the rates are pooled over
+    all seeds — which must be ≥ 1/64 ≈ 0.0156 (in practice far larger).
     """
     rows: List[Row] = []
-    for setting, dynamic in (("basic-static", False), ("dcolor-churn", True)):
-        shrink_events = 0
-        colored_given_no_shrink = 0
-        no_shrink_events = 0
-        for seed in seeds:
-            base = base_topology(n, seed)
-            algorithm = DColor() if dynamic else BasicColoring()
-            adversary = (
-                churn_adversary(base, seed, flip_prob=flip_prob)
-                if dynamic
-                else static_adversary(base)
-            )
-            sim = Simulator(n=n, algorithm=algorithm, adversary=adversary, seed=seed)
-            previous_palette: Dict[int, frozenset] = {}
-            previous_uncolored: set[int] = set()
-            for _ in range(rounds):
-                sim.run(1)
-                outputs = sim.trace.outputs(sim.trace.num_rounds)
-                for v in previous_uncolored:
-                    before = previous_palette.get(v, frozenset())
-                    after = algorithm.palette_of(v)
-                    if not before:
-                        continue
-                    shrunk = len(after) <= 0.75 * len(before)
-                    if shrunk:
-                        shrink_events += 1
-                    else:
-                        no_shrink_events += 1
-                        if outputs.get(v) is not None:
-                            colored_given_no_shrink += 1
-                previous_uncolored = {
-                    v for v in sim.trace.topology(sim.trace.num_rounds).nodes
-                    if outputs.get(v) is None
-                }
-                previous_palette = {v: algorithm.palette_of(v) for v in previous_uncolored}
-                if not previous_uncolored:
-                    break
+    for setting, algorithm, adversary in (
+        ("basic-static", "basic-coloring", component("static")),
+        ("dcolor-churn", "dcolor", component("flip-churn", flip_prob=flip_prob)),
+    ):
+        spec = ScenarioSpec(
+            n=n,
+            name=setting,
+            topology=DEFAULT_FAMILY,
+            algorithm=algorithm,
+            adversary=adversary,
+            rounds=rounds,
+            seeds=tuple(seeds),
+            probe="palette-shrink",
+        )
+        result = run_scenario(spec, parallel=parallel)
+        shrink_events = sum(r["node_rounds_shrink"] for r in result.rows)
+        no_shrink_events = sum(r["node_rounds_no_shrink"] for r in result.rows)
+        colored_given_no_shrink = sum(r["colored_given_no_shrink"] for r in result.rows)
         rate = colored_given_no_shrink / no_shrink_events if no_shrink_events else float("nan")
         rows.append(
             {
@@ -186,6 +151,7 @@ def experiment_e03_conflict_resolution(
     seeds: Sequence[int] = (0, 1, 2),
     attacks_per_round: int = 2,
     rounds_factor: int = 6,
+    parallel: bool = False,
 ) -> List[Row]:
     """E3: a targeted adversary keeps inserting monochromatic edges; measure conflict duration.
 
@@ -193,41 +159,30 @@ def experiment_e03_conflict_resolution(
     only share a colour for ``T = O(log n)`` rounds.  The row reports the mean
     and maximum observed conflict duration and the window ``T1`` used.
     """
+    spec = ScenarioSpec(
+        n=max(sizes),
+        name="conflict-resolution",
+        topology=DEFAULT_FAMILY,
+        algorithm="dynamic-coloring",
+        adversary=component(
+            "targeted-coloring", attacks_per_round=attacks_per_round, lifetime="2*T1"
+        ),
+        rounds=f"{rounds_factor}*T1",
+        seeds=tuple(seeds),
+        metrics=(component("conflict-durations", max_wait="2*T1"),),
+    )
     rows: List[Row] = []
-    for n in sizes:
-        T1 = default_window(n)
-        rounds = rounds_factor * T1
-
-        def run(seed: int, n: int = n, T1: int = T1, rounds: int = rounds) -> Row:
-            base = base_topology(n, seed)
-            adversary = TargetedColoringAdversary(
-                base,
-                attacks_per_round=attacks_per_round,
-                lifetime=2 * T1,
-                rng=RngFactory(seed).stream("adversary", "targeted"),
-            )
-            algorithm = DynamicColoring(T1)
-            trace = run_simulation(
-                n=n, algorithm=algorithm, adversary=adversary, rounds=rounds, seed=seed
-            )
-            durations = conflict_resolution_times(trace, adversary.attack_log, max_wait=2 * T1)
-            resolved = [d for d in durations if not d["censored"]]
-            if not resolved:
-                return {"attacks": 0.0, "mean_duration": float("nan"), "max_duration": float("nan")}
-            values = [d["duration"] for d in resolved]
-            return {
-                "attacks": float(len(resolved)),
-                "mean_duration": sum(values) / len(values),
-                "max_duration": max(values),
-            }
-
-        rep = replicate(run, seeds, label=f"conflict-n{n}")
+    for result in sweep(spec, over={"n": list(sizes)}, parallel=parallel):
+        n = result.spec.n
         rows.append(
-            aggregate_rows(
-                rep,
+            result.aggregate(
                 mean_keys=("attacks", "mean_duration"),
                 max_keys=("max_duration",),
-                extra={"n": float(n), "window_T1": float(T1), "log2_n": log2(n)},
+                extra={
+                    "n": float(n),
+                    "window_T1": float(result.spec.resolved_window()),
+                    "log2_n": log2(n),
+                },
             )
         )
     return rows
@@ -244,6 +199,7 @@ def experiment_e04_tdynamic_coloring(
     seeds: Sequence[int] = (0, 1, 2),
     rounds_factor: int = 5,
     window: Optional[int] = None,
+    parallel: bool = False,
 ) -> List[Row]:
     """E4: fraction of rounds whose output is a valid T-dynamic colouring, per churn rate.
 
@@ -251,37 +207,31 @@ def experiment_e04_tdynamic_coloring(
     T-dynamic solution w.h.p., independent of the churn rate; the colours stay
     within the union-graph degree + 1 bound.
     """
-    T1 = window if window is not None else default_window(n)
-    rounds = rounds_factor * T1
-    pair = coloring_problem_pair()
-    spec = TDynamicSpec(pair, T1)
+    spec = ScenarioSpec(
+        n=n,
+        name="tdynamic-coloring",
+        topology=DEFAULT_FAMILY,
+        algorithm="dynamic-coloring",
+        adversary=component("flip-churn", flip_prob=0.0),
+        rounds=f"{rounds_factor}*T1",
+        seeds=tuple(seeds),
+        window=window,
+        metrics=(
+            component("validity", problem="coloring"),
+            component("coloring-quality", graph="union"),
+        ),
+    )
     rows: List[Row] = []
-    for flip_prob in flip_probs:
-
-        def run(seed: int, flip_prob: float = flip_prob) -> Row:
-            base = base_topology(n, seed)
-            adversary = churn_adversary(base, seed, flip_prob=flip_prob)
-            algorithm = DynamicColoring(T1)
-            trace = run_simulation(
-                n=n, algorithm=algorithm, adversary=adversary, rounds=rounds, seed=seed
-            )
-            summary = spec.validity_summary(trace)
-            quality = coloring_quality(
-                trace.graph.union_graph(trace.num_rounds, T1), trace.outputs(trace.num_rounds)
-            )
-            return {
-                "valid_fraction": summary["valid_fraction"],
-                "mean_violations": summary["mean_violations"],
-                "max_color": quality["max_color"],
-                "colors_used": quality["colors_used"],
-            }
-
-        rep = replicate(run, seeds, label=f"flip{flip_prob}")
+    for result in sweep(spec, over={"adversary.params.flip_prob": list(flip_probs)}, parallel=parallel):
+        flip_prob = result.overrides["adversary.params.flip_prob"]
         rows.append(
-            aggregate_rows(
-                rep,
+            result.aggregate(
                 mean_keys=("valid_fraction", "mean_violations", "max_color", "colors_used"),
-                extra={"n": float(n), "flip_prob": float(flip_prob), "window_T1": float(T1)},
+                extra={
+                    "n": float(n),
+                    "flip_prob": float(flip_prob),
+                    "window_T1": float(result.spec.resolved_window()),
+                },
             )
         )
     return rows

@@ -3,6 +3,12 @@
 Every experiment derives its randomness from an experiment-level seed through
 :class:`~repro.utils.rng.RngFactory` streams, so rows are reproducible and the
 adversary, topology and algorithm randomness never alias.
+
+Since the experiments moved onto the declarative scenario API
+(:mod:`repro.scenarios`), the builders here are no longer on the experiment
+hot path — the registries of :mod:`repro.scenarios.components` construct the
+same objects from the same streams.  They remain the convenient imperative
+shortcuts for tests and ad-hoc scripts.
 """
 
 from __future__ import annotations

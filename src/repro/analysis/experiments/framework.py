@@ -3,45 +3,17 @@
 These probe the properties of the ``Concat`` combiner itself (stability,
 baseline comparison, adversary sensitivity, asynchronous wake-up, message
 sizes) and the ablations of the design choices the paper argues for.
+
+Expressed through the declarative scenario API (:mod:`repro.scenarios`);
+see :mod:`repro.analysis.experiments.coloring` for the conventions.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Sequence
 
-from repro.utils.rng import RngFactory
-from repro.types import Interval
-from repro.dynamics.adversaries.locally_static import LocallyStaticAdversary
-from repro.dynamics.adversaries.targeted_mis import TargetedMisAdversary
-from repro.dynamics.churn import EdgeInsertionChurn, FlipChurn
-from repro.dynamics.adversaries.random_churn import ChurnAdversary
-from repro.dynamics.wakeup import StaggeredWakeup, UniformRandomWakeup
-from repro.problems.coloring import coloring_problem_pair
-from repro.problems.mis import mis_problem_pair
-from repro.problems.dynamic_problem import TDynamicSpec
-from repro.problems.packing_covering import ProblemPair
-from repro.runtime.algorithm import DistributedAlgorithm
-from repro.runtime.simulator import run_simulation
-from repro.core.windows import default_window
-from repro.core.properties import verify_partial_solution_every_round
-from repro.algorithms.coloring.dynamic_coloring import DynamicColoring
-from repro.algorithms.coloring.scolor import SColor
-from repro.algorithms.coloring.baselines import RestartColoring
-from repro.algorithms.coloring.ablations import (
-    DColorCurrentGraphAblation,
-    SColorNoUncolorAblation,
-    concat_without_backbone,
-)
-from repro.algorithms.coloring.dcolor import DColor
-from repro.algorithms.mis.dynamic_mis import DynamicMIS
-from repro.algorithms.mis.smis import SMis
-from repro.algorithms.mis.dmis import DMis
-from repro.algorithms.mis.baselines import RestartMis
-from repro.algorithms.mis.ablations import SMisNoUndecideAblation
-from repro.analysis.convergence import rounds_to_completion
-from repro.analysis.stability import region_change_count, stability_summary
-from repro.analysis.sweep import aggregate_rows, replicate
-from repro.analysis.experiments.common import base_topology, churn_adversary, log2, static_adversary
+from repro.scenarios import ScenarioSpec, component, run_scenario, sweep
+from repro.analysis.experiments.common import DEFAULT_FAMILY, log2
 
 __all__ = [
     "experiment_e05_local_stability",
@@ -67,6 +39,7 @@ def experiment_e05_local_stability(
     protected_radius: int = 3,
     rounds_factor: int = 6,
     family: str = "grid",
+    parallel: bool = False,
 ) -> List[Row]:
     """E5: freeze a ball around a centre node, churn everything else, measure output changes.
 
@@ -77,49 +50,26 @@ def experiment_e05_local_stability(
     control, outside it (expected: > 0 under churn).
     """
     rows: List[Row] = []
-    T1 = default_window(n)
-    rounds = rounds_factor * T1
-    grace = 2 * T1 + 2
-
-    for label, factory in (
-        ("dynamic-coloring", lambda: DynamicColoring(T1)),
-        ("dynamic-mis", lambda: DynamicMIS(T1)),
-    ):
-
-        def run(seed: int, factory: Callable[[], DistributedAlgorithm] = factory) -> Row:
-            base = base_topology(n, seed, family=family)
-            center = max(base.nodes, key=lambda v: base.degree(v))
-            churn = FlipChurn(base, flip_prob)
-            adversary = LocallyStaticAdversary(
-                base,
-                center=center,
-                protected_radius=protected_radius,
-                churn=churn,
-                rng=RngFactory(seed).stream("adversary", "locally-static"),
-            )
-            trace = run_simulation(
-                n=n, algorithm=factory(), adversary=adversary, rounds=rounds, seed=seed
-            )
-            # Nodes whose entire 2-neighbourhood lies inside the protected set.
-            protected = adversary.protected_nodes
-            inner = {
-                v for v in protected if base.ball(v, 2) <= protected
-            }
-            outer = set(base.nodes) - protected
-            window = Interval(grace, rounds)
-            return {
-                "protected_nodes": float(len(inner)),
-                "changes_protected": float(region_change_count(trace, inner, window)),
-                "changes_control": float(region_change_count(trace, outer, window)),
-            }
-
-        rep = replicate(run, seeds, label=label)
+    for label in ("dynamic-coloring", "dynamic-mis"):
+        spec = ScenarioSpec(
+            n=n,
+            name=label,
+            topology=family,
+            algorithm=label,
+            adversary=component(
+                "locally-static", flip_prob=flip_prob, protected_radius=protected_radius
+            ),
+            rounds=f"{rounds_factor}*T1",
+            seeds=tuple(seeds),
+            metrics=(component("region-stability", grace="2*T1+2"),),
+        )
+        result = run_scenario(spec, parallel=parallel)
+        T1 = spec.resolved_window()
         rows.append(
-            aggregate_rows(
-                rep,
+            result.aggregate(
                 mean_keys=("protected_nodes", "changes_protected", "changes_control"),
                 max_keys=("changes_protected",),
-                extra={"n": float(n), "window_T1": float(T1), "grace": float(grace)},
+                extra={"n": float(n), "window_T1": float(T1), "grace": float(2 * T1 + 2)},
             )
             | {"algorithm": label}
         )
@@ -136,6 +86,7 @@ def experiment_e09_baseline_comparison(
     seeds: Sequence[int] = (0, 1, 2),
     flip_prob: float = 0.02,
     rounds_factor: int = 6,
+    parallel: bool = False,
 ) -> List[Row]:
     """E9: T-dynamic validity and output churn of the framework vs restart / repair baselines.
 
@@ -146,41 +97,38 @@ def experiment_e09_baseline_comparison(
     (SColor / SMis alone) sit in between (few conflicts but many ⊥ outputs /
     changes).
     """
-    T1 = default_window(n)
-    rounds = rounds_factor * T1
-    configurations: Sequence[tuple[str, ProblemPair, Callable[[], DistributedAlgorithm]]] = (
-        ("dynamic-coloring", coloring_problem_pair(), lambda: DynamicColoring(T1)),
-        ("scolor-only", coloring_problem_pair(), SColor),
-        ("restart-coloring", coloring_problem_pair(), lambda: RestartColoring(T1)),
-        ("dynamic-mis", mis_problem_pair(), lambda: DynamicMIS(T1)),
-        ("smis-only", mis_problem_pair(), SMis),
-        ("restart-mis", mis_problem_pair(), lambda: RestartMis(T1)),
+    configurations: Sequence[tuple[str, str, str]] = (
+        ("dynamic-coloring", "coloring", "dynamic-coloring"),
+        ("scolor-only", "coloring", "scolor"),
+        ("restart-coloring", "coloring", "restart-coloring"),
+        ("dynamic-mis", "mis", "dynamic-mis"),
+        ("smis-only", "mis", "smis"),
+        ("restart-mis", "mis", "restart-mis"),
     )
     rows: List[Row] = []
-    for label, pair, factory in configurations:
-        spec = TDynamicSpec(pair, T1)
-
-        def run(seed: int, factory: Callable[[], DistributedAlgorithm] = factory, spec: TDynamicSpec = spec) -> Row:
-            base = base_topology(n, seed)
-            adversary = churn_adversary(base, seed, flip_prob=flip_prob)
-            trace = run_simulation(
-                n=n, algorithm=factory(), adversary=adversary, rounds=rounds, seed=seed
-            )
-            validity = spec.validity_summary(trace, start_round=T1)
-            stability = stability_summary(trace, warmup=T1)
-            return {
-                "valid_fraction": validity["valid_fraction"],
-                "mean_violations": validity["mean_violations"],
-                "mean_changes": stability["mean_changes"],
-                "change_rate": stability["change_rate"],
-            }
-
-        rep = replicate(run, seeds, label=label)
+    for label, problem, algorithm in configurations:
+        spec = ScenarioSpec(
+            n=n,
+            name=label,
+            topology=DEFAULT_FAMILY,
+            algorithm=algorithm,
+            adversary=component("flip-churn", flip_prob=flip_prob),
+            rounds=f"{rounds_factor}*T1",
+            seeds=tuple(seeds),
+            metrics=(
+                component("validity", problem=problem, start_round="T1"),
+                component("stability", warmup="T1"),
+            ),
+        )
+        result = run_scenario(spec, parallel=parallel)
         rows.append(
-            aggregate_rows(
-                rep,
+            result.aggregate(
                 mean_keys=("valid_fraction", "mean_violations", "mean_changes", "change_rate"),
-                extra={"n": float(n), "window_T1": float(T1), "flip_prob": float(flip_prob)},
+                extra={
+                    "n": float(n),
+                    "window_T1": float(spec.resolved_window()),
+                    "flip_prob": float(flip_prob),
+                },
             )
             | {"algorithm": label}
         )
@@ -197,6 +145,7 @@ def experiment_e10_adversary_sensitivity(
     seeds: Sequence[int] = (0, 1, 2),
     attacks_per_round: int = 4,
     max_round_factor: int = 30,
+    parallel: bool = False,
 ) -> List[Row]:
     """E10: DMis convergence under an oblivious churn adversary vs adaptive attackers.
 
@@ -209,47 +158,32 @@ def experiment_e10_adversary_sensitivity(
     stability).  Colouring under its targeted adversary is covered by E3.
     """
     rows: List[Row] = []
-    max_rounds = int(max_round_factor * log2(n)) + 10
-    T1 = default_window(n)
-
-    def adversary_oblivious(seed: int, base):
-        return churn_adversary(base, seed, flip_prob=0.01)
-
-    def adversary_cut(seed: int, base):
-        return TargetedMisAdversary(
-            base,
-            mode="cut_notification",
-            attacks_per_round=attacks_per_round,
-            rng=RngFactory(seed).stream("adversary", "cut"),
-            lifetime=2,
-        )
-
-    for label, adversary_factory in (
-        ("oblivious-churn", adversary_oblivious),
-        ("adaptive-cut-notification", adversary_cut),
+    for label, adversary in (
+        ("oblivious-churn", component("flip-churn", flip_prob=0.01)),
+        (
+            "adaptive-cut-notification",
+            component(
+                "targeted-mis",
+                mode="cut_notification",
+                attacks_per_round=attacks_per_round,
+                lifetime=2,
+            ),
+        ),
     ):
-
-        def run(seed: int, adversary_factory=adversary_factory) -> Row:
-            base = base_topology(n, seed)
-            adversary = adversary_factory(seed, base)
-            trace = run_simulation(
-                n=n,
-                algorithm=DMis(),
-                adversary=adversary,
-                rounds=max_rounds,
-                seed=seed,
-                stop_when=lambda t: rounds_to_completion(t) is not None,
-            )
-            done = rounds_to_completion(trace)
-            return {
-                "rounds": float(done) if done is not None else float(max_rounds),
-                "completed": float(done is not None),
-            }
-
-        rep = replicate(run, seeds, label=label)
+        spec = ScenarioSpec(
+            n=n,
+            name=f"dmis/{label}",
+            topology=DEFAULT_FAMILY,
+            algorithm="dmis",
+            adversary=adversary,
+            rounds=f"{max_round_factor}*log2n + 10",
+            seeds=tuple(seeds),
+            stop="all-decided",
+            metrics=(component("convergence", on_incomplete="rounds"),),
+        )
+        result = run_scenario(spec, parallel=parallel)
         rows.append(
-            aggregate_rows(
-                rep,
+            result.aggregate(
                 mean_keys=("rounds", "completed"),
                 max_keys=("rounds",),
                 extra={"n": float(n), "log2_n": log2(n)},
@@ -258,35 +192,28 @@ def experiment_e10_adversary_sensitivity(
         )
 
     # (c) adaptive join-MIS attack against the combined algorithm's stability.
-    def run_join(seed: int) -> Row:
-        base = base_topology(n, seed)
-        adversary = TargetedMisAdversary(
-            base,
-            mode="join_mis",
-            attacks_per_round=attacks_per_round,
-            rng=RngFactory(seed).stream("adversary", "join"),
-            lifetime=T1,
-        )
-        trace = run_simulation(
-            n=n, algorithm=DynamicMIS(T1), adversary=adversary, rounds=4 * T1, seed=seed
-        )
-        validity = TDynamicSpec(mis_problem_pair(), T1).validity_summary(trace, start_round=T1)
-        stability = stability_summary(trace, warmup=T1)
-        return {
-            "rounds": float(trace.num_rounds),
-            "completed": validity["valid_fraction"],
-            "mean_changes": stability["mean_changes"],
-        }
-
-    rep = replicate(run_join, seeds, label="join")
-    rows.append(
-        aggregate_rows(
-            rep,
-            mean_keys=("completed", "mean_changes"),
-            extra={"n": float(n), "log2_n": log2(n)},
-        )
-        | {"setting": "dynamic-mis/adaptive-join-mis (valid_fraction in 'completed_mean')"}
+    join_spec = ScenarioSpec(
+        n=n,
+        name="dynamic-mis/adaptive-join-mis",
+        topology=DEFAULT_FAMILY,
+        algorithm="dynamic-mis",
+        adversary=component(
+            "targeted-mis", mode="join_mis", attacks_per_round=attacks_per_round, lifetime="T1"
+        ),
+        rounds="4*T1",
+        seeds=tuple(seeds),
+        metrics=(
+            component("validity", problem="mis", start_round="T1"),
+            component("stability", warmup="T1"),
+        ),
     )
+    join = run_scenario(join_spec, parallel=parallel)
+    agg = join.aggregate(
+        mean_keys=("valid_fraction", "mean_changes"),
+        extra={"n": float(n), "log2_n": log2(n)},
+    )
+    agg["completed_mean"] = agg.pop("valid_fraction_mean")
+    rows.append(agg | {"setting": "dynamic-mis/adaptive-join-mis (valid_fraction in 'completed_mean')"})
     return rows
 
 
@@ -300,6 +227,7 @@ def experiment_e11_async_wakeup(
     seeds: Sequence[int] = (0, 1, 2),
     flip_prob: float = 0.01,
     rounds_factor: int = 8,
+    parallel: bool = False,
 ) -> List[Row]:
     """E11: the combined algorithms keep their guarantees under gradual wake-up schedules.
 
@@ -307,42 +235,30 @@ def experiment_e11_async_wakeup(
     therefore work with asynchronous wake-up; constrained nodes are only those
     awake for a full window.
     """
-    T1 = default_window(n)
-    rounds = rounds_factor * T1
     schedules = (
         ("all-at-once", None),
-        ("staggered", "staggered"),
-        ("uniform-random", "uniform"),
+        ("staggered", component("staggered", interval=1)),
+        ("uniform-random", component("uniform-random", spread="2*T1")),
     )
     rows: List[Row] = []
-    for label, kind in schedules:
-        for alg_label, pair, factory in (
-            ("dynamic-coloring", coloring_problem_pair(), lambda: DynamicColoring(T1)),
-            ("dynamic-mis", mis_problem_pair(), lambda: DynamicMIS(T1)),
-        ):
-            spec = TDynamicSpec(pair, T1)
-
-            def run(seed: int, kind=kind, factory=factory, spec=spec) -> Row:
-                base = base_topology(n, seed)
-                if kind == "staggered":
-                    wakeup = StaggeredWakeup(n, batch_size=max(1, n // (2 * T1)), interval=1)
-                elif kind == "uniform":
-                    wakeup = UniformRandomWakeup(n, spread=2 * T1, rng=RngFactory(seed).stream("wakeup"))
-                else:
-                    wakeup = None
-                adversary = churn_adversary(base, seed, flip_prob=flip_prob, wakeup=wakeup)
-                trace = run_simulation(
-                    n=n, algorithm=factory(), adversary=adversary, rounds=rounds, seed=seed
-                )
-                summary = spec.validity_summary(trace)
-                return {"valid_fraction": summary["valid_fraction"], "mean_violations": summary["mean_violations"]}
-
-            rep = replicate(run, seeds, label=f"{label}/{alg_label}")
+    for label, wakeup in schedules:
+        for alg_label, problem in (("dynamic-coloring", "coloring"), ("dynamic-mis", "mis")):
+            spec = ScenarioSpec(
+                n=n,
+                name=f"{label}/{alg_label}",
+                topology=DEFAULT_FAMILY,
+                algorithm=alg_label,
+                adversary=component("flip-churn", flip_prob=flip_prob),
+                wakeup=wakeup,
+                rounds=f"{rounds_factor}*T1",
+                seeds=tuple(seeds),
+                metrics=(component("validity", problem=problem),),
+            )
+            result = run_scenario(spec, parallel=parallel)
             rows.append(
-                aggregate_rows(
-                    rep,
+                result.aggregate(
                     mean_keys=("valid_fraction", "mean_violations"),
-                    extra={"n": float(n), "window_T1": float(T1)},
+                    extra={"n": float(n), "window_T1": float(spec.resolved_window())},
                 )
                 | {"schedule": label, "algorithm": alg_label}
             )
@@ -359,6 +275,7 @@ def experiment_e12_message_size(
     seed: int = 0,
     flip_prob: float = 0.01,
     rounds_factor: int = 3,
+    parallel: bool = False,
 ) -> List[Row]:
     """E12: maximum estimated message size (bits) per algorithm vs ``n``.
 
@@ -369,27 +286,24 @@ def experiment_e12_message_size(
     """
     rows: List[Row] = []
     for n in sizes:
-        T1 = default_window(n)
-        rounds = rounds_factor * T1
-        for label, factory in (
-            ("scolor", SColor),
-            ("dcolor", DColor),
-            ("smis", SMis),
-            ("dmis", DMis),
-            ("dynamic-coloring", lambda: DynamicColoring(T1)),
-            ("dynamic-mis", lambda: DynamicMIS(T1)),
-        ):
-            base = base_topology(n, seed)
-            adversary = churn_adversary(base, seed, flip_prob=flip_prob)
-            trace = run_simulation(
-                n=n, algorithm=factory(), adversary=adversary, rounds=rounds, seed=seed
+        for label in ("scolor", "dcolor", "smis", "dmis", "dynamic-coloring", "dynamic-mis"):
+            spec = ScenarioSpec(
+                n=n,
+                name=label,
+                topology=DEFAULT_FAMILY,
+                algorithm=label,
+                adversary=component("flip-churn", flip_prob=flip_prob),
+                rounds=f"{rounds_factor}*T1",
+                seeds=(seed,),
+                metrics=(component("message-size"),),
             )
-            max_bits = max(record.metrics.max_message_bits for record in trace)
+            result = run_scenario(spec, parallel=parallel)
+            max_bits = result.rows[0]["max_message_bits"]
             rows.append(
                 {
                     "algorithm": label,
                     "n": float(n),
-                    "window_T1": float(T1),
+                    "window_T1": float(spec.resolved_window()),
                     "max_message_bits": float(max_bits),
                     "log2_n": log2(n),
                     "bits_over_log2n_sq": float(max_bits) / (log2(n) ** 2),
@@ -408,71 +322,42 @@ def experiment_e13_ablations(
     seeds: Sequence[int] = (0, 1, 2),
     rounds_factor: int = 5,
     insertions_per_round: int = 3,
+    parallel: bool = False,
 ) -> List[Row]:
     """E13: remove one design choice at a time and measure what breaks.
 
     (a) DColor on the current graph vs the intersection graph, under an
-        edge-insertion workload: fraction of nodes left uncoloured after the
-        window (paper's choice keeps it at 0, the ablation does not have the
-        Lemma 4.2 palette invariant).
+        edge-insertion workload: the ``palette-invariant`` probe checks the
+        Lemma 4.2 invariant ``|P_v| >= |U(v)| + 1`` every round (the paper's
+        choice never violates it, the ablation does).
     (b) SColor / SMis without the un-decide rules: number of rounds whose
         output violates the partial-solution property B.1 under churn.
     (c) Concat without the SAlg backbone on a *static* graph: mean output
         changes per round after warm-up (the paper's combiner: ~0; the naive
         restart-every-round scheme: large).
     """
-    T1 = default_window(n)
-    rounds = rounds_factor * T1
     rows: List[Row] = []
 
-    # (a) intersection-graph restriction: measure the Lemma 4.2 palette
-    # invariant |P_v| >= |U(v)| + 1, where U(v) are the uncoloured neighbours
-    # in the algorithm's communication graph.  The paper's DColor never
-    # violates it; the current-graph ablation does once inserted edges deliver
-    # foreign fixed colours into the palette.
-    for label, factory, restricted in (
-        ("dcolor", DColor, True),
-        ("dcolor-current-graph", DColorCurrentGraphAblation, False),
+    # (a) intersection-graph restriction (palette invariant).
+    for label, algorithm, restricted in (
+        ("dcolor", "dcolor", True),
+        ("dcolor-current-graph", "dcolor-current-graph", False),
     ):
-
-        def run(seed: int, factory=factory, restricted=restricted) -> Row:
-            from repro.runtime.simulator import Simulator  # local import to avoid cycle noise
-
-            base = base_topology(n, seed)
-            churn = EdgeInsertionChurn(base, insertions_per_round=insertions_per_round, lifetime=3)
-            adversary = ChurnAdversary(n, churn, RngFactory(seed).stream("adversary", "insert"))
-            algorithm = factory()
-            sim = Simulator(n=n, algorithm=algorithm, adversary=adversary, seed=seed)
-            violations = 0
-            observations = 0
-            for _ in range(rounds):
-                sim.run(1)
-                r = sim.trace.num_rounds
-                outputs = sim.trace.outputs(r)
-                topo = sim.trace.topology(r)
-                for v in topo.nodes:
-                    if outputs.get(v) is not None:
-                        continue
-                    palette = algorithm.palette_of(v)
-                    if restricted:
-                        comm_neighbors = algorithm.live_neighbors_of(v)
-                    else:
-                        comm_neighbors = topo.neighbors(v)
-                    uncolored_neighbors = sum(1 for u in comm_neighbors if outputs.get(u) is None)
-                    observations += 1
-                    if len(palette) < uncolored_neighbors + 1:
-                        violations += 1
-            final = sim.trace.outputs(sim.trace.num_rounds)
-            uncolored = sum(1 for v in sim.trace.topology(sim.trace.num_rounds).nodes if final.get(v) is None)
-            return {
-                "palette_invariant_violation_fraction": violations / observations if observations else 0.0,
-                "uncolored_fraction": uncolored / n,
-            }
-
-        rep = replicate(run, seeds, label=label)
+        spec = ScenarioSpec(
+            n=n,
+            name=label,
+            topology=DEFAULT_FAMILY,
+            algorithm=algorithm,
+            adversary=component(
+                "edge-insertion", insertions_per_round=insertions_per_round, lifetime=3
+            ),
+            rounds=f"{rounds_factor}*T1",
+            seeds=tuple(seeds),
+            probe=component("palette-invariant", restricted=restricted),
+        )
+        result = run_scenario(spec, parallel=parallel)
         rows.append(
-            aggregate_rows(
-                rep,
+            result.aggregate(
                 mean_keys=("palette_invariant_violation_fraction", "uncolored_fraction"),
                 extra={"n": float(n)},
             )
@@ -480,46 +365,46 @@ def experiment_e13_ablations(
         )
 
     # (b) un-decide rules.
-    for label, pair, factory in (
-        ("scolor", coloring_problem_pair(), SColor),
-        ("scolor-no-uncolor", coloring_problem_pair(), SColorNoUncolorAblation),
-        ("smis", mis_problem_pair(), SMis),
-        ("smis-no-undecide", mis_problem_pair(), SMisNoUndecideAblation),
+    for label, problem, algorithm in (
+        ("scolor", "coloring", "scolor"),
+        ("scolor-no-uncolor", "coloring", "scolor-no-uncolor"),
+        ("smis", "mis", "smis"),
+        ("smis-no-undecide", "mis", "smis-no-undecide"),
     ):
-
-        def run(seed: int, pair=pair, factory=factory) -> Row:
-            base = base_topology(n, seed)
-            adversary = churn_adversary(base, seed, flip_prob=0.05)
-            trace = run_simulation(
-                n=n, algorithm=factory(), adversary=adversary, rounds=rounds, seed=seed
-            )
-            violations = verify_partial_solution_every_round(trace, pair, start_round=T1)
-            checked = max(1, trace.num_rounds - T1 + 1)
-            return {"b1_violation_fraction": len(violations) / checked}
-
-        rep = replicate(run, seeds, label=label)
+        spec = ScenarioSpec(
+            n=n,
+            name=label,
+            topology=DEFAULT_FAMILY,
+            algorithm=algorithm,
+            adversary=component("flip-churn", flip_prob=0.05),
+            rounds=f"{rounds_factor}*T1",
+            seeds=tuple(seeds),
+            metrics=(component("b1-violations", problem=problem, start_round="T1"),),
+        )
+        result = run_scenario(spec, parallel=parallel)
         rows.append(
-            aggregate_rows(rep, mean_keys=("b1_violation_fraction",), extra={"n": float(n)})
+            result.aggregate(mean_keys=("b1_violation_fraction",), extra={"n": float(n)})
             | {"ablation": "b:un-decide-rule", "variant": label}
         )
 
     # (c) SAlg backbone.
-    for label, factory in (
-        ("dynamic-coloring", lambda: DynamicColoring(T1)),
-        ("coloring-no-backbone", lambda: concat_without_backbone(T1)),
+    for label, algorithm in (
+        ("dynamic-coloring", "dynamic-coloring"),
+        ("coloring-no-backbone", "coloring-no-backbone"),
     ):
-
-        def run(seed: int, factory=factory) -> Row:
-            base = base_topology(n, seed)
-            trace = run_simulation(
-                n=n, algorithm=factory(), adversary=static_adversary(base), rounds=rounds, seed=seed
-            )
-            stability = stability_summary(trace, warmup=2 * T1)
-            return {"mean_changes": stability["mean_changes"], "change_rate": stability["change_rate"]}
-
-        rep = replicate(run, seeds, label=label)
+        spec = ScenarioSpec(
+            n=n,
+            name=label,
+            topology=DEFAULT_FAMILY,
+            algorithm=algorithm,
+            adversary="static",
+            rounds=f"{rounds_factor}*T1",
+            seeds=tuple(seeds),
+            metrics=(component("stability", warmup="2*T1"),),
+        )
+        result = run_scenario(spec, parallel=parallel)
         rows.append(
-            aggregate_rows(rep, mean_keys=("mean_changes", "change_rate"), extra={"n": float(n)})
+            result.aggregate(mean_keys=("mean_changes", "change_rate"), extra={"n": float(n)})
             | {"ablation": "c:backbone", "variant": label}
         )
     return rows

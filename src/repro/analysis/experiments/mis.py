@@ -1,21 +1,15 @@
-"""MIS experiments E6–E8 (Lemmas 5.2/5.4/5.6, Corollary 1.3)."""
+"""MIS experiments E6–E8 (Lemmas 5.2/5.4/5.6, Corollary 1.3).
+
+Expressed through the declarative scenario API (:mod:`repro.scenarios`);
+see :mod:`repro.analysis.experiments.coloring` for the conventions.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from repro.dynamics.adversaries.composite import FreezeAfterAdversary
-from repro.problems.mis import mis_problem_pair
-from repro.problems.dynamic_problem import TDynamicSpec
-from repro.runtime.simulator import run_simulation
-from repro.core.windows import default_window
-from repro.algorithms.mis.dmis import DMis
-from repro.algorithms.mis.smis import SMis
-from repro.algorithms.mis.dynamic_mis import DynamicMIS
-from repro.analysis.convergence import rounds_to_completion
-from repro.analysis.quality import mis_quality
-from repro.analysis.sweep import aggregate_rows, replicate
-from repro.analysis.experiments.common import base_topology, churn_adversary, log2, static_adversary
+from repro.scenarios import ScenarioSpec, component, run_scenario, sweep
+from repro.analysis.experiments.common import DEFAULT_FAMILY, log2
 
 __all__ = [
     "experiment_e06_mis_edge_decay",
@@ -36,57 +30,37 @@ def experiment_e06_mis_edge_decay(
     seeds: Sequence[int] = (0, 1, 2, 3, 4, 5),
     flip_prob: float = 0.01,
     rounds: int = 30,
+    parallel: bool = False,
 ) -> List[Row]:
     """E6: measure ``|E(H_{r+2})| / |E(H_r)|`` for DMis under an oblivious churn adversary.
 
     Paper claim (Lemma 5.2): the expectation of that ratio is at most 2/3.
     ``H_r`` is the subgraph of the running intersection graph induced by the
-    still-undecided nodes; the experiment reconstructs it from the recorded
-    trace (intersection of all topologies since round 1, restricted to nodes
-    whose output is still ⊥).
+    still-undecided nodes; the ``mis-edge-decay`` metric reconstructs it from
+    the recorded trace and the ratios are pooled over all seeds.
     """
-    ratios: List[float] = []
-    per_seed_rows: List[Row] = []
-    for seed in seeds:
-        base = base_topology(n, seed)
-        adversary = churn_adversary(base, seed, flip_prob=flip_prob)
-        trace = run_simulation(
-            n=n, algorithm=DMis(), adversary=adversary, rounds=rounds, seed=seed
-        )
-        edge_counts: List[int] = []
-        for r in range(1, trace.num_rounds + 1):
-            intersection = trace.graph.intersection_graph(r, r)  # all rounds since start
-            # H_r is defined over the nodes still undecided at the *beginning*
-            # of round r, i.e. the outputs recorded at the end of round r - 1.
-            if r == 1:
-                undecided = set(intersection.nodes)
-            else:
-                previous = trace.outputs(r - 1)
-                undecided = {v for v in intersection.nodes if previous.get(v) is None}
-            edge_counts.append(len(intersection.induced_edges(undecided)))
-        seed_ratios = [
-            edge_counts[i + 2] / edge_counts[i]
-            for i in range(len(edge_counts) - 2)
-            if edge_counts[i] >= 4  # ignore the noisy tail with almost no edges left
-        ]
-        ratios.extend(seed_ratios)
-        per_seed_rows.append(
-            {
-                "initial_edges": float(edge_counts[0]) if edge_counts else 0.0,
-                "rounds_to_empty": float(
-                    next((i + 1 for i, c in enumerate(edge_counts) if c == 0), float("nan"))
-                ),
-            }
-        )
-    mean_ratio = sum(ratios) / len(ratios) if ratios else float("nan")
+    spec = ScenarioSpec(
+        n=n,
+        name="mis-edge-decay",
+        topology=DEFAULT_FAMILY,
+        algorithm="dmis",
+        adversary=component("flip-churn", flip_prob=flip_prob),
+        rounds=rounds,
+        seeds=tuple(seeds),
+        metrics=(component("mis-edge-decay"),),
+    )
+    result = run_scenario(spec, parallel=parallel)
+    ratio_sum = sum(row["ratio_sum"] for row in result.rows)
+    ratio_count = sum(row["ratio_count"] for row in result.rows)
+    mean_ratio = ratio_sum / ratio_count if ratio_count else float("nan")
     summary: Row = {
         "n": float(n),
         "flip_prob": float(flip_prob),
-        "observations": float(len(ratios)),
+        "observations": float(ratio_count),
         "mean_two_round_ratio": mean_ratio,
         "paper_upper_bound": 2.0 / 3.0,
-        "satisfies_bound": float(mean_ratio <= 2.0 / 3.0 + 0.05) if ratios else float("nan"),
-        "mean_initial_edges": sum(r["initial_edges"] for r in per_seed_rows) / len(per_seed_rows),
+        "satisfies_bound": float(mean_ratio <= 2.0 / 3.0 + 0.05) if ratio_count else float("nan"),
+        "mean_initial_edges": sum(row["initial_edges"] for row in result.rows) / len(result.rows),
     }
     return [summary]
 
@@ -102,53 +76,45 @@ def experiment_e07_mis_convergence(
     flip_prob: float = 0.01,
     max_round_factor: int = 20,
     validity_rounds_factor: int = 4,
+    parallel: bool = False,
 ) -> List[Row]:
     """E7: DMis completion rounds vs ``n`` and the T-dynamic validity of DynamicMIS under churn."""
+    convergence_spec = ScenarioSpec(
+        n=max(sizes),
+        name="dmis-convergence",
+        topology=DEFAULT_FAMILY,
+        algorithm="dmis",
+        adversary=component("flip-churn", flip_prob=flip_prob),
+        rounds=f"{max_round_factor}*log2n + 10",
+        seeds=tuple(seeds),
+        stop="all-decided",
+        metrics=(component("convergence", on_incomplete="nan"), component("mis-quality")),
+    )
+    validity_spec = ScenarioSpec(
+        n=max(sizes),
+        name="dynamic-mis-validity",
+        topology=DEFAULT_FAMILY,
+        algorithm="dynamic-mis",
+        adversary=component("flip-churn", flip_prob=flip_prob),
+        rounds=f"{validity_rounds_factor}*T1",
+        seeds=tuple(seeds),
+        metrics=(component("validity", problem="mis"),),
+    )
+    convergence_results = sweep(convergence_spec, over={"n": list(sizes)}, parallel=parallel)
+    validity_results = sweep(validity_spec, over={"n": list(sizes)}, parallel=parallel)
+
     rows: List[Row] = []
-    pair = mis_problem_pair()
-    for n in sizes:
-        max_rounds = int(max_round_factor * log2(n)) + 10
-        T1 = default_window(n)
-
-        def run_convergence(seed: int, n: int = n, max_rounds: int = max_rounds) -> Row:
-            base = base_topology(n, seed)
-            adversary = churn_adversary(base, seed, flip_prob=flip_prob)
-            trace = run_simulation(
-                n=n,
-                algorithm=DMis(),
-                adversary=adversary,
-                rounds=max_rounds,
-                seed=seed,
-                stop_when=lambda t: rounds_to_completion(t) is not None,
-            )
-            done = rounds_to_completion(trace)
-            quality = mis_quality(trace.topology(trace.num_rounds), trace.outputs(trace.num_rounds))
-            return {
-                "rounds": float(done) if done is not None else float("nan"),
-                "mis_size": quality["mis_size"],
-                "greedy_size": quality["greedy_size"],
-            }
-
-        def run_validity(seed: int, n: int = n, T1: int = T1) -> Row:
-            base = base_topology(n, seed)
-            adversary = churn_adversary(base, seed, flip_prob=flip_prob)
-            trace = run_simulation(
-                n=n,
-                algorithm=DynamicMIS(T1),
-                adversary=adversary,
-                rounds=validity_rounds_factor * T1,
-                seed=seed,
-            )
-            return TDynamicSpec(pair, T1).validity_summary(trace)
-
-        conv = replicate(run_convergence, seeds, label=f"dmis-n{n}")
-        valid = replicate(run_validity, seeds, label=f"dynmis-n{n}")
+    for conv, valid in zip(convergence_results, validity_results):
+        n = conv.spec.n
         rows.append(
-            aggregate_rows(
-                conv,
+            conv.aggregate(
                 mean_keys=("rounds", "mis_size", "greedy_size"),
                 max_keys=("rounds",),
-                extra={"n": float(n), "log2_n": log2(n), "window_T1": float(T1)},
+                extra={
+                    "n": float(n),
+                    "log2_n": log2(n),
+                    "window_T1": float(valid.spec.resolved_window()),
+                },
             )
             | {
                 "setting": "dmis-convergence",
@@ -170,55 +136,40 @@ def experiment_e08_smis_freeze_decision(
     churn_rounds: int = 20,
     flip_prob: float = 0.05,
     max_round_factor: int = 25,
+    parallel: bool = False,
 ) -> List[Row]:
     """E8: run SMis under churn, freeze the graph, measure rounds-to-all-decided after the freeze.
 
     Paper claim (Lemma 5.6): once a node's 2-neighbourhood is static, the node
     is decided within ``O(log n)`` rounds w.h.p. and never changes afterwards.
-    Freezing the whole graph makes every 2-neighbourhood static, so the
-    all-decided time after the freeze is the relevant measurement; the row also
-    reports output changes observed after decision (paper: must be none).
+    Freezing the whole graph (the ``freeze-after`` adversary wrapping churn)
+    makes every 2-neighbourhood static, so the all-decided time after the
+    freeze is the relevant measurement; the row also reports output changes
+    observed after decision (paper: must be none).
     """
+    spec = ScenarioSpec(
+        n=max(sizes),
+        name="smis-freeze",
+        topology=DEFAULT_FAMILY,
+        algorithm="smis",
+        adversary=component(
+            "freeze-after",
+            inner={"name": "flip-churn", "params": {"flip_prob": flip_prob}},
+            freeze_round=churn_rounds + 1,
+        ),
+        rounds=f"{churn_rounds} + {max_round_factor}*log2n + 10",
+        seeds=tuple(seeds),
+        metrics=(component("freeze-decision", churn_rounds=churn_rounds),),
+    )
     rows: List[Row] = []
-    for n in sizes:
-        max_rounds = churn_rounds + int(max_round_factor * log2(n)) + 10
-
-        def run(seed: int, n: int = n, max_rounds: int = max_rounds) -> Row:
-            base = base_topology(n, seed)
-            inner = churn_adversary(base, seed, flip_prob=flip_prob)
-            adversary = FreezeAfterAdversary(inner, freeze_round=churn_rounds + 1)
-            trace = run_simulation(
-                n=n, algorithm=SMis(), adversary=adversary, rounds=max_rounds, seed=seed
-            )
-            decided_round = None
-            for r in range(churn_rounds + 1, trace.num_rounds + 1):
-                outputs = trace.outputs(r)
-                if all(outputs.get(v) is not None for v in trace.topology(r).nodes):
-                    decided_round = r
-                    break
-            changes_after = 0
-            if decided_round is not None:
-                for r in range(decided_round + 1, trace.num_rounds + 1):
-                    changes_after += sum(
-                        1
-                        for v in trace.topology(r).nodes
-                        if trace.output_of(v, r) != trace.output_of(v, r - 1)
-                    )
-            return {
-                "rounds_after_freeze": float(decided_round - churn_rounds)
-                if decided_round is not None
-                else float("nan"),
-                "changes_after_decided": float(changes_after),
-            }
-
-        rep = replicate(run, seeds, label=f"smis-n{n}")
+    for result in sweep(spec, over={"n": list(sizes)}, parallel=parallel):
+        n = result.spec.n
         rows.append(
-            aggregate_rows(
-                rep,
+            result.aggregate(
                 mean_keys=("rounds_after_freeze", "changes_after_decided"),
                 max_keys=("rounds_after_freeze",),
                 extra={"n": float(n), "log2_n": log2(n), "churn_rounds": float(churn_rounds)},
             )
-            | {"rounds_over_log2n": rep.mean("rounds_after_freeze") / log2(n)}
+            | {"rounds_over_log2n": result.mean("rounds_after_freeze") / log2(n)}
         )
     return rows

@@ -14,7 +14,7 @@ from repro.types import Assignment
 from repro.dynamics.adversary import Adversary
 from repro.problems.dynamic_problem import TDynamicSpec
 from repro.problems.packing_covering import ProblemPair
-from repro.runtime.simulator import run_simulation
+from repro.runtime.simulator import _UNSET, _merge_deprecated_input, run_simulation
 from repro.runtime.trace import ExecutionTrace
 from repro.core.concat import Concat
 from repro.core.interfaces import DynamicAlgorithm, NetworkStaticAlgorithm
@@ -47,7 +47,8 @@ def run_combined(
     rounds: int,
     seed: int = 0,
     window: Optional[int] = None,
-    input: Optional[Assignment] = None,
+    input_assignment: Optional[Assignment] = None,
+    input=_UNSET,
 ) -> CombinedRunResult:
     """Run ``Concat(SAlg, DAlg)`` against ``adversary`` and summarise validity."""
     T1 = window if window is not None else default_window(n)
@@ -58,7 +59,7 @@ def run_combined(
         adversary=adversary,
         rounds=rounds,
         seed=seed,
-        input=input,
+        input_assignment=_merge_deprecated_input(input_assignment, input),
     )
     pair = algorithm.problem_pair()
     spec = TDynamicSpec(pair, T1)
@@ -79,7 +80,8 @@ def run_dynamic_problem(
     rounds: int,
     seed: int = 0,
     window: Optional[int] = None,
-    input: Optional[Assignment] = None,
+    input_assignment: Optional[Assignment] = None,
+    input=_UNSET,
 ) -> CombinedRunResult:
     """Run any algorithm (combined, baseline or ablation) and summarise T-dynamic validity.
 
@@ -94,7 +96,7 @@ def run_dynamic_problem(
         adversary=adversary,
         rounds=rounds,
         seed=seed,
-        input=input,
+        input_assignment=_merge_deprecated_input(input_assignment, input),
     )
     spec = TDynamicSpec(pair, T)
     return CombinedRunResult(

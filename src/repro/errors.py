@@ -17,6 +17,10 @@ class ConfigurationError(ReproError):
     """Raised when a component is constructed with invalid parameters."""
 
 
+class RegistryError(ConfigurationError):
+    """Raised on unknown or duplicate keys in a scenario component registry."""
+
+
 class TopologyError(ReproError):
     """Raised when a topology or dynamic-graph operation is invalid.
 

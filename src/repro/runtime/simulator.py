@@ -19,7 +19,8 @@ handed to the algorithm.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+import warnings
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.types import Assignment, NodeId, Value
@@ -32,6 +33,26 @@ from repro.runtime.metrics import RoundMetrics
 from repro.runtime.trace import ExecutionTrace
 
 __all__ = ["Simulator", "run_simulation"]
+
+#: Sentinel distinguishing "``input`` not passed" from an explicit ``None``.
+_UNSET: Any = object()
+
+
+def _merge_deprecated_input(
+    input_assignment: Optional[Assignment], input: Any
+) -> Optional[Assignment]:
+    """Fold the deprecated ``input`` keyword into ``input_assignment``."""
+    if input is _UNSET:
+        return input_assignment
+    warnings.warn(
+        "the 'input' parameter shadows the builtin and is deprecated; "
+        "use 'input_assignment' instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if input_assignment is not None:
+        raise ConfigurationError("pass either 'input_assignment' or the deprecated 'input', not both")
+    return input
 
 
 class Simulator:
@@ -51,8 +72,10 @@ class Simulator:
         independent streams from it.  (Stochastic adversaries receive their
         own generator at construction time — by convention derived from the
         same experiment seed via ``RngFactory.stream("adversary", …)``.)
-    input:
+    input_assignment:
         Optional input vector ``φ`` forwarded to the algorithm's setup.
+        (The former name ``input`` shadowed the builtin and is still accepted
+        with a :class:`DeprecationWarning`.)
     expose_state_to_adversary:
         If true, adaptive adversaries (obliviousness 0) may inspect
         ``algorithm.state_summary()`` when choosing the next graph.
@@ -69,7 +92,8 @@ class Simulator:
         adversary: Adversary,
         seed: int = 0,
         rng_factory: Optional[RngFactory] = None,
-        input: Optional[Assignment] = None,
+        input_assignment: Optional[Assignment] = None,
+        input: Any = _UNSET,
         expose_state_to_adversary: bool = False,
         stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
     ) -> None:
@@ -79,7 +103,7 @@ class Simulator:
         self._algorithm = algorithm
         self._adversary = adversary
         self._rng_factory = rng_factory if rng_factory is not None else RngFactory(seed)
-        self._input = input
+        self._input = _merge_deprecated_input(input_assignment, input)
         self._expose_state = expose_state_to_adversary
         self._stop_when = stop_when
         self._trace = ExecutionTrace(n, algorithm.name, adversary.describe())
@@ -205,7 +229,8 @@ def run_simulation(
     adversary: Adversary,
     rounds: int,
     seed: int = 0,
-    input: Optional[Assignment] = None,
+    input_assignment: Optional[Assignment] = None,
+    input: Any = _UNSET,
     expose_state_to_adversary: bool = False,
     stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
 ) -> ExecutionTrace:
@@ -232,7 +257,7 @@ def run_simulation(
         algorithm=algorithm,
         adversary=adversary,
         seed=seed,
-        input=input,
+        input_assignment=_merge_deprecated_input(input_assignment, input),
         expose_state_to_adversary=expose_state_to_adversary,
         stop_when=stop_when,
     )

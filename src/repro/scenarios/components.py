@@ -1,0 +1,649 @@
+"""Built-in component registrations.
+
+Importing this module (done by ``repro.scenarios.__init__``) populates the
+registries of :mod:`repro.scenarios.registry` with every topology family,
+adversary, algorithm, wake-up schedule, metric, probe and stop condition the
+library ships — the full combination space of ``dynamics/`` × ``algorithms/``
+becomes addressable by name.
+
+Factory conventions (``ctx`` is the per-seed
+:class:`~repro.scenarios.executor.ScenarioContext`):
+
+* topologies: ``(n, rng, **params) -> Topology``;
+* adversaries / algorithms / wake-ups: ``(ctx, **params)``; the context
+  provides the base topology, derived rng streams, the window ``T1`` and the
+  wake-up schedule;
+* metrics: ``(ctx, **params) -> Dict[str, float]`` run after the simulation
+  (``ctx.trace`` / ``ctx.adversary`` / ``ctx.algorithm`` are available);
+* probes: ``(ctx, **params) -> object`` with ``observe(sim) -> bool`` called
+  after every round (truthy return stops the run) and
+  ``finish() -> Dict[str, float]``;
+* stop conditions: ``(ctx, **params) -> Callable[[ExecutionTrace], bool]``.
+
+The rng stream names deliberately mirror the ones the pre-scenario experiment
+code used (``("adversary", "churn")``, ``("adversary", "targeted")``, …) so
+migrating an experiment onto the declarative API reproduces its historical
+numbers bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.dynamics import generators
+from repro.dynamics.adversaries.composite import FreezeAfterAdversary
+from repro.dynamics.adversaries.locally_static import LocallyStaticAdversary
+from repro.dynamics.adversaries.random_churn import ChurnAdversary, MobilityAdversary
+from repro.dynamics.adversaries.scripted import StaticAdversary
+from repro.dynamics.adversaries.targeted_coloring import TargetedColoringAdversary
+from repro.dynamics.adversaries.targeted_mis import TargetedMisAdversary
+from repro.dynamics.churn import (
+    BurstChurn,
+    EdgeInsertionChurn,
+    FlipChurn,
+    MarkovEdgeChurn,
+    StaticChurn,
+)
+from repro.dynamics.mobility import RandomWaypointMobility
+from repro.dynamics.wakeup import (
+    AllAwake,
+    ExplicitWakeup,
+    StaggeredWakeup,
+    UniformRandomWakeup,
+)
+from repro.algorithms.coloring.ablations import (
+    DColorCurrentGraphAblation,
+    SColorNoUncolorAblation,
+    concat_without_backbone,
+)
+from repro.algorithms.coloring.baselines import RestartColoring
+from repro.algorithms.coloring.basic_static import BasicColoring
+from repro.algorithms.coloring.dcolor import DColor
+from repro.algorithms.coloring.dynamic_coloring import DynamicColoring
+from repro.algorithms.coloring.scolor import SColor
+from repro.algorithms.matching.dmatch import DMatch
+from repro.algorithms.matching.dynamic_matching import DynamicMatching
+from repro.algorithms.matching.smatch import SMatch
+from repro.algorithms.mis.ablations import (
+    DMisCurrentGraphAblation,
+    SMisNoUndecideAblation,
+    concat_without_backbone_mis,
+)
+from repro.algorithms.mis.baselines import RestartMis
+from repro.algorithms.mis.dmis import DMis
+from repro.algorithms.mis.dynamic_mis import DynamicMIS
+from repro.algorithms.mis.ghaffari import GhaffariMIS
+from repro.algorithms.mis.luby import LubyMIS
+from repro.algorithms.mis.smis import SMis
+from repro.analysis.conflicts import conflict_resolution_times
+from repro.analysis.convergence import completion_round_for_nodes, rounds_to_completion
+from repro.analysis.quality import coloring_quality, matching_quality, mis_quality
+from repro.analysis.stability import region_change_count, stability_summary
+from repro.core.properties import verify_partial_solution_every_round
+from repro.problems.coloring import coloring_problem_pair
+from repro.problems.dynamic_problem import TDynamicSpec
+from repro.problems.matching import matching_problem_pair
+from repro.problems.mis import mis_problem_pair
+from repro.types import Interval
+from repro.scenarios.registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    METRICS,
+    PROBES,
+    STOP_CONDITIONS,
+    TOPOLOGIES,
+    WAKEUPS,
+)
+__all__ = ["problem_pair_by_name"]
+
+
+def _resolve(ctx, value, **extra):
+    """Evaluate a duration parameter against the scenario's variables."""
+    return ctx.resolve(value, **extra)
+
+
+# ---------------------------------------------------------------------------
+# topologies — every named generator family, plus parameterised variants
+# ---------------------------------------------------------------------------
+
+def _register_family(family_name: str):
+    TOPOLOGIES.register(family_name, lambda n, rng, _f=family_name: generators.GENERATORS[_f](n, rng))
+
+
+for _family in generators.GENERATORS:
+    _register_family(_family)
+
+
+@TOPOLOGIES.register("gnp")
+def _topology_gnp(n, rng, *, p: float = 0.1):
+    return generators.gnp(n, p, rng)
+
+
+@TOPOLOGIES.register("gnp_degree")
+def _topology_gnp_degree(n, rng, *, degree: float = 8.0):
+    return generators.gnp(n, min(1.0, degree / max(n - 1, 1)), rng)
+
+
+@TOPOLOGIES.register("random_regular")
+def _topology_regular(n, rng, *, degree: int = 4):
+    return generators.random_regular(n, degree, rng)
+
+
+@TOPOLOGIES.register("random_geometric")
+def _topology_geometric(n, rng, *, radius: Optional[float] = None):
+    if radius is None:
+        radius = math.sqrt(10.0 / max(n, 1) / math.pi)
+    return generators.random_geometric(n, radius, rng)
+
+
+@TOPOLOGIES.register("barabasi_albert")
+def _topology_ba(n, rng, *, m: int = 3):
+    if n <= m:
+        return generators.clique(n)
+    return generators.barabasi_albert(n, m, rng)
+
+
+# ---------------------------------------------------------------------------
+# wake-up schedules
+# ---------------------------------------------------------------------------
+
+
+@WAKEUPS.register("all-at-once")
+def _wakeup_all(ctx):
+    return AllAwake(ctx.n)
+
+
+@WAKEUPS.register("staggered")
+def _wakeup_staggered(ctx, *, batch_size=None, interval: int = 1):
+    if batch_size is None:
+        batch_size = max(1, ctx.n // (2 * ctx.T1))
+    return StaggeredWakeup(ctx.n, batch_size=int(_resolve(ctx, batch_size)), interval=interval)
+
+
+@WAKEUPS.register("uniform-random")
+def _wakeup_uniform(ctx, *, spread="2*T1"):
+    return UniformRandomWakeup(ctx.n, spread=_resolve(ctx, spread), rng=ctx.stream("wakeup"))
+
+
+@WAKEUPS.register("explicit")
+def _wakeup_explicit(ctx, *, wake_rounds):
+    return ExplicitWakeup({int(v): int(r) for v, r in dict(wake_rounds).items()})
+
+
+# ---------------------------------------------------------------------------
+# adversaries
+# ---------------------------------------------------------------------------
+
+
+@ADVERSARIES.register("static")
+def _adversary_static(ctx):
+    return StaticAdversary(ctx.base, wakeup=ctx.wakeup)
+
+
+@ADVERSARIES.register("flip-churn")
+def _adversary_flip(ctx, *, flip_prob: float = 0.01):
+    churn = FlipChurn(ctx.base, flip_prob) if flip_prob > 0 else StaticChurn(ctx.base)
+    return ChurnAdversary(ctx.n, churn, ctx.stream("adversary", "churn"), wakeup=ctx.wakeup)
+
+
+@ADVERSARIES.register("markov-churn")
+def _adversary_markov(ctx, *, p_off: float = 0.0, p_on: float = 0.0):
+    churn = MarkovEdgeChurn(ctx.base, p_off=p_off, p_on=p_on)
+    return ChurnAdversary(ctx.n, churn, ctx.stream("adversary", "churn"), wakeup=ctx.wakeup)
+
+
+@ADVERSARIES.register("burst-churn")
+def _adversary_burst(ctx, *, burst_prob: float = 0.1, drop_fraction: float = 0.5):
+    churn = BurstChurn(ctx.base, burst_prob, drop_fraction)
+    return ChurnAdversary(ctx.n, churn, ctx.stream("adversary", "burst"), wakeup=ctx.wakeup)
+
+
+@ADVERSARIES.register("edge-insertion")
+def _adversary_insertion(ctx, *, insertions_per_round: int = 3, lifetime: int = 3):
+    churn = EdgeInsertionChurn(
+        ctx.base, insertions_per_round=insertions_per_round, lifetime=_resolve(ctx, lifetime)
+    )
+    return ChurnAdversary(ctx.n, churn, ctx.stream("adversary", "insert"), wakeup=ctx.wakeup)
+
+
+@ADVERSARIES.register("targeted-coloring")
+def _adversary_targeted_coloring(ctx, *, attacks_per_round: int = 2, lifetime="2*T1"):
+    return TargetedColoringAdversary(
+        ctx.base,
+        attacks_per_round=attacks_per_round,
+        lifetime=_resolve(ctx, lifetime),
+        rng=ctx.stream("adversary", "targeted"),
+    )
+
+
+@ADVERSARIES.register("targeted-mis")
+def _adversary_targeted_mis(ctx, *, mode: str = "cut_notification", attacks_per_round: int = 4, lifetime=2):
+    stream_label = {"cut_notification": "cut", "join_mis": "join"}.get(mode, mode)
+    return TargetedMisAdversary(
+        ctx.base,
+        mode=mode,
+        attacks_per_round=attacks_per_round,
+        rng=ctx.stream("adversary", stream_label),
+        lifetime=_resolve(ctx, lifetime),
+    )
+
+
+@ADVERSARIES.register("locally-static")
+def _adversary_locally_static(ctx, *, flip_prob: float = 0.05, protected_radius: int = 3, center=None):
+    if center is None:
+        center = max(ctx.base.nodes, key=lambda v: ctx.base.degree(v))
+    return LocallyStaticAdversary(
+        ctx.base,
+        center=int(center),
+        protected_radius=protected_radius,
+        churn=FlipChurn(ctx.base, flip_prob),
+        rng=ctx.stream("adversary", "locally-static"),
+    )
+
+
+@ADVERSARIES.register("freeze-after")
+def _adversary_freeze_after(ctx, *, inner, freeze_round):
+    from repro.scenarios.spec import ComponentSpec
+
+    inner_spec = ComponentSpec.coerce(inner)
+    inner_adversary = ADVERSARIES.get(inner_spec.name)(ctx, **inner_spec.params)
+    return FreezeAfterAdversary(inner_adversary, freeze_round=_resolve(ctx, freeze_round))
+
+
+@ADVERSARIES.register("mobility")
+def _adversary_mobility(ctx, *, radius: float = 0.18, speed: float = 0.02, pause_probability: float = 0.0):
+    mobility = RandomWaypointMobility(
+        ctx.n,
+        radius=radius,
+        speed=speed,
+        pause_probability=pause_probability,
+        rng=ctx.stream("mobility"),
+    )
+    return MobilityAdversary(mobility, wakeup=ctx.wakeup)
+
+
+# ---------------------------------------------------------------------------
+# algorithms
+# ---------------------------------------------------------------------------
+
+
+def _register_plain_algorithm(name: str, cls):
+    ALGORITHMS.register(name, lambda ctx, _cls=cls: _cls())
+
+
+for _name, _cls in (
+    ("basic-coloring", BasicColoring),
+    ("scolor", SColor),
+    ("dcolor", DColor),
+    ("dcolor-current-graph", DColorCurrentGraphAblation),
+    ("scolor-no-uncolor", SColorNoUncolorAblation),
+    ("smis", SMis),
+    ("smis-no-undecide", SMisNoUndecideAblation),
+    ("dmis-current-graph", DMisCurrentGraphAblation),
+    ("luby-mis", LubyMIS),
+    ("ghaffari-mis", GhaffariMIS),
+    ("smatch", SMatch),
+    ("dmatch", DMatch),
+):
+    _register_plain_algorithm(_name, _cls)
+
+
+@ALGORITHMS.register("dmis")
+def _algorithm_dmis(ctx, *, revalidate_dominated: bool = False):
+    return DMis(revalidate_dominated=revalidate_dominated)
+
+
+@ALGORITHMS.register("dynamic-coloring")
+def _algorithm_dynamic_coloring(ctx, *, window=None):
+    return DynamicColoring(ctx.T1 if window is None else _resolve(ctx, window))
+
+
+@ALGORITHMS.register("dynamic-mis")
+def _algorithm_dynamic_mis(ctx, *, window=None, revalidate_dominated: bool = False):
+    T1 = ctx.T1 if window is None else _resolve(ctx, window)
+    return DynamicMIS(T1, revalidate_dominated=revalidate_dominated)
+
+
+@ALGORITHMS.register("dynamic-matching")
+def _algorithm_dynamic_matching(ctx, *, window=None):
+    return DynamicMatching(ctx.T1 if window is None else _resolve(ctx, window))
+
+
+@ALGORITHMS.register("restart-coloring")
+def _algorithm_restart_coloring(ctx, *, period=None):
+    return RestartColoring(ctx.T1 if period is None else _resolve(ctx, period))
+
+
+@ALGORITHMS.register("restart-mis")
+def _algorithm_restart_mis(ctx, *, period=None):
+    return RestartMis(ctx.T1 if period is None else _resolve(ctx, period))
+
+
+@ALGORITHMS.register("coloring-no-backbone")
+def _algorithm_coloring_no_backbone(ctx, *, window=None):
+    return concat_without_backbone(ctx.T1 if window is None else _resolve(ctx, window))
+
+
+@ALGORITHMS.register("mis-no-backbone")
+def _algorithm_mis_no_backbone(ctx, *, window=None):
+    return concat_without_backbone_mis(ctx.T1 if window is None else _resolve(ctx, window))
+
+
+# ---------------------------------------------------------------------------
+# stop conditions
+# ---------------------------------------------------------------------------
+
+
+@STOP_CONDITIONS.register("all-decided")
+def _stop_all_decided(ctx):
+    return lambda trace: rounds_to_completion(trace) is not None
+
+
+@STOP_CONDITIONS.register("after-round")
+def _stop_after_round(ctx, *, round):
+    limit = _resolve(ctx, round)
+    return lambda trace: trace.num_rounds >= limit
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+_PROBLEM_PAIRS = {
+    "coloring": coloring_problem_pair,
+    "mis": mis_problem_pair,
+    "matching": matching_problem_pair,
+}
+
+
+def problem_pair_by_name(problem: str):
+    """The :class:`~repro.problems.packing_covering.ProblemPair` for a problem name."""
+    try:
+        return _PROBLEM_PAIRS[problem]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown problem {problem!r}; available: {sorted(_PROBLEM_PAIRS)}"
+        ) from None
+
+
+@METRICS.register("validity")
+def _metric_validity(ctx, *, problem: str, start_round=1, window=None):
+    """Sliding-window T-dynamic validity summary (Theorem 1.1(1))."""
+    T = ctx.T1 if window is None else _resolve(ctx, window)
+    spec = TDynamicSpec(problem_pair_by_name(problem), T)
+    return spec.validity_summary(ctx.trace, start_round=_resolve(ctx, start_round))
+
+
+@METRICS.register("stability")
+def _metric_stability(ctx, *, warmup=0):
+    """Output-change statistics after a warm-up prefix."""
+    return stability_summary(ctx.trace, warmup=_resolve(ctx, warmup))
+
+
+@METRICS.register("convergence")
+def _metric_convergence(ctx, *, on_incomplete: str = "nan"):
+    """Rounds until every awake node is decided (``stop="all-decided"`` runs).
+
+    ``on_incomplete`` selects the ``rounds`` value when the run never
+    completed: ``"nan"`` or ``"rounds"`` (the simulated horizon).
+    """
+    done = rounds_to_completion(ctx.trace)
+    if done is not None:
+        rounds = float(done)
+    elif on_incomplete == "rounds":
+        rounds = float(ctx.rounds)
+    else:
+        rounds = float("nan")
+    return {"rounds": rounds, "completed": float(done is not None)}
+
+
+@METRICS.register("coloring-quality")
+def _metric_coloring_quality(ctx, *, graph: str = "union"):
+    """Colour-count quality of the final output vs the union or final graph."""
+    trace = ctx.trace
+    r = trace.num_rounds
+    topo = trace.graph.union_graph(r, ctx.T1) if graph == "union" else trace.topology(r)
+    return coloring_quality(topo, trace.outputs(r))
+
+
+@METRICS.register("mis-quality")
+def _metric_mis_quality(ctx):
+    """MIS size of the final output vs a sequential greedy reference."""
+    trace = ctx.trace
+    return mis_quality(trace.topology(trace.num_rounds), trace.outputs(trace.num_rounds))
+
+
+@METRICS.register("matching-quality")
+def _metric_matching_quality(ctx):
+    """Matching size of the final output vs a sequential greedy reference."""
+    trace = ctx.trace
+    return matching_quality(trace.topology(trace.num_rounds), trace.outputs(trace.num_rounds))
+
+
+@METRICS.register("message-size")
+def _metric_message_size(ctx):
+    """Maximum estimated message size (bits) over the whole run."""
+    max_bits = max(record.metrics.max_message_bits for record in ctx.trace)
+    return {"max_message_bits": float(max_bits)}
+
+
+@METRICS.register("trace-summary")
+def _metric_trace_summary(ctx):
+    """Basic run facts (rounds simulated)."""
+    return {"trace_rounds": float(ctx.trace.num_rounds)}
+
+
+@METRICS.register("region-stability")
+def _metric_region_stability(ctx, *, grace="2*T1+2"):
+    """Output changes inside vs outside a locally-static adversary's protected ball (E5)."""
+    protected = ctx.adversary.protected_nodes
+    base = ctx.base
+    inner = {v for v in protected if base.ball(v, 2) <= protected}
+    outer = set(base.nodes) - protected
+    window = Interval(_resolve(ctx, grace), ctx.trace.num_rounds)
+    return {
+        "protected_nodes": float(len(inner)),
+        "changes_protected": float(region_change_count(ctx.trace, inner, window)),
+        "changes_control": float(region_change_count(ctx.trace, outer, window)),
+    }
+
+
+@METRICS.register("conflict-durations")
+def _metric_conflict_durations(ctx, *, max_wait="2*T1"):
+    """Resolution times of adversarially inserted conflicts (E3)."""
+    durations = conflict_resolution_times(
+        ctx.trace, ctx.adversary.attack_log, max_wait=_resolve(ctx, max_wait)
+    )
+    resolved = [d for d in durations if not d["censored"]]
+    if not resolved:
+        return {"attacks": 0.0, "mean_duration": float("nan"), "max_duration": float("nan")}
+    values = [d["duration"] for d in resolved]
+    return {
+        "attacks": float(len(resolved)),
+        "mean_duration": sum(values) / len(values),
+        "max_duration": max(values),
+    }
+
+
+@METRICS.register("freeze-decision")
+def _metric_freeze_decision(ctx, *, churn_rounds):
+    """Rounds to all-decided after a freeze, and output changes afterwards (E8)."""
+    trace = ctx.trace
+    frozen_at = _resolve(ctx, churn_rounds)
+    decided_round = None
+    for r in range(frozen_at + 1, trace.num_rounds + 1):
+        outputs = trace.outputs(r)
+        if all(outputs.get(v) is not None for v in trace.topology(r).nodes):
+            decided_round = r
+            break
+    changes_after = 0
+    if decided_round is not None:
+        for r in range(decided_round + 1, trace.num_rounds + 1):
+            changes_after += sum(
+                1
+                for v in trace.topology(r).nodes
+                if trace.output_of(v, r) != trace.output_of(v, r - 1)
+            )
+    return {
+        "rounds_after_freeze": float(decided_round - frozen_at)
+        if decided_round is not None
+        else float("nan"),
+        "changes_after_decided": float(changes_after),
+    }
+
+
+@METRICS.register("mis-edge-decay")
+def _metric_mis_edge_decay(ctx, *, min_edges: int = 4):
+    """Per-seed ingredients of the Lemma 5.2 two-round edge-decay ratio (E6).
+
+    Returns partial sums so the experiment can pool ratios across seeds
+    exactly like the pre-scenario implementation did.
+    """
+    trace = ctx.trace
+    edge_counts = []
+    for r in range(1, trace.num_rounds + 1):
+        intersection = trace.graph.intersection_graph(r, r)
+        if r == 1:
+            undecided = set(intersection.nodes)
+        else:
+            previous = trace.outputs(r - 1)
+            undecided = {v for v in intersection.nodes if previous.get(v) is None}
+        edge_counts.append(len(intersection.induced_edges(undecided)))
+    ratios = [
+        edge_counts[i + 2] / edge_counts[i]
+        for i in range(len(edge_counts) - 2)
+        if edge_counts[i] >= min_edges
+    ]
+    return {
+        "ratio_sum": float(sum(ratios)),
+        "ratio_count": float(len(ratios)),
+        "initial_edges": float(edge_counts[0]) if edge_counts else 0.0,
+        "rounds_to_empty": float(
+            next((i + 1 for i, c in enumerate(edge_counts) if c == 0), float("nan"))
+        ),
+    }
+
+
+@METRICS.register("b1-violations")
+def _metric_b1_violations(ctx, *, problem: str, start_round="T1"):
+    """Fraction of rounds violating the partial-solution property B.1 (E13b)."""
+    start = _resolve(ctx, start_round)
+    violations = verify_partial_solution_every_round(
+        ctx.trace, problem_pair_by_name(problem), start_round=start
+    )
+    checked = max(1, ctx.trace.num_rounds - start + 1)
+    return {"b1_violation_fraction": len(violations) / checked}
+
+
+@METRICS.register("last-wakers-convergence")
+def _metric_last_wakers(ctx, *, tail: int = 8):
+    """Wake and decision rounds of the last ``tail`` nodes to wake up (examples)."""
+    trace = ctx.trace
+    last_batch = list(range(ctx.n - tail, ctx.n))
+    last_batch_wake = max(
+        next(r for r in trace.rounds() if v in trace.topology(r).nodes) for v in last_batch
+    )
+    converged = completion_round_for_nodes(trace, last_batch, start_round=last_batch_wake)
+    return {
+        "last_batch_wake_round": float(last_batch_wake),
+        "last_batch_decided_round": float(converged) if converged is not None else float("nan"),
+        "rounds_to_decide_after_wake": float(converged - last_batch_wake)
+        if converged
+        else float("nan"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# probes — per-round observers
+# ---------------------------------------------------------------------------
+
+
+@PROBES.register("palette-shrink")
+class _PaletteShrinkProbe:
+    """E2: classify uncoloured node-rounds into "palette shrank ≥ 1/4" vs
+    "no big shrink", and count colourings conditioned on the latter."""
+
+    def __init__(self, ctx, *, shrink_factor: float = 0.75) -> None:
+        self._ctx = ctx
+        self._shrink_factor = shrink_factor
+        self.shrink_events = 0
+        self.no_shrink_events = 0
+        self.colored_given_no_shrink = 0
+        self._previous_palette: Dict[int, frozenset] = {}
+        self._previous_uncolored: set = set()
+
+    def observe(self, sim) -> bool:
+        algorithm = self._ctx.algorithm
+        outputs = sim.trace.outputs(sim.trace.num_rounds)
+        for v in self._previous_uncolored:
+            before = self._previous_palette.get(v, frozenset())
+            after = algorithm.palette_of(v)
+            if not before:
+                continue
+            if len(after) <= self._shrink_factor * len(before):
+                self.shrink_events += 1
+            else:
+                self.no_shrink_events += 1
+                if outputs.get(v) is not None:
+                    self.colored_given_no_shrink += 1
+        self._previous_uncolored = {
+            v for v in sim.trace.topology(sim.trace.num_rounds).nodes if outputs.get(v) is None
+        }
+        self._previous_palette = {
+            v: algorithm.palette_of(v) for v in self._previous_uncolored
+        }
+        return not self._previous_uncolored
+
+    def finish(self) -> Dict[str, float]:
+        return {
+            "node_rounds_shrink": float(self.shrink_events),
+            "node_rounds_no_shrink": float(self.no_shrink_events),
+            "colored_given_no_shrink": float(self.colored_given_no_shrink),
+        }
+
+
+@PROBES.register("palette-invariant")
+class _PaletteInvariantProbe:
+    """E13a: check the Lemma 4.2 palette invariant ``|P_v| >= |U(v)| + 1`` every
+    round, against the algorithm's communication graph (``restricted=True``)
+    or the current graph (the ablation's view)."""
+
+    def __init__(self, ctx, *, restricted: bool = True) -> None:
+        self._ctx = ctx
+        self._restricted = restricted
+        self.violations = 0
+        self.observations = 0
+
+    def observe(self, sim) -> bool:
+        algorithm = self._ctx.algorithm
+        r = sim.trace.num_rounds
+        outputs = sim.trace.outputs(r)
+        topo = sim.trace.topology(r)
+        for v in topo.nodes:
+            if outputs.get(v) is not None:
+                continue
+            palette = algorithm.palette_of(v)
+            if self._restricted:
+                comm_neighbors = algorithm.live_neighbors_of(v)
+            else:
+                comm_neighbors = topo.neighbors(v)
+            uncolored_neighbors = sum(1 for u in comm_neighbors if outputs.get(u) is None)
+            self.observations += 1
+            if len(palette) < uncolored_neighbors + 1:
+                self.violations += 1
+        return False
+
+    def finish(self) -> Dict[str, float]:
+        trace = self._ctx.trace
+        final = trace.outputs(trace.num_rounds)
+        uncolored = sum(
+            1 for v in trace.topology(trace.num_rounds).nodes if final.get(v) is None
+        )
+        return {
+            "palette_invariant_violation_fraction": self.violations / self.observations
+            if self.observations
+            else 0.0,
+            "uncolored_fraction": uncolored / self._ctx.n,
+        }

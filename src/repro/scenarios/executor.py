@@ -1,0 +1,304 @@
+"""Scenario execution: seed replication, sweeps, and the parallel batch engine.
+
+:func:`run_scenario` turns one :class:`~repro.scenarios.spec.ScenarioSpec`
+into per-seed result rows; :func:`sweep` expands a spec into a grid of
+scenarios via dotted-path overrides and runs them all.  Both accept
+``parallel=True`` to fan the independent work units — one ``(scenario point,
+seed)`` pair each — out across cores with a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism is a hard requirement: a work unit is a pure function of
+``(spec, seed)`` (every random stream derives from the seed through
+:class:`~repro.utils.rng.RngFactory`), units are dispatched and re-assembled
+in a fixed order, and aggregation folds rows in seed order.  The parallel
+path therefore produces *identical* rows to the serial path — byte for byte —
+and falls back to serial execution automatically if worker processes cannot
+be spawned (restricted environments, non-picklable third-party components).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pickle import PicklingError
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RegistryError
+from repro.utils.rng import RngFactory
+from repro.analysis.sweep import Replication, aggregate_rows
+from repro.runtime.simulator import Simulator
+from repro.core.windows import default_window
+from repro.scenarios.registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    METRICS,
+    PROBES,
+    STOP_CONDITIONS,
+    TOPOLOGIES,
+    WAKEUPS,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioContext",
+    "ScenarioResult",
+    "run_scenario",
+    "run_scenario_seed",
+    "sweep",
+]
+
+Row = Dict[str, float]
+
+
+@dataclass
+class ScenarioContext:
+    """Everything one seed-replication of a scenario has in scope.
+
+    Component factories receive the context while it is being populated (the
+    base topology exists before the adversary is built, the adversary before
+    the algorithm); metric extractors and probes see the fully populated
+    context including the finished ``trace``.
+    """
+
+    spec: ScenarioSpec
+    seed: int
+    n: int
+    T1: int
+    rounds: int
+    rng_factory: RngFactory
+    base: Any = None
+    wakeup: Any = None
+    adversary: Any = None
+    algorithm: Any = None
+    trace: Any = None
+
+    def stream(self, *names: object) -> np.random.Generator:
+        """A named random stream derived from this replication's seed."""
+        return self.rng_factory.stream(*names)
+
+    def resolve(self, value, **extra: float) -> int:
+        """Resolve a duration parameter (int or ``"2*T1"``-style expression)."""
+        from repro.scenarios.spec import resolve_expression, standard_variables
+
+        return resolve_expression(value, **standard_variables(n=self.n, T1=self.T1, **extra))
+
+
+def _build_context(spec: ScenarioSpec, seed: int) -> ScenarioContext:
+    n = spec.n
+    ctx = ScenarioContext(
+        spec=spec,
+        seed=int(seed),
+        n=n,
+        T1=spec.resolved_window(),
+        rounds=spec.resolved_rounds(),
+        rng_factory=RngFactory(int(seed)),
+    )
+    topology = spec.topology
+    ctx.base = TOPOLOGIES.get(topology.name)(
+        n, ctx.stream("topology", topology.name, n), **topology.params
+    )
+    if spec.wakeup is not None:
+        ctx.wakeup = WAKEUPS.get(spec.wakeup.name)(ctx, **spec.wakeup.params)
+    ctx.adversary = ADVERSARIES.get(spec.adversary.name)(ctx, **spec.adversary.params)
+    ctx.algorithm = ALGORITHMS.get(spec.algorithm.name)(ctx, **spec.algorithm.params)
+    return ctx
+
+
+def run_scenario_seed(spec: ScenarioSpec, seed: int) -> Row:
+    """Run one seed-replication of ``spec`` and return its metric row.
+
+    This is the deterministic work unit of the batch executor: the same
+    ``(spec, seed)`` pair always yields the same row, in any process.
+    """
+    ctx = _build_context(spec, seed)
+    stop_when = None
+    if spec.stop is not None:
+        stop_when = STOP_CONDITIONS.get(spec.stop.name)(ctx, **spec.stop.params)
+    sim = Simulator(
+        n=ctx.n,
+        algorithm=ctx.algorithm,
+        adversary=ctx.adversary,
+        seed=ctx.seed,
+        expose_state_to_adversary=spec.expose_state_to_adversary,
+        # With a probe, the round loop below owns the stop check — passing
+        # the predicate to the simulator too would evaluate it twice a round.
+        stop_when=None if spec.probe is not None else stop_when,
+    )
+    probe = None
+    if spec.probe is not None:
+        probe = PROBES.get(spec.probe.name)(ctx, **spec.probe.params)
+        for _ in range(ctx.rounds):
+            sim.run(1)
+            if probe.observe(sim):
+                break
+            if stop_when is not None and stop_when(sim.trace):
+                break
+    else:
+        sim.run(ctx.rounds)
+    ctx.trace = sim.trace
+
+    row: Row = {}
+    for metric in spec.metrics:
+        row.update(METRICS.get(metric.name)(ctx, **metric.params))
+    if probe is not None:
+        row.update(probe.finish())
+    return row
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """The per-seed rows of one scenario (plus the overrides that produced it)."""
+
+    spec: ScenarioSpec
+    rows: Tuple[Row, ...]
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """The scenario's display label."""
+        return self.spec.label
+
+    def replication(self) -> Replication:
+        """The rows as an :class:`~repro.analysis.sweep.Replication`."""
+        return Replication(label=self.label, rows=self.rows)
+
+    def aggregate(
+        self,
+        *,
+        mean_keys: Sequence[str] = (),
+        std_keys: Sequence[str] = (),
+        max_keys: Sequence[str] = (),
+        extra: Optional[Mapping[str, float]] = None,
+    ) -> Row:
+        """Collapse the per-seed rows into one aggregated row (means/stds/maxima)."""
+        return aggregate_rows(
+            self.replication(),
+            mean_keys=mean_keys,
+            std_keys=std_keys,
+            max_keys=max_keys,
+            extra=extra,
+        )
+
+    def mean(self, key: str) -> float:
+        """Mean of ``key`` over the seed rows (NaNs skipped)."""
+        return self.replication().mean(key)
+
+    def max(self, key: str) -> float:
+        """Maximum of ``key`` over the seed rows (NaNs skipped)."""
+        return self.replication().max(key)
+
+
+# ---------------------------------------------------------------------------
+# the batch engine
+# ---------------------------------------------------------------------------
+
+
+def _execute_payload(payload: Tuple[Dict[str, Any], int]) -> Row:
+    """Top-level (hence picklable) worker entry point."""
+    spec_dict, seed = payload
+    return run_scenario_seed(ScenarioSpec.from_dict(spec_dict), seed)
+
+
+def _run_units(
+    payloads: Sequence[Tuple[Dict[str, Any], int]],
+    *,
+    parallel: bool,
+    max_workers: Optional[int],
+) -> List[Row]:
+    """Execute work units, in order, optionally fanned out over processes.
+
+    Results come back in submission order regardless of completion order
+    (``ProcessPoolExecutor.map`` preserves it), which is what makes the
+    parallel path's output identical to the serial path's.
+    """
+    if not parallel or len(payloads) <= 1:
+        return [_execute_payload(p) for p in payloads]
+    workers = max_workers if max_workers is not None else min(len(payloads), os.cpu_count() or 1)
+    if workers <= 1:
+        return [_execute_payload(p) for p in payloads]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_payload, payloads))
+    except (OSError, PicklingError, PermissionError, ImportError, BrokenProcessPool, RegistryError):
+        # Fall back to the serial path, which computes the identical rows.
+        # Covers restricted environments (no fork/spawn, sandboxed /dev/shm)
+        # and spawn-start workers that re-import the package without the
+        # caller's ad-hoc component registrations (RegistryError): a genuine
+        # unknown name re-raises from the serial path just the same.
+        return [_execute_payload(p) for p in payloads]
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> ScenarioResult:
+    """Run every seed of ``spec`` and collect the per-seed rows.
+
+    With ``parallel=True`` the seed replications run in worker processes; the
+    result is identical to the serial run (see module docstring).
+    """
+    spec_dict = spec.to_dict()
+    payloads = [(spec_dict, seed) for seed in spec.seeds]
+    rows = _run_units(payloads, parallel=parallel, max_workers=max_workers)
+    return ScenarioResult(spec=spec, rows=tuple(rows))
+
+
+def sweep(
+    spec: ScenarioSpec,
+    over: Mapping[str, Sequence[Any]],
+    *,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> List[ScenarioResult]:
+    """Run the cartesian grid of ``over`` overrides applied to ``spec``.
+
+    ``over`` maps dotted paths into the spec (see
+    :meth:`~repro.scenarios.spec.ScenarioSpec.with_overrides`) to value lists::
+
+        sweep(spec, over={
+            "n": [64, 128, 256],
+            "adversary.params.flip_prob": [0.001, 0.01, 0.1],
+        }, parallel=True)
+
+    Returns one :class:`ScenarioResult` per grid point, in row-major order of
+    the ``over`` mapping; every point carries the overrides that produced it.
+    All ``len(grid) × len(seeds)`` work units share one process pool.
+    """
+    if not over:
+        raise ConfigurationError("sweep() needs at least one override axis")
+    keys = list(over)
+    axes = [list(over[key]) for key in keys]
+    for key, values in zip(keys, axes):
+        if not values:
+            raise ConfigurationError(f"sweep axis {key!r} has no values")
+
+    points: List[Tuple[Mapping[str, Any], ScenarioSpec]] = []
+    for combo in itertools.product(*axes):
+        overrides = dict(zip(keys, combo))
+        points.append((overrides, spec.with_overrides(overrides)))
+
+    payloads: List[Tuple[Dict[str, Any], int]] = []
+    bounds: List[Tuple[int, int]] = []
+    for _, point_spec in points:
+        spec_dict = point_spec.to_dict()
+        start = len(payloads)
+        payloads.extend((spec_dict, seed) for seed in point_spec.seeds)
+        bounds.append((start, len(payloads)))
+
+    rows = _run_units(payloads, parallel=parallel, max_workers=max_workers)
+    return [
+        ScenarioResult(spec=point_spec, rows=tuple(rows[start:end]), overrides=overrides)
+        for (overrides, point_spec), (start, end) in zip(points, bounds)
+    ]

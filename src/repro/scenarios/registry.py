@@ -1,0 +1,179 @@
+"""String-keyed component registries for the declarative scenario API.
+
+A :class:`Registry` maps short stable names ("flip-churn", "dynamic-coloring",
+"gnp_sparse", …) to component *factories*.  Scenario specifications refer to
+components exclusively by these names, which is what makes a
+:class:`~repro.scenarios.spec.ScenarioSpec` pure data: it survives JSON
+round-trips, crosses process boundaries unharmed (the parallel executor
+rebuilds every component inside the worker), and new components become
+available to every experiment the moment they are registered.
+
+Seven registries cover the moving parts of a simulation::
+
+    TOPOLOGIES       (n, rng, **params)        -> Topology
+    ADVERSARIES      (ctx, **params)           -> Adversary
+    ALGORITHMS       (ctx, **params)           -> DistributedAlgorithm
+    WAKEUPS          (ctx, **params)           -> WakeupSchedule
+    METRICS          (ctx, **params)           -> Dict[str, float]   (post-run)
+    PROBES           (ctx, **params)           -> probe object        (per-round)
+    STOP_CONDITIONS  (ctx, **params)           -> (trace) -> bool
+
+where ``ctx`` is the per-seed :class:`~repro.scenarios.executor.ScenarioContext`.
+
+Registering a new component is one decorator::
+
+    from repro.scenarios import ADVERSARIES
+
+    @ADVERSARIES.register("my-burst-storm")
+    def _build(ctx, *, burst_prob=0.1, drop_fraction=0.5):
+        ...
+
+The built-in components are registered in
+:mod:`repro.scenarios.components`; :func:`available` lists everything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, TypeVar
+
+from repro.errors import RegistryError
+
+__all__ = [
+    "Registry",
+    "TOPOLOGIES",
+    "ADVERSARIES",
+    "ALGORITHMS",
+    "WAKEUPS",
+    "METRICS",
+    "PROBES",
+    "STOP_CONDITIONS",
+    "REGISTRIES",
+    "available",
+]
+
+T = TypeVar("T")
+
+
+class Registry:
+    """A named mapping from string keys to component factories.
+
+    Keys are case-sensitive, must be non-empty strings, and may be registered
+    only once (re-registering the same key raises :class:`RegistryError`
+    unless ``overwrite=True`` — useful in tests and notebooks).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._entries: Dict[str, Callable] = {}
+
+    @property
+    def kind(self) -> str:
+        """Human-readable name of the component family (e.g. ``"adversary"``)."""
+        return self._kind
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable] = None,
+        *,
+        overwrite: bool = False,
+    ):
+        """Register ``factory`` under ``name``.
+
+        Usable as a decorator (``@REGISTRY.register("name")``) or called
+        directly (``REGISTRY.register("name", factory)``); returns the factory
+        either way.
+        """
+        if not isinstance(name, str) or not name:
+            raise RegistryError(f"{self._kind} registry keys must be non-empty strings, got {name!r}")
+
+        def decorate(target: Callable) -> Callable:
+            if target is None or not callable(target):
+                raise RegistryError(
+                    f"{self._kind} {name!r} must be registered with a callable factory, got {target!r}"
+                )
+            if name in self._entries and not overwrite:
+                raise RegistryError(
+                    f"{self._kind} {name!r} is already registered; pass overwrite=True to replace it"
+                )
+            self._entries[name] = target
+            return target
+
+        if factory is None:
+            return decorate
+        return decorate(factory)
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (no-op if absent); mainly for test isolation."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> Callable:
+        """Look up the factory registered under ``name``."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self._kind} {name!r}; available: {list(self.available())}"
+            ) from None
+
+    def available(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self._kind!r}, {len(self._entries)} entries)"
+
+
+#: Base-topology families: ``(n, rng, **params) -> Topology``.
+TOPOLOGIES = Registry("topology")
+
+#: Graph-sequence adversaries: ``(ctx, **params) -> Adversary``.
+ADVERSARIES = Registry("adversary")
+
+#: Distributed algorithms under test: ``(ctx, **params) -> DistributedAlgorithm``.
+ALGORITHMS = Registry("algorithm")
+
+#: Wake-up schedules: ``(ctx, **params) -> WakeupSchedule``.
+WAKEUPS = Registry("wakeup")
+
+#: Post-run metric extractors: ``(ctx, **params) -> Dict[str, float]``.
+METRICS = Registry("metric")
+
+#: Per-round observers: ``(ctx, **params) -> probe`` with ``observe``/``finish``.
+PROBES = Registry("probe")
+
+#: Early-stop predicates: ``(ctx, **params) -> Callable[[ExecutionTrace], bool]``.
+STOP_CONDITIONS = Registry("stop condition")
+
+#: All registries by family name — the scenario discovery surface.
+REGISTRIES: Dict[str, Registry] = {
+    "topologies": TOPOLOGIES,
+    "adversaries": ADVERSARIES,
+    "algorithms": ALGORITHMS,
+    "wakeups": WAKEUPS,
+    "metrics": METRICS,
+    "probes": PROBES,
+    "stop_conditions": STOP_CONDITIONS,
+}
+
+
+def available(kind: Optional[str] = None):
+    """List the registered component names.
+
+    ``available()`` returns ``{family: (name, …)}`` for every registry;
+    ``available("adversaries")`` returns just that family's names.
+    """
+    if kind is None:
+        return {family: registry.available() for family, registry in REGISTRIES.items()}
+    if kind not in REGISTRIES:
+        raise RegistryError(f"unknown registry {kind!r}; available: {sorted(REGISTRIES)}")
+    return REGISTRIES[kind].available()

@@ -1,0 +1,301 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the *data* form of one experiment configuration:
+which topology family to generate, which adversary animates it, which
+algorithm runs on it, how nodes wake up, how long to simulate, which seeds to
+replicate over, and which metrics to extract from the trace.  All components
+are referenced by registry name (see :mod:`repro.scenarios.registry`), so a
+spec is plain JSON-able data — it can live in a config file, be swept over,
+or be shipped to a worker process.
+
+Durations (``rounds``, wake-up spreads, warm-ups, …) may be given either as
+plain integers or as small arithmetic expressions over the scenario's derived
+quantities — ``"6*T1"``, ``"20*log2n + 10"`` — evaluated per scenario by
+:func:`resolve_expression`.  This keeps "run for six windows" declarative
+instead of forcing callers to precompute ``default_window(n)`` themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ComponentSpec", "ScenarioSpec", "component", "resolve_expression"]
+
+
+# ---------------------------------------------------------------------------
+# duration expressions
+# ---------------------------------------------------------------------------
+
+#: Characters allowed in a duration expression once variable names are removed.
+_EXPR_SAFE = re.compile(r"^[\d\s+\-*/().]*$")
+
+
+def resolve_expression(value: Union[int, float, str], **names: float) -> int:
+    """Resolve an integer duration that may be an arithmetic expression.
+
+    ``value`` is either a number (returned as ``int``) or a string expression
+    over the supplied variables, e.g. ``resolve_expression("6*T1 + 2", T1=24)``.
+    Only the variables passed as keyword arguments plus literals and
+    ``+ - * / ( )`` are allowed.
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(f"expected an integer or expression, got {value!r}")
+    if isinstance(value, (int, float)):
+        return int(value)
+    if not isinstance(value, str):
+        raise ConfigurationError(f"expected an integer or expression, got {value!r}")
+    stripped = value
+    for name in sorted(names, key=len, reverse=True):
+        stripped = stripped.replace(name, "")
+    if not _EXPR_SAFE.match(stripped):
+        raise ConfigurationError(
+            f"illegal duration expression {value!r}; allowed variables: {sorted(names)}"
+        )
+    try:
+        resolved = eval(value, {"__builtins__": {}}, dict(names))  # noqa: S307 - sanitised above
+    except Exception as exc:
+        raise ConfigurationError(f"cannot evaluate duration expression {value!r}: {exc}") from exc
+    return int(resolved)
+
+
+def standard_variables(*, n: int, T1: int, **extra: float) -> Dict[str, float]:
+    """The variable set duration expressions are evaluated against."""
+    return {"n": float(n), "T1": float(T1), "log2n": math.log2(max(n, 2)), **extra}
+
+
+# ---------------------------------------------------------------------------
+# component references
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """A registry name plus keyword parameters for its factory."""
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(f"component name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form: ``{"name": ..., "params": {...}}``."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def coerce(cls, value: Union["ComponentSpec", str, Mapping[str, Any]]) -> "ComponentSpec":
+        """Accept a ComponentSpec, a bare name, or a ``{"name", "params"}`` mapping."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(value)
+        if isinstance(value, Mapping):
+            unknown = set(value) - {"name", "params"}
+            if unknown:
+                raise ConfigurationError(f"unexpected component keys {sorted(unknown)} in {value!r}")
+            if "name" not in value:
+                raise ConfigurationError(f"component spec {value!r} is missing its 'name'")
+            return cls(value["name"], dict(value.get("params", {})))
+        raise ConfigurationError(f"cannot interpret {value!r} as a component spec")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComponentSpec):
+            return NotImplemented
+        return self.name == other.name and dict(self.params) == dict(other.params)
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(sorted((k, repr(v)) for k, v in self.params.items()))))
+
+
+def component(name: str, **params: Any) -> ComponentSpec:
+    """Ergonomic constructor: ``component("flip-churn", flip_prob=0.05)``."""
+    return ComponentSpec(name, params)
+
+
+def _coerce_optional(value: Any) -> Optional[ComponentSpec]:
+    return None if value is None else ComponentSpec.coerce(value)
+
+
+# ---------------------------------------------------------------------------
+# the scenario specification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-declarative experiment configuration.
+
+    Parameters
+    ----------
+    n:
+        Upper bound on the number of nodes (global knowledge).
+    algorithm / adversary / topology / wakeup:
+        Component references (registry name + params).  ``wakeup=None`` means
+        every node is awake from round 1.
+    rounds:
+        Simulation length — an ``int`` or an expression over ``T1`` /
+        ``log2n`` / ``n`` (e.g. ``"6*T1"``).
+    seeds:
+        The replication seeds; every seed is one independent run.
+    metrics:
+        Post-run extractors applied to the trace; their key/value results are
+        merged (in order) into the per-seed row.
+    probe:
+        Optional per-round observer (for measurements that need to watch the
+        simulation step by step); its ``finish()`` row is merged last.
+    stop:
+        Optional early-stop condition evaluated after every round.
+    window:
+        Explicit ``T1`` override; defaults to
+        :func:`repro.core.windows.default_window` of ``n``.
+    expose_state_to_adversary:
+        Forwarded to the simulator (adaptive adversaries may inspect state).
+    name:
+        Free-form label copied into results.
+    """
+
+    n: int
+    algorithm: ComponentSpec
+    adversary: ComponentSpec = field(default_factory=lambda: ComponentSpec("static"))
+    topology: ComponentSpec = field(default_factory=lambda: ComponentSpec("gnp_sparse"))
+    rounds: Union[int, str] = "4*T1"
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    wakeup: Optional[ComponentSpec] = None
+    metrics: Tuple[ComponentSpec, ...] = ()
+    probe: Optional[ComponentSpec] = None
+    stop: Optional[ComponentSpec] = None
+    window: Optional[int] = None
+    expose_state_to_adversary: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n, int) or self.n < 1:
+            raise ConfigurationError(f"n must be a positive integer, got {self.n!r}")
+        object.__setattr__(self, "algorithm", ComponentSpec.coerce(self.algorithm))
+        object.__setattr__(self, "adversary", ComponentSpec.coerce(self.adversary))
+        object.__setattr__(self, "topology", ComponentSpec.coerce(self.topology))
+        object.__setattr__(self, "wakeup", _coerce_optional(self.wakeup))
+        object.__setattr__(self, "probe", _coerce_optional(self.probe))
+        object.__setattr__(self, "stop", _coerce_optional(self.stop))
+        metrics = self.metrics
+        if isinstance(metrics, (str, Mapping)) or isinstance(metrics, ComponentSpec):
+            metrics = (metrics,)
+        object.__setattr__(self, "metrics", tuple(ComponentSpec.coerce(m) for m in metrics))
+        seeds = tuple(int(s) for s in self.seeds)
+        if not seeds:
+            raise ConfigurationError("a scenario needs at least one seed")
+        object.__setattr__(self, "seeds", seeds)
+        if isinstance(self.rounds, bool) or not isinstance(self.rounds, (int, str)):
+            raise ConfigurationError(f"rounds must be an int or expression, got {self.rounds!r}")
+        if isinstance(self.rounds, int) and self.rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {self.rounds}")
+        if self.window is not None and (not isinstance(self.window, int) or self.window < 1):
+            raise ConfigurationError(f"window must be a positive integer, got {self.window!r}")
+
+    # -- labels & derived values -------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """The display label of this scenario (name, or the algorithm's name)."""
+        return self.name or self.algorithm.name
+
+    def resolved_window(self) -> int:
+        """The window ``T1`` this scenario runs with."""
+        from repro.core.windows import default_window
+
+        return self.window if self.window is not None else default_window(self.n)
+
+    def resolved_rounds(self) -> int:
+        """The concrete number of rounds (duration expressions evaluated)."""
+        rounds = resolve_expression(
+            self.rounds, **standard_variables(n=self.n, T1=self.resolved_window())
+        )
+        if rounds < 0:
+            raise ConfigurationError(f"rounds expression {self.rounds!r} resolved to {rounds}")
+        return rounds
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict that :meth:`from_dict` reconstructs exactly."""
+        def comp(value: Optional[ComponentSpec]):
+            return None if value is None else value.to_dict()
+
+        return {
+            "n": self.n,
+            "algorithm": comp(self.algorithm),
+            "adversary": comp(self.adversary),
+            "topology": comp(self.topology),
+            "rounds": self.rounds,
+            "seeds": list(self.seeds),
+            "wakeup": comp(self.wakeup),
+            "metrics": [m.to_dict() for m in self.metrics],
+            "probe": comp(self.probe),
+            "stop": comp(self.stop),
+            "window": self.window,
+            "expose_state_to_adversary": self.expose_state_to_adversary,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict` (also accepts hand-written JSON configs)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown ScenarioSpec keys {sorted(unknown)}")
+        if "n" not in data or "algorithm" not in data:
+            raise ConfigurationError("a scenario spec needs at least 'n' and 'algorithm'")
+        kwargs: Dict[str, Any] = dict(data)
+        if "seeds" in kwargs:
+            kwargs["seeds"] = tuple(kwargs["seeds"])
+        if "metrics" in kwargs and kwargs["metrics"] is not None:
+            kwargs["metrics"] = tuple(kwargs["metrics"])
+        return cls(**kwargs)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """Serialise to JSON (``sort_keys=True`` for stable diffs)."""
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from its JSON form."""
+        return cls.from_dict(json.loads(text))
+
+    # -- derivation --------------------------------------------------------------
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """Return a copy with dotted-path overrides applied.
+
+        Paths address the :meth:`to_dict` structure: ``{"n": 64}``,
+        ``{"adversary.params.flip_prob": 0.05}``, ``{"algorithm.name": "dmis"}``.
+        This is the primitive :func:`repro.scenarios.executor.sweep` uses to
+        expand one spec into a grid.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            parts = path.split(".")
+            target: Any = data
+            for part in parts[:-1]:
+                if not isinstance(target, dict):
+                    raise ConfigurationError(f"cannot descend into {path!r} at {part!r}")
+                if target.get(part) is None:
+                    target[part] = {}
+                target = target[part]
+            if not isinstance(target, dict):
+                raise ConfigurationError(f"cannot apply override {path!r}")
+            target[parts[-1]] = value
+        return type(self).from_dict(data)
+
+    def replace(self, **changes: Any) -> "ScenarioSpec":
+        """Field-level :func:`dataclasses.replace` convenience."""
+        return replace(self, **changes)

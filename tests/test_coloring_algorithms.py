@@ -83,7 +83,7 @@ class TestBasicColoring:
             adversary=StaticAdversary(path4),
             rounds=20,
             seed=4,
-            input={0: 2, 1: 1},
+            input_assignment={0: 2, 1: 1},
         )
         final = trace.outputs(trace.num_rounds)
         assert final[0] == 2 and final[1] == 1
@@ -150,7 +150,7 @@ class TestDColor:
         input_colors = {0: 1, 1: 2}
         adversary = ChurnAdversary(n, FlipChurn(medium_gnp, 0.03), RngFactory(9).stream("adv"))
         trace = run_simulation(
-            n=n, algorithm=DColor(), adversary=adversary, rounds=50, seed=9, input=input_colors
+            n=n, algorithm=DColor(), adversary=adversary, rounds=50, seed=9, input_assignment=input_colors
         )
         assert verify_never_retracts(trace) == []
         final = trace.outputs(trace.num_rounds)

@@ -33,7 +33,7 @@ class TestRevalidateDominatedInputs:
             adversary=StaticAdversary(medium_gnp),
             rounds=40,
             seed=1,
-            input=input_assignment,
+            input_assignment=input_assignment,
         )
         final = trace.outputs(trace.num_rounds)
         for v, value in input_assignment.items():
@@ -50,7 +50,7 @@ class TestRevalidateDominatedInputs:
             adversary=StaticAdversary(path4),
             rounds=20,
             seed=2,
-            input={0: 0},  # claims to be dominated but has no MIS neighbour
+            input_assignment={0: 0},  # claims to be dominated but has no MIS neighbour
         )
         final = trace.outputs(trace.num_rounds)
         assert is_maximal_independent_set(path4, {v for v, value in final.items() if value == 1})
@@ -63,7 +63,7 @@ class TestRevalidateDominatedInputs:
             adversary=StaticAdversary(path4),
             rounds=20,
             seed=2,
-            input={0: 0},
+            input_assignment={0: 0},
         )
         assert trace.outputs(trace.num_rounds)[0] == 0
 
