@@ -1,0 +1,194 @@
+"""Engine throughput: snapshot path vs delta path, rounds per second.
+
+Measures the raw round engine (adversary step → topology materialisation →
+compose/deliver → trace record) with a no-op algorithm so the numbers isolate
+engine cost, not algorithm cost.  Each workload runs twice on identical
+seeds — once with adversaries forced onto the legacy snapshot path
+(``emit_deltas=False``, per-round snapshot storage) and once on the delta path
+(the default) — and the two traces are verified to be byte-identical before
+any timing is reported.
+
+Workload grid: small/medium/large ``n`` × sparse/dense churn on an expected-
+degree-8 Gnp base graph.  "Sparse" churns ~1 % of the base edges per round
+(the paper's "frequent but local changes" regime), "dense" ~20 %.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --smoke    # CI gate
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --json out.json
+
+The full grid writes ``benchmarks/results/BENCH_engine.json`` by default; the
+committed baseline tracks the trajectory across PRs.  ``--smoke`` runs tiny
+sizes and *asserts* the engine invariants (identical rows, delta ≥ snapshot
+throughput) so CI fails on an engine regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dynamics import generators
+from repro.dynamics.adversaries.random_churn import ChurnAdversary
+from repro.dynamics.churn import MarkovEdgeChurn
+from repro.runtime.algorithm import DistributedAlgorithm
+from repro.runtime.simulator import Simulator
+
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent / "results" / "BENCH_engine.json"
+
+#: (label, n, rounds) for the full grid; smoke mode uses its own tiny grid.
+SIZES = (("small", 200, 400), ("medium", 800, 200), ("large", 2000, 120))
+SMOKE_SIZES = (("small", 64, 120), ("medium", 128, 80))
+
+#: (label, per-round flip probability of each base edge).
+CHURN_RATES = (("sparse", 0.01), ("dense", 0.2))
+
+
+class NullAlgorithm(DistributedAlgorithm):
+    """No-op algorithm: isolates engine cost from algorithm cost."""
+
+    name = "null"
+
+    def on_wake(self, v):
+        pass
+
+    def compose(self, v):
+        return None
+
+    def deliver(self, v, inbox):
+        pass
+
+    def output(self, v):
+        return 0
+
+
+def _run(n: int, churn_prob: float, rounds: int, seed: int, emit_deltas: bool):
+    """One timed run; returns (rounds/sec, trace, base edge count)."""
+    base = generators.gnp(n, min(1.0, 8.0 / max(n - 1, 1)), np.random.default_rng(seed))
+    adversary = ChurnAdversary(
+        n,
+        MarkovEdgeChurn(base, p_off=churn_prob, p_on=churn_prob),
+        np.random.default_rng(seed + 1),
+        emit_deltas=emit_deltas,
+    )
+    sim = Simulator(n=n, algorithm=NullAlgorithm(), adversary=adversary, seed=seed)
+    start = time.perf_counter()
+    sim.run(rounds)
+    elapsed = time.perf_counter() - start
+    return rounds / elapsed, sim.trace, base.num_edges
+
+
+def _trace_rows(trace) -> List[tuple]:
+    return [
+        (
+            record.round_index,
+            record.topology.nodes,
+            record.topology.edges,
+            dict(record.outputs),
+            record.metrics.as_dict(),
+        )
+        for record in trace
+    ]
+
+
+def run_grid(
+    sizes, *, seed: int = 1, verify: bool = True, repeats: int = 1
+) -> List[Dict[str, float]]:
+    """Run the workload grid; returns one result row per (size, churn) cell.
+
+    ``repeats > 1`` re-times each path and keeps the best rounds/sec — the
+    smoke gate uses this to absorb scheduler noise on tiny CI workloads.
+    """
+    rows: List[Dict[str, float]] = []
+    for size_label, n, rounds in sizes:
+        for churn_label, churn_prob in CHURN_RATES:
+            snapshot_rps, snapshot_trace, m = _run(n, churn_prob, rounds, seed, False)
+            delta_rps, delta_trace, _ = _run(n, churn_prob, rounds, seed, True)
+            if verify and _trace_rows(snapshot_trace) != _trace_rows(delta_trace):
+                raise AssertionError(
+                    f"delta and snapshot traces differ for n={n}, churn={churn_label}"
+                )
+            for _ in range(repeats - 1):
+                snapshot_rps = max(snapshot_rps, _run(n, churn_prob, rounds, seed, False)[0])
+                delta_rps = max(delta_rps, _run(n, churn_prob, rounds, seed, True)[0])
+            churn_per_round = delta_trace.graph.churn_per_round()
+            rows.append(
+                {
+                    "workload": f"{size_label}-{churn_label}",
+                    "n": n,
+                    "base_edges": m,
+                    "rounds": rounds,
+                    "mean_churn_per_round": round(
+                        float(np.mean(churn_per_round[1:])) if len(churn_per_round) > 1 else 0.0, 2
+                    ),
+                    "snapshot_rps": round(snapshot_rps, 1),
+                    "delta_rps": round(delta_rps, 1),
+                    "speedup": round(delta_rps / snapshot_rps, 2),
+                }
+            )
+            print(
+                f"{rows[-1]['workload']:<16} n={n:<5} m={m:<6} "
+                f"churn/round={rows[-1]['mean_churn_per_round']:<8} "
+                f"snapshot={snapshot_rps:8.1f} r/s  delta={delta_rps:8.1f} r/s  "
+                f"speedup={rows[-1]['speedup']:.2f}x"
+            )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes; assert identical rows and delta >= snapshot throughput",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        help=f"output path for the result JSON (default: {RESULTS_PATH} in full mode)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else SIZES
+    rows = run_grid(sizes, repeats=3 if args.smoke else 1)
+
+    if args.smoke:
+        # The CI gate: identical rows were already asserted inside run_grid;
+        # the delta path must additionally never be slower than the snapshot
+        # path.  Best-of-3 timing plus a small tolerance absorbs scheduler
+        # noise on these deliberately tiny workloads.
+        slow = [row for row in rows if row["speedup"] < 0.9]
+        if slow:
+            print(f"FAIL: delta path slower than snapshot path on {slow}")
+            return 1
+        print(f"smoke ok: {len(rows)} workloads, identical rows, delta path >= snapshot path")
+        return 0
+
+    payload = {
+        "benchmark": "engine-throughput",
+        "unit": "rounds/sec",
+        "algorithm": "null (engine cost only)",
+        "rows": rows,
+    }
+    out_path = args.json or RESULTS_PATH
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    large_sparse = [row for row in rows if row["workload"] == "large-sparse"]
+    if large_sparse and large_sparse[0]["speedup"] < 2.0:
+        print(f"FAIL: large-sparse speedup {large_sparse[0]['speedup']} < 2.0x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

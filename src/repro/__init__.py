@@ -42,7 +42,7 @@ Quickstart
 from repro.version import __version__
 from repro.utils.rng import RngFactory
 from repro.dynamics import generators
-from repro.dynamics.topology import Topology
+from repro.dynamics.topology import Topology, TopologyDelta
 from repro.dynamics.dynamic_graph import DynamicGraph
 from repro.runtime.simulator import Simulator, run_simulation
 from repro.runtime.trace import ExecutionTrace
@@ -67,6 +67,7 @@ __all__ = [
     "RngFactory",
     "generators",
     "Topology",
+    "TopologyDelta",
     "DynamicGraph",
     "Simulator",
     "run_simulation",

@@ -2,10 +2,12 @@
 
 This subpackage provides everything "below" the distributed algorithms:
 
-* :mod:`repro.dynamics.topology` — immutable per-round graph snapshots.
+* :mod:`repro.dynamics.topology` — immutable per-round graph snapshots and
+  the :class:`TopologyDelta` change sets between them (``Topology.apply``
+  materialises a successor graph with structural sharing).
 * :mod:`repro.dynamics.dynamic_graph` — the recorded graph sequence
-  ``G_1, G_2, …`` with sliding-window intersection / union graphs
-  (Definition 2.1).
+  ``G_1, G_2, …`` stored as deltas with periodic checkpoint snapshots, plus
+  sliding-window intersection / union graphs (Definition 2.1).
 * :mod:`repro.dynamics.window` — the incremental sliding-window view that
   backs the T-intersection / T-union queries.
 * :mod:`repro.dynamics.generators` — static base topologies.
@@ -17,10 +19,23 @@ This subpackage provides everything "below" the distributed algorithms:
   mobility, locally-static, targeted-colouring, targeted-MIS, composite).
 """
 
-from repro.dynamics.topology import Topology, empty_topology, topology_from_networkx
+from repro.dynamics.topology import (
+    EMPTY_DELTA,
+    Topology,
+    TopologyDelta,
+    empty_topology,
+    topology_from_networkx,
+)
 from repro.dynamics.dynamic_graph import DynamicGraph
 from repro.dynamics.window import SlidingWindow, WindowSnapshot
-from repro.dynamics.adversary import Adversary, AdversaryView, ADAPTIVE_OFFLINE, FULLY_OBLIVIOUS
+from repro.dynamics.adversary import (
+    Adversary,
+    AdversaryView,
+    IncrementalAdversary,
+    ADAPTIVE_OFFLINE,
+    FULLY_OBLIVIOUS,
+    delta_emission,
+)
 from repro.dynamics.wakeup import (
     AllAwake,
     ExplicitWakeup,
@@ -32,6 +47,8 @@ from repro.dynamics import generators, churn, mobility, adversaries
 
 __all__ = [
     "Topology",
+    "TopologyDelta",
+    "EMPTY_DELTA",
     "empty_topology",
     "topology_from_networkx",
     "DynamicGraph",
@@ -39,8 +56,10 @@ __all__ = [
     "WindowSnapshot",
     "Adversary",
     "AdversaryView",
+    "IncrementalAdversary",
     "ADAPTIVE_OFFLINE",
     "FULLY_OBLIVIOUS",
+    "delta_emission",
     "WakeupSchedule",
     "AllAwake",
     "StaggeredWakeup",

@@ -5,10 +5,25 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.dynamics.adversary import Adversary, AdversaryView
-from repro.dynamics.topology import Topology
+from repro.dynamics.adversary import (
+    Adversary,
+    AdversaryView,
+    IncrementalAdversary,
+    StepResult,
+)
+from repro.dynamics.topology import EMPTY_DELTA, Topology, TopologyDelta, empty_topology
 
 __all__ = ["PhaseAdversary", "FreezeAfterAdversary"]
+
+
+def _materialise(view: AdversaryView, result: StepResult) -> Topology:
+    """Resolve a step result to the full round topology."""
+    if isinstance(result, TopologyDelta):
+        previous = view.previous_topology()
+        if previous is None:
+            previous = empty_topology()
+        return previous.apply(result)
+    return result
 
 
 class PhaseAdversary(Adversary):
@@ -18,6 +33,12 @@ class PhaseAdversary(Adversary):
     phase may have duration ``None`` meaning "until the end of the run".
     The declared obliviousness is the minimum over the phases (the adversary
     is only as oblivious as its least oblivious phase).
+
+    Step results (snapshots or deltas) are forwarded verbatim: each inner
+    adversary's own delta-chain tracking notices that it did not produce the
+    previous round's topology right after a phase switch and resynchronises
+    with a full snapshot (see
+    :class:`~repro.dynamics.adversary.IncrementalAdversary`).
     """
 
     def __init__(self, phases: Sequence[Tuple[Optional[int], Adversary]]) -> None:
@@ -46,7 +67,7 @@ class PhaseAdversary(Adversary):
             remaining -= duration
         return self._phases[-1][1]
 
-    def step(self, view: AdversaryView) -> Topology:
+    def step(self, view: AdversaryView) -> StepResult:
         return self._phase_for(view.round_index).step(view)
 
     def describe(self) -> str:
@@ -57,7 +78,7 @@ class PhaseAdversary(Adversary):
         return f"PhaseAdversary({inner})"
 
 
-class FreezeAfterAdversary(Adversary):
+class FreezeAfterAdversary(IncrementalAdversary):
     """Runs an inner adversary until ``freeze_round`` and then freezes the graph.
 
     From round ``freeze_round`` on, the topology of round ``freeze_round - 1``
@@ -65,9 +86,19 @@ class FreezeAfterAdversary(Adversary):
     produced yet) is repeated forever.  Used by experiment E8 to measure how
     quickly SMis decides every node once the whole graph becomes static after
     a period of churn.
+
+    Once frozen, every round on the delta path is an *empty* delta — the
+    cheapest round the engine can execute.
     """
 
-    def __init__(self, inner: Adversary, freeze_round: int) -> None:
+    def __init__(
+        self,
+        inner: Adversary,
+        freeze_round: int,
+        *,
+        emit_deltas: Optional[bool] = None,
+    ) -> None:
+        super().__init__(emit_deltas=emit_deltas)
         if freeze_round < 1:
             raise ConfigurationError(f"freeze_round must be >= 1, got {freeze_round}")
         self._inner = inner
@@ -81,16 +112,18 @@ class FreezeAfterAdversary(Adversary):
         return self._freeze_round
 
     def reset(self) -> None:
+        super().reset()
         self._inner.reset()
         self._frozen = None
 
-    def step(self, view: AdversaryView) -> Topology:
-        if view.round_index < self._freeze_round:
-            topo = self._inner.step(view)
-            self._frozen = topo
-            return topo
-        if self._frozen is None:
-            self._frozen = self._inner.step(view)
+    def step(self, view: AdversaryView) -> StepResult:
+        chain_intact = self._delta_chain_intact(view)
+        if view.round_index < self._freeze_round or self._frozen is None:
+            result = self._inner.step(view)
+            self._frozen = _materialise(view, result)
+            return result
+        if chain_intact:
+            return EMPTY_DELTA
         return self._frozen
 
     def describe(self) -> str:

@@ -14,17 +14,25 @@ static for the entire run.
 
 from __future__ import annotations
 
+from typing import FrozenSet, Optional
+
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.dynamics.adversary import Adversary, AdversaryView, FULLY_OBLIVIOUS
-from repro.dynamics.churn import ChurnProcess
-from repro.dynamics.topology import Topology
+from repro.types import Edge
+from repro.dynamics.adversary import (
+    AdversaryView,
+    FULLY_OBLIVIOUS,
+    IncrementalAdversary,
+    StepResult,
+)
+from repro.dynamics.churn import ChurnProcess, advance_churn
+from repro.dynamics.topology import Topology, TopologyDelta
 
 __all__ = ["LocallyStaticAdversary"]
 
 
-class LocallyStaticAdversary(Adversary):
+class LocallyStaticAdversary(IncrementalAdversary):
     """Freeze a ball around ``center``; churn every edge outside it.
 
     Parameters
@@ -56,7 +64,10 @@ class LocallyStaticAdversary(Adversary):
         protected_radius: int,
         churn: ChurnProcess,
         rng: np.random.Generator,
+        *,
+        emit_deltas: Optional[bool] = None,
     ) -> None:
+        super().__init__(emit_deltas=emit_deltas)
         if center not in base.nodes:
             raise ConfigurationError(f"center {center} is not a node of the base topology")
         if protected_radius < 0:
@@ -69,6 +80,8 @@ class LocallyStaticAdversary(Adversary):
         )
         self._churn = churn
         self._rng = rng
+        #: Churn-level present edges (protected and unprotected alike).
+        self._present: FrozenSet[Edge] = frozenset()
 
     @property
     def protected_nodes(self) -> frozenset:
@@ -76,16 +89,28 @@ class LocallyStaticAdversary(Adversary):
         return self._protected
 
     def reset(self) -> None:
+        super().reset()
         self._churn.reset()
+        self._present = frozenset()
 
-    def step(self, view: AdversaryView) -> Topology:
-        churned = self._churn.step(view.round_index, self._rng)
-        outside = frozenset(
-            e
-            for e in churned
-            if e[0] not in self._protected and e[1] not in self._protected
+    def _outside(self, e: Edge) -> bool:
+        return e[0] not in self._protected and e[1] not in self._protected
+
+    def step(self, view: AdversaryView) -> StepResult:
+        chain_intact = self._delta_chain_intact(view)
+        added, removed, self._present = advance_churn(
+            self._churn, self._present, view.round_index, self._rng
         )
-        return Topology(self._base.nodes, self._frozen_edges | outside)
+        if not chain_intact:
+            outside = frozenset(e for e in self._present if self._outside(e))
+            return Topology(self._base.nodes, self._frozen_edges | outside)
+        # The frozen edges all touch the protected set, so churn changes to
+        # edges outside it never collide with them; only those changes are
+        # visible in the emitted graph.
+        return TopologyDelta(
+            added_edges=frozenset(e for e in added if self._outside(e)),
+            removed_edges=frozenset(e for e in removed if self._outside(e)),
+        )
 
     def describe(self) -> str:
         return (

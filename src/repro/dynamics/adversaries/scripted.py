@@ -1,4 +1,10 @@
-"""Oblivious adversaries that replay pre-computed graph sequences."""
+"""Oblivious adversaries that replay pre-computed graph sequences.
+
+These stay on the snapshot side of the :meth:`~repro.dynamics.adversary.Adversary.step`
+contract: their topologies are precomputed objects, so re-returning them costs
+nothing — and when the *same* object is returned twice in a row the simulator
+recognises it as an empty delta and stores the round incrementally anyway.
+"""
 
 from __future__ import annotations
 

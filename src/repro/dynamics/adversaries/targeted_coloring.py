@@ -18,13 +18,13 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.types import Edge, NodeId, canonical_edge
-from repro.dynamics.adversary import Adversary, AdversaryView
-from repro.dynamics.topology import Topology
+from repro.dynamics.adversary import AdversaryView, IncrementalAdversary, StepResult
+from repro.dynamics.topology import Topology, TopologyDelta
 
 __all__ = ["TargetedColoringAdversary"]
 
 
-class TargetedColoringAdversary(Adversary):
+class TargetedColoringAdversary(IncrementalAdversary):
     """Insert up to ``attacks_per_round`` monochromatic edges each round.
 
     Parameters
@@ -54,7 +54,9 @@ class TargetedColoringAdversary(Adversary):
         rng: np.random.Generator,
         *,
         color_of=None,
+        emit_deltas: Optional[bool] = None,
     ) -> None:
+        super().__init__(emit_deltas=emit_deltas)
         self._base = base
         self._attacks = max(0, int(attacks_per_round))
         self._lifetime = max(1, int(lifetime))
@@ -65,6 +67,7 @@ class TargetedColoringAdversary(Adversary):
         self.attack_log: List[Tuple[int, Edge]] = []
 
     def reset(self) -> None:
+        super().reset()
         self._active.clear()
         self.attack_log.clear()
 
@@ -98,7 +101,8 @@ class TargetedColoringAdversary(Adversary):
 
     # -- Adversary interface ---------------------------------------------------
 
-    def step(self, view: AdversaryView) -> Topology:
+    def step(self, view: AdversaryView) -> StepResult:
+        chain_intact = self._delta_chain_intact(view)
         r = view.round_index
         expired = [e for e, expiry in self._active.items() if expiry < r]
         for e in expired:
@@ -106,14 +110,24 @@ class TargetedColoringAdversary(Adversary):
 
         outputs = view.latest_visible_outputs()
         current = frozenset(self._base.edges) | frozenset(self._active)
+        attacked: List[Edge] = []
         if outputs and self._attacks > 0:
             candidates = self._conflict_candidates(outputs, current)
             self._rng.shuffle(candidates)
             for e in candidates[: self._attacks]:
                 self._active[e] = r + self._lifetime - 1
                 self.attack_log.append((r, e))
-        edges = frozenset(self._base.edges) | frozenset(self._active)
-        return Topology(self._base.nodes, edges)
+                attacked.append(e)
+        if not chain_intact:
+            edges = frozenset(self._base.edges) | frozenset(self._active)
+            return Topology(self._base.nodes, edges)
+        # An edge that expired and was re-attacked in the same round never
+        # left the graph; keep it out of both sides of the delta.
+        expired_set = set(expired)
+        return TopologyDelta(
+            added_edges=frozenset(e for e in attacked if e not in expired_set),
+            removed_edges=frozenset(e for e in expired if e not in self._active),
+        )
 
     def describe(self) -> str:
         return (

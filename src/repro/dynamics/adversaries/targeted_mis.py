@@ -21,21 +21,21 @@ which is exactly the point of experiment E10.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.types import Edge, NodeId, canonical_edge
-from repro.dynamics.adversary import Adversary, AdversaryView
-from repro.dynamics.topology import Topology
+from repro.dynamics.adversary import AdversaryView, IncrementalAdversary, StepResult
+from repro.dynamics.topology import Topology, TopologyDelta
 
 __all__ = ["TargetedMisAdversary"]
 
 _MODES = ("cut_notification", "join_mis")
 
 
-class TargetedMisAdversary(Adversary):
+class TargetedMisAdversary(IncrementalAdversary):
     """Adaptive attacker against MIS algorithms.
 
     Parameters
@@ -63,7 +63,9 @@ class TargetedMisAdversary(Adversary):
         rng: np.random.Generator,
         *,
         lifetime: int = 1,
+        emit_deltas: Optional[bool] = None,
     ) -> None:
+        super().__init__(emit_deltas=emit_deltas)
         if mode not in _MODES:
             raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
         self._base = base
@@ -78,6 +80,7 @@ class TargetedMisAdversary(Adversary):
         self._previous_outputs = None
 
     def reset(self) -> None:
+        super().reset()
         self._inserted.clear()
         self._cut.clear()
         self.attack_log.clear()
@@ -123,31 +126,57 @@ class TargetedMisAdversary(Adversary):
 
     # -- Adversary interface ------------------------------------------------------
 
-    def step(self, view: AdversaryView) -> Topology:
+    def step(self, view: AdversaryView) -> StepResult:
+        chain_intact = self._delta_chain_intact(view)
         r = view.round_index
-        for book in (self._inserted, self._cut):
-            expired = [e for e, expiry in book.items() if expiry < r]
-            for e in expired:
-                del book[e]
+        expired_inserted = [e for e, expiry in self._inserted.items() if expiry < r]
+        for e in expired_inserted:
+            del self._inserted[e]
+        expired_cut = [e for e, expiry in self._cut.items() if expiry < r]
+        for e in expired_cut:
+            del self._cut[e]
 
+        fresh_cut: List[Edge] = []
+        fresh_inserted: List[Edge] = []
         outputs = view.latest_visible_outputs()
         if outputs and self._attacks > 0:
             if self._mode == "cut_notification":
                 candidates = self._cut_candidates(outputs)
                 self._rng.shuffle(candidates)
                 for e in candidates[: self._attacks]:
+                    if e not in self._cut:
+                        fresh_cut.append(e)
                     self._cut[e] = r + self._lifetime - 1
                     self.attack_log.append((r, "cut", e))
             else:  # join_mis
                 candidates = self._join_candidates(outputs)
                 self._rng.shuffle(candidates)
                 for e in candidates[: self._attacks]:
+                    if e not in self._inserted:
+                        fresh_inserted.append(e)
                     self._inserted[e] = r + self._lifetime - 1
                     self.attack_log.append((r, "insert", e))
             self._previous_outputs = dict(outputs)
 
-        edges = (frozenset(self._base.edges) - frozenset(self._cut)) | frozenset(self._inserted)
-        return Topology(self._base.nodes, edges)
+        if not chain_intact:
+            edges = (frozenset(self._base.edges) - frozenset(self._cut)) | frozenset(
+                self._inserted
+            )
+            return Topology(self._base.nodes, edges)
+        # Inserted edges are never base edges and cut edges always are, so the
+        # two books cannot collide.  An edge that expired and was re-attacked
+        # in the same round never changed state and stays out of the delta.
+        expired_cut_set = set(expired_cut)
+        expired_inserted_set = set(expired_inserted)
+        added = frozenset(
+            [e for e in expired_cut if e not in self._cut]
+            + [e for e in fresh_inserted if e not in expired_inserted_set]
+        )
+        removed = frozenset(
+            [e for e in expired_inserted if e not in self._inserted]
+            + [e for e in fresh_cut if e not in expired_cut_set]
+        )
+        return TopologyDelta(added_edges=added, removed_edges=removed)
 
     def describe(self) -> str:
         return f"TargetedMisAdversary(mode={self._mode}, attacks={self._attacks})"

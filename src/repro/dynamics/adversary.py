@@ -18,19 +18,43 @@ round.  Its power is graded by *obliviousness* (Section 2):
   this online power, so the distinction does not weaken the experiments; it
   is documented in DESIGN.md.
 
+Since the delta-engine refactor, :meth:`Adversary.step` may return either a
+full :class:`~repro.dynamics.topology.Topology` snapshot (the original
+contract) or a :class:`~repro.dynamics.topology.TopologyDelta` describing the
+changes relative to the previous round — the round-cost of a delta-emitting
+adversary is proportional to the amount of change, not the graph size.  See
+:class:`IncrementalAdversary` for the bookkeeping that makes delta emission
+safe under composition.
+
 Concrete adversaries live in :mod:`repro.dynamics.adversaries`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.errors import AdversaryError
 from repro.types import Assignment, Round
-from repro.dynamics.topology import Topology
+from repro.dynamics.dynamic_graph import DynamicGraph
+from repro.dynamics.topology import Topology, TopologyDelta
 
-__all__ = ["Adversary", "AdversaryView", "ADAPTIVE_OFFLINE", "FULLY_OBLIVIOUS"]
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "IncrementalAdversary",
+    "StepResult",
+    "ADAPTIVE_OFFLINE",
+    "FULLY_OBLIVIOUS",
+    "default_delta_emission",
+    "set_default_delta_emission",
+    "delta_emission",
+]
+
+#: What :meth:`Adversary.step` may return: a full snapshot, or the change set
+#: relative to the previous round's topology.
+StepResult = Union[Topology, TopologyDelta]
 
 #: Obliviousness value meaning "the adversary sees everything available"
 #: (the strongest adversary the simulator can emulate; see module docstring).
@@ -55,13 +79,16 @@ class AdversaryView:
         n: int,
         round_index: Round,
         obliviousness: int,
-        topologies: Sequence[Topology],
+        topologies: Union[Sequence[Topology], DynamicGraph],
         outputs: Sequence[Assignment],
         state_provider: Optional[Callable[[], Any]] = None,
     ) -> None:
         self._n = n
         self._round_index = round_index
         self._obliviousness = max(0, int(obliviousness))
+        # Either an in-memory sequence (tests, ad-hoc views) or the trace's
+        # DynamicGraph, which the simulator passes so building a view is O(1)
+        # instead of copying the full history every round.
         self._topologies = topologies
         self._outputs = outputs
         self._state_provider = state_provider
@@ -84,11 +111,19 @@ class AdversaryView:
     # -- topology history (the adversary chose these itself) ----------------
 
     def previous_topology(self) -> Optional[Topology]:
-        """``G_{r-1}`` or ``None`` before the first round."""
+        """``G_{r-1}`` or ``None`` before the first round (O(1))."""
+        if isinstance(self._topologies, DynamicGraph):
+            return self._topologies.latest_topology()
         return self._topologies[-1] if self._topologies else None
 
     def topology_history(self) -> Sequence[Topology]:
-        """All previously provided topologies ``G_1 … G_{r-1}``."""
+        """All previously provided topologies ``G_1 … G_{r-1}``.
+
+        With a delta-encoded trace this materialises every round — prefer
+        :meth:`previous_topology` on hot paths.
+        """
+        if isinstance(self._topologies, DynamicGraph):
+            return self._topologies.topologies()
         return tuple(self._topologies)
 
     # -- output history (filtered by obliviousness) --------------------------
@@ -139,11 +174,23 @@ class Adversary(ABC):
     obliviousness: int = 2
 
     @abstractmethod
-    def step(self, view: AdversaryView) -> Topology:
+    def step(self, view: AdversaryView) -> StepResult:
         """Return ``G_r`` for ``r = view.round_index``.
 
-        The returned topology's awake node set must contain every node that
-        was awake in the previous round (checked by the simulator).
+        The result is either a full :class:`~repro.dynamics.topology.Topology`
+        snapshot, or a :class:`~repro.dynamics.topology.TopologyDelta` that the
+        simulator applies to the previous round's topology (``G_0`` is the
+        empty graph).  A delta must be *exact* relative to ``G_{r-1}``: added
+        edges/nodes absent before, removed edges present before (the simulator
+        rejects inexact deltas).  Either way the resulting awake node set must
+        contain every node that was awake in the previous round (checked by
+        the simulator's dynamic graph).
+
+        Adversaries that keep incremental state should derive from
+        :class:`IncrementalAdversary`, which tracks whether the delta chain to
+        the previous round is intact (and falls back to a full snapshot when
+        it is not, e.g. on round 1 or right after a
+        :class:`~repro.dynamics.adversaries.composite.PhaseAdversary` switch).
         """
 
     def reset(self) -> None:
@@ -155,3 +202,89 @@ class Adversary(ABC):
     def describe(self) -> str:
         """One-line human-readable description for experiment reports."""
         return f"{type(self).__name__}(rho={self.obliviousness})"
+
+
+# ---------------------------------------------------------------------------
+# delta emission
+# ---------------------------------------------------------------------------
+
+#: Process-wide default for :class:`IncrementalAdversary` instances that do
+#: not pass ``emit_deltas`` explicitly.  The snapshot path is kept primarily
+#: for equivalence testing and benchmarking against the delta path.
+_EMIT_DELTAS_DEFAULT = True
+
+
+def default_delta_emission() -> bool:
+    """The process-wide default for ``emit_deltas`` (see :func:`delta_emission`)."""
+    return _EMIT_DELTAS_DEFAULT
+
+
+def set_default_delta_emission(enabled: bool) -> bool:
+    """Set the process-wide ``emit_deltas`` default; returns the previous value."""
+    global _EMIT_DELTAS_DEFAULT
+    previous = _EMIT_DELTAS_DEFAULT
+    _EMIT_DELTAS_DEFAULT = bool(enabled)
+    return previous
+
+
+@contextmanager
+def delta_emission(enabled: bool):
+    """Context manager forcing the snapshot (``False``) or delta (``True``) path.
+
+    Only affects :class:`IncrementalAdversary` instances *constructed* inside
+    the context that did not pass ``emit_deltas`` explicitly.  Used by the
+    equivalence tests and the engine benchmark to run the same scenario on
+    both paths.
+    """
+    previous = set_default_delta_emission(enabled)
+    try:
+        yield
+    finally:
+        set_default_delta_emission(previous)
+
+
+class IncrementalAdversary(Adversary):
+    """Base class for adversaries that can emit :class:`TopologyDelta` rounds.
+
+    Emitting a delta is only sound when the adversary knows the previous
+    round's topology exactly — i.e. when *it* produced that topology one round
+    earlier.  This base class tracks that "delta chain": subclasses call
+    :meth:`_delta_chain_intact` exactly once at the top of :meth:`step` and
+    emit a full snapshot whenever it returns ``False`` (round 1, after a
+    phase switch, or when driven out of order by a test).
+
+    Parameters
+    ----------
+    emit_deltas:
+        ``True``/``False`` forces the delta/snapshot path; ``None`` (default)
+        follows the process-wide default (see :func:`delta_emission`).
+    """
+
+    def __init__(self, *, emit_deltas: Optional[bool] = None) -> None:
+        self._emit_deltas = (
+            default_delta_emission() if emit_deltas is None else bool(emit_deltas)
+        )
+        self._last_step_round: Optional[Round] = None
+
+    @property
+    def emits_deltas(self) -> bool:
+        """Whether this instance is on the delta path."""
+        return self._emit_deltas
+
+    def reset(self) -> None:
+        """Reset the delta chain (subclasses must call ``super().reset()``)."""
+        self._last_step_round = None
+
+    def _delta_chain_intact(self, view: AdversaryView) -> bool:
+        """Whether a delta relative to ``view.previous_topology()`` is sound.
+
+        Must be called exactly once per :meth:`step` (it records the round as
+        this adversary's most recent step).
+        """
+        intact = (
+            self._emit_deltas
+            and self._last_step_round == view.round_index - 1
+            and view.previous_topology() is not None
+        )
+        self._last_step_round = view.round_index
+        return intact

@@ -24,7 +24,7 @@ adversary layer).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, List, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -35,6 +35,8 @@ from repro.dynamics.topology import Topology
 
 __all__ = [
     "ChurnProcess",
+    "EdgeDelta",
+    "advance_churn",
     "StaticChurn",
     "MarkovEdgeChurn",
     "FlipChurn",
@@ -44,16 +46,69 @@ __all__ = [
 ]
 
 
+#: The ``(added, removed)`` edge change of one churn round.
+EdgeDelta = Tuple[FrozenSet[Edge], FrozenSet[Edge]]
+
+
 class ChurnProcess(ABC):
-    """A per-round stochastic process producing the round's edge set."""
+    """A per-round stochastic process producing the round's edge set.
+
+    A process is driven through exactly one of two APIs per run:
+
+    * :meth:`step` — the original bulk API returning the full edge set; or
+    * :meth:`step_delta` — the incremental API returning the ``(added,
+      removed)`` change relative to the previous ``step_delta`` call (the
+      state before the first call counts as the empty edge set, so the first
+      delta carries the whole initial edge set as ``added``).
+
+    Both consume identical randomness for identical seeds, so a run is
+    bit-reproducible regardless of which API drives it.  ``step_delta``
+    returns ``None`` for processes without native delta support (bulk
+    processes like :class:`BurstChurn`); callers then fall back to diffing
+    consecutive :meth:`step` results.
+    """
 
     @abstractmethod
     def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
         """Advance one round and return the edges present this round."""
 
+    def step_delta(self, round_index: int, rng: np.random.Generator) -> Optional[EdgeDelta]:
+        """Advance one round and return the edge changes, or ``None``.
+
+        ``None`` means "no native delta support — and no state was consumed";
+        the caller must then drive the process through :meth:`step` instead.
+        """
+        return None
+
     @abstractmethod
     def reset(self) -> None:
         """Return the process to its initial state (for replication)."""
+
+
+def advance_churn(
+    churn: "ChurnProcess",
+    present: FrozenSet[Edge],
+    round_index: int,
+    rng: np.random.Generator,
+) -> Tuple[FrozenSet[Edge], FrozenSet[Edge], FrozenSet[Edge]]:
+    """Advance ``churn`` one round and return ``(added, removed, new_present)``.
+
+    Uses the native :meth:`ChurnProcess.step_delta` when the process supports
+    it and falls back to diffing consecutive :meth:`ChurnProcess.step` results
+    otherwise; ``present`` is the caller-maintained edge set from the previous
+    round.  Shared by every delta-emitting adversary that drives a churn
+    process, so the delta contract lives in one place.
+    """
+    native = churn.step_delta(round_index, rng)
+    if native is None:
+        edges = churn.step(round_index, rng)
+        return edges - present, present - edges, edges
+    added, removed = native
+    if removed:
+        present = present - removed
+    if added:
+        present = present | added
+    return added, removed, present
 
 
 class StaticChurn(ChurnProcess):
@@ -61,12 +116,19 @@ class StaticChurn(ChurnProcess):
 
     def __init__(self, base: Topology) -> None:
         self._edges = base.edges
+        self._primed = False
 
     def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
         return self._edges
 
-    def reset(self) -> None:  # nothing to do
-        return None
+    def step_delta(self, round_index: int, rng: np.random.Generator) -> EdgeDelta:
+        if not self._primed:
+            self._primed = True
+            return self._edges, frozenset()
+        return frozenset(), frozenset()
+
+    def reset(self) -> None:
+        self._primed = False
 
 
 class MarkovEdgeChurn(ChurnProcess):
@@ -102,6 +164,7 @@ class MarkovEdgeChurn(ChurnProcess):
         self._p_on = float(p_on)
         self._start_present = bool(start_present)
         self._present = np.full(len(self._base_edges), self._start_present, dtype=bool)
+        self._primed = False
 
     @property
     def p_off(self) -> float:
@@ -113,17 +176,40 @@ class MarkovEdgeChurn(ChurnProcess):
 
     def reset(self) -> None:
         self._present = np.full(len(self._base_edges), self._start_present, dtype=bool)
+        self._primed = False
 
-    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
-        if len(self._base_edges) == 0:
-            return frozenset()
+    def _advance(self, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        """One Markov transition; returns the (turned-on, turned-off) masks."""
         u = rng.random(len(self._base_edges))
         turn_off = self._present & (u < self._p_off)
         turn_on = (~self._present) & (u < self._p_on)
         self._present = (self._present & ~turn_off) | turn_on
+        return turn_on, turn_off
+
+    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
+        if len(self._base_edges) == 0:
+            return frozenset()
+        self._advance(rng)
         return frozenset(
             e for e, present in zip(self._base_edges, self._present) if present
         )
+
+    def step_delta(self, round_index: int, rng: np.random.Generator) -> EdgeDelta:
+        if len(self._base_edges) == 0:
+            return frozenset(), frozenset()
+        turn_on, turn_off = self._advance(rng)
+        edges = self._base_edges
+        if not self._primed:
+            # First call: report the whole present set as added (the delta
+            # contract starts from the empty edge set).
+            self._primed = True
+            return (
+                frozenset(edges[int(i)] for i in np.nonzero(self._present)[0]),
+                frozenset(),
+            )
+        added = frozenset(edges[int(i)] for i in np.nonzero(turn_on)[0])
+        removed = frozenset(edges[int(i)] for i in np.nonzero(turn_off)[0])
+        return added, removed
 
 
 class FlipChurn(MarkovEdgeChurn):
@@ -191,14 +277,20 @@ class EdgeInsertionChurn(ChurnProcess):
         self._insertions = int(insertions_per_round)
         self._lifetime = int(lifetime)
         self._active: Dict[Edge, int] = {}
+        self._primed = False
 
     def reset(self) -> None:
         self._active.clear()
+        self._primed = False
 
-    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
-        expired = [e for e, expiry in self._active.items() if expiry <= round_index]
+    def _advance(
+        self, round_index: int, rng: np.random.Generator
+    ) -> Tuple[Set[Edge], Set[Edge]]:
+        """Expire and insert; returns (expired edges, freshly inserted edges)."""
+        expired = {e for e, expiry in self._active.items() if expiry <= round_index}
         for e in expired:
             del self._active[e]
+        fresh: Set[Edge] = set()
         n = len(self._nodes)
         if n >= 2:
             for _ in range(self._insertions):
@@ -206,8 +298,25 @@ class EdgeInsertionChurn(ChurnProcess):
                 e = canonical_edge(self._nodes[int(u)], self._nodes[int(v)])
                 if e in self._base.edges:
                     continue
+                if e not in self._active:
+                    fresh.add(e)
                 self._active[e] = round_index + self._lifetime
+        return expired, fresh
+
+    def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
+        self._advance(round_index, rng)
         return frozenset(self._base.edges) | frozenset(self._active)
+
+    def step_delta(self, round_index: int, rng: np.random.Generator) -> EdgeDelta:
+        expired, fresh = self._advance(round_index, rng)
+        if not self._primed:
+            self._primed = True
+            return frozenset(self._base.edges) | frozenset(self._active), frozenset()
+        # An edge that expired and was re-inserted in the same round never
+        # left the edge set, so it belongs in neither side of the delta.
+        added = frozenset(e for e in fresh if e not in expired)
+        removed = frozenset(e for e in expired if e not in self._active)
+        return added, removed
 
 
 class CompositeChurn(ChurnProcess):

@@ -7,6 +7,18 @@ graph sequence.  It enforces the model constraints of Section 2:
 * every node id stays within the potential node set ``{0, …, n-1}`` where
   ``n`` is the globally known upper bound on the number of nodes.
 
+Rounds are stored either as full :class:`~repro.dynamics.topology.Topology`
+snapshots (:meth:`DynamicGraph.append`) or as
+:class:`~repro.dynamics.topology.TopologyDelta` change sets relative to the
+previous round (:meth:`DynamicGraph.append_delta`).  Delta storage keeps the
+per-round memory and validation cost proportional to the amount of change; a
+full snapshot is additionally materialised every ``checkpoint_interval``
+rounds so that any round can be reconstructed by replaying at most
+``checkpoint_interval - 1`` deltas.  All accessors (``topology(r)``, window
+queries, change statistics) materialise transparently, and a one-entry cursor
+cache makes sequential scans — by far the dominant access pattern of the
+checkers — cost one delta application per step.
+
 On top of the raw sequence it offers the sliding-window queries of
 Definition 2.1 (``G^{T∩}_r``, ``G^{T∪}_r``) either directly (recomputed from
 the stored history) or through an attached :class:`~repro.dynamics.window.SlidingWindow`
@@ -15,14 +27,17 @@ for the window size the experiment cares about.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import TopologyError
 from repro.types import Edge, Interval, NodeId
-from repro.dynamics.topology import Topology, empty_topology
+from repro.dynamics.topology import Topology, TopologyDelta, empty_topology
 from repro.dynamics.window import SlidingWindow, WindowSnapshot
 
-__all__ = ["DynamicGraph"]
+__all__ = ["DynamicGraph", "DEFAULT_CHECKPOINT_INTERVAL"]
+
+#: Default number of rounds between materialised checkpoint snapshots.
+DEFAULT_CHECKPOINT_INTERVAL = 32
 
 
 class DynamicGraph:
@@ -35,13 +50,27 @@ class DynamicGraph:
     ----------
     n:
         Upper bound on the number of nodes; all node ids must be ``< n``.
+    checkpoint_interval:
+        How often :meth:`append_delta` stores a full snapshot instead of the
+        delta (``1`` stores every round as a snapshot; rounds appended via
+        :meth:`append` are always snapshots).
     """
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, *, checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL) -> None:
         if not isinstance(n, int) or n < 1:
             raise TopologyError(f"n must be a positive integer, got {n!r}")
+        if not isinstance(checkpoint_interval, int) or checkpoint_interval < 1:
+            raise TopologyError(
+                f"checkpoint_interval must be a positive integer, got {checkpoint_interval!r}"
+            )
         self._n = n
-        self._rounds: List[Topology] = []
+        self._checkpoint_interval = checkpoint_interval
+        #: Per round: a Topology snapshot or a TopologyDelta relative to r-1.
+        self._entries: List[Union[Topology, TopologyDelta]] = []
+        self._latest: Optional[Topology] = None
+        # One-entry materialisation cursor (round, topology) for sequential scans.
+        self._cursor_round = 0
+        self._cursor_topo = empty_topology()
         self._windows: Dict[int, SlidingWindow] = {}
 
     # -- recording ---------------------------------------------------------
@@ -52,12 +81,20 @@ class DynamicGraph:
         return self._n
 
     @property
+    def checkpoint_interval(self) -> int:
+        """Rounds between full snapshots on the delta storage path."""
+        return self._checkpoint_interval
+
+    @property
     def last_round(self) -> int:
         """The index of the most recently recorded round (0 if none)."""
-        return len(self._rounds)
+        return len(self._entries)
+
+    def _push_windows(self, topology: Topology) -> Dict[int, WindowSnapshot]:
+        return {T: window.push(topology) for T, window in self._windows.items()}
 
     def append(self, topology: Topology) -> Dict[int, WindowSnapshot]:
-        """Record the next round's topology and update all attached windows.
+        """Record the next round's topology (as a snapshot) and update windows.
 
         Returns the snapshot of every attached window keyed by window size.
 
@@ -70,14 +107,45 @@ class DynamicGraph:
         for v in topology.nodes:
             if not 0 <= v < self._n:
                 raise TopologyError(f"node id {v} outside potential node set [0, {self._n})")
-        if self._rounds and not self._rounds[-1].nodes <= topology.nodes:
-            missing = self._rounds[-1].nodes - topology.nodes
+        if self._latest is not None and not self._latest.nodes <= topology.nodes:
+            missing = self._latest.nodes - topology.nodes
             raise TopologyError(
                 "awake node set must be non-decreasing; nodes disappeared: "
                 f"{sorted(missing)[:10]}"
             )
-        self._rounds.append(topology)
-        return {T: window.push(topology) for T, window in self._windows.items()}
+        self._entries.append(topology)
+        self._latest = topology
+        return self._push_windows(topology)
+
+    def append_delta(
+        self, delta: TopologyDelta, topology: Optional[Topology] = None
+    ) -> Dict[int, WindowSnapshot]:
+        """Record the next round as a delta relative to the previous round.
+
+        Validation is O(#changes): only the added nodes are range-checked and
+        the model's non-decreasing awake set is enforced by rejecting node
+        removals.  ``topology`` is the already-materialised round graph if the
+        caller (the simulator) has it; otherwise it is materialised here.
+        Every ``checkpoint_interval``-th round stores the materialised
+        snapshot instead of the delta.
+        """
+        for v in delta.added_nodes:
+            if not 0 <= v < self._n:
+                raise TopologyError(f"node id {v} outside potential node set [0, {self._n})")
+        if delta.removed_nodes:
+            raise TopologyError(
+                "awake node set must be non-decreasing; nodes disappeared: "
+                f"{sorted(delta.removed_nodes)[:10]}"
+            )
+        previous = self._latest if self._latest is not None else empty_topology()
+        if topology is None:
+            topology = previous.apply(delta)
+        if len(self._entries) % self._checkpoint_interval == 0:
+            self._entries.append(topology)
+        else:
+            self._entries.append(delta)
+        self._latest = topology
+        return self._push_windows(topology)
 
     def attach_window(self, T: int) -> SlidingWindow:
         """Attach (or return the existing) incremental window of size ``T``.
@@ -86,22 +154,57 @@ class DynamicGraph:
         late is equivalent to attaching before the first round.
         """
         if T not in self._windows:
-            self._windows[T] = SlidingWindow.over(self._rounds, T)
+            self._windows[T] = SlidingWindow.over(self.iter_topologies(), T)
         return self._windows[T]
 
     # -- access to recorded rounds -------------------------------------------
+
+    def _materialise(self, r: int) -> Topology:
+        """Materialise ``G_r`` (``1 <= r <= last_round``), moving the cursor."""
+        if r == self._cursor_round:
+            return self._cursor_topo
+        entries = self._entries
+        if r == len(entries) and self._latest is not None:
+            topo = self._latest
+        else:
+            entry = entries[r - 1]
+            if isinstance(entry, Topology):
+                topo = entry
+            elif self._cursor_round == r - 1:
+                topo = self._cursor_topo.apply(entry)
+            else:
+                # Walk back to the nearest snapshot (round 0 = empty graph),
+                # then replay the deltas forward.
+                i = r - 2
+                while i >= 0 and not isinstance(entries[i], Topology):
+                    i -= 1
+                topo = entries[i] if i >= 0 else empty_topology()
+                for j in range(i + 1, r):
+                    topo = topo.apply(entries[j])
+        self._cursor_round = r
+        self._cursor_topo = topo
+        return topo
 
     def topology(self, r: int) -> Topology:
         """Return ``G_r`` (round indices start at 1); ``G_0`` is the empty graph."""
         if r == 0:
             return empty_topology()
-        if not 1 <= r <= len(self._rounds):
+        if not 1 <= r <= len(self._entries):
             raise TopologyError(f"round {r} has not been recorded (last = {self.last_round})")
-        return self._rounds[r - 1]
+        return self._materialise(r)
+
+    def latest_topology(self) -> Optional[Topology]:
+        """The most recently recorded topology (``None`` before round 1), O(1)."""
+        return self._latest
+
+    def iter_topologies(self) -> Iterator[Topology]:
+        """Materialise all recorded topologies in round order, one delta apply per step."""
+        for r in range(1, len(self._entries) + 1):
+            yield self._materialise(r)
 
     def topologies(self) -> Sequence[Topology]:
-        """All recorded topologies, round 1 first."""
-        return tuple(self._rounds)
+        """All recorded topologies, round 1 first (materialised)."""
+        return tuple(self.iter_topologies())
 
     def awake_nodes(self, r: int) -> FrozenSet[NodeId]:
         """``V_r``: the awake node set in round ``r``."""
@@ -116,12 +219,12 @@ class DynamicGraph:
         graph (all nodes asleep, ``V_0 = ∅``).  Whenever the window reaches
         back to round 0 the intersection node set is therefore empty.
         """
-        if not 1 <= r <= len(self._rounds):
+        if not 1 <= r <= len(self._entries):
             raise TopologyError(f"round {r} has not been recorded (last = {self.last_round})")
         r0 = max(0, r - T + 1)
         includes_zero = r0 == 0
         first = max(1, r0)
-        return includes_zero, self._rounds[first - 1 : r]
+        return includes_zero, [self._materialise(i) for i in range(first, r + 1)]
 
     def intersection_graph(self, r: int, T: int) -> Topology:
         """``G^{T∩}_r``: nodes and edges present in every round of the window.
@@ -215,6 +318,12 @@ class DynamicGraph:
         """Return ``(inserted, deleted)`` edges between rounds ``r-1`` and ``r``."""
         if r < 1:
             raise TopologyError(f"round must be >= 1, got {r}")
+        if 1 <= r <= len(self._entries):
+            entry = self._entries[r - 1]
+            if isinstance(entry, TopologyDelta):
+                # Stored deltas are exact (enforced by Topology.apply), so this
+                # equals the diff of the materialised snapshots.
+                return entry.added_edges, entry.removed_edges
         prev = self.topology(r - 1) if r > 1 else empty_topology()
         cur = self.topology(r)
         return cur.edges - prev.edges, prev.edges - cur.edges

@@ -14,12 +14,13 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, FrozenSet, Optional
 
 import networkx as nx
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.types import Edge
 from repro.utils.validation import check_positive, check_probability
 from repro.dynamics.topology import Topology, topology_from_networkx
 
@@ -78,11 +79,11 @@ def random_geometric(n: int, radius: float, rng: np.random.Generator) -> Topolog
     return geometric_from_positions(positions, radius)
 
 
-def geometric_from_positions(positions: np.ndarray, radius: float) -> Topology:
-    """Connect every pair of points within Euclidean distance ``radius``.
+def geometric_edges_from_positions(positions: np.ndarray, radius: float) -> FrozenSet[Edge]:
+    """The canonical edge set connecting every pair within distance ``radius``.
 
-    Shared by :func:`random_geometric` and the mobility model so both produce
-    identical graphs for identical positions.
+    Shared by :func:`geometric_from_positions` and the mobility model's delta
+    path (which only needs the edge set, not a full topology).
     """
     n = positions.shape[0]
     edges = []
@@ -96,7 +97,16 @@ def geometric_from_positions(positions: np.ndarray, radius: float) -> Topology:
         close = np.nonzero(dx * dx + dy * dy <= r2)[0]
         for offset in close:
             edges.append((u, u + 1 + int(offset)))
-    return Topology(range(n), edges)
+    return frozenset(edges)
+
+
+def geometric_from_positions(positions: np.ndarray, radius: float) -> Topology:
+    """Connect every pair of points within Euclidean distance ``radius``.
+
+    Shared by :func:`random_geometric` and the mobility model so both produce
+    identical graphs for identical positions.
+    """
+    return Topology(range(positions.shape[0]), geometric_edges_from_positions(positions, radius))
 
 
 def barabasi_albert(n: int, m: int, rng: np.random.Generator) -> Topology:

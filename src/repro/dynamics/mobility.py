@@ -18,7 +18,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.types import Edge
 from repro.utils.validation import check_positive, check_probability
-from repro.dynamics.generators import geometric_from_positions
+from repro.dynamics.generators import geometric_edges_from_positions, geometric_from_positions
 from repro.dynamics.topology import Topology
 
 __all__ = ["RandomWaypointMobility"]
@@ -65,12 +65,30 @@ class RandomWaypointMobility:
         self._waypoints = rng.random((n, 2))
 
     @property
+    def n(self) -> int:
+        """Number of nodes in the mobility model."""
+        return self._n
+
+    @property
     def positions(self) -> np.ndarray:
         """Current node positions (copy), shape ``(n, 2)``."""
         return self._positions.copy()
 
     def step(self) -> Topology:
         """Advance one round of movement and return the new communication graph."""
+        return geometric_from_positions(self._advance(), self._radius)
+
+    def step_edges(self) -> FrozenSet[Edge]:
+        """Advance one round and return only the new edge set.
+
+        Consumes exactly the randomness of :meth:`step`; used by the
+        delta-emitting :class:`~repro.dynamics.adversaries.random_churn.MobilityAdversary`,
+        which diffs consecutive edge sets instead of building a topology.
+        """
+        return geometric_edges_from_positions(self._advance(), self._radius)
+
+    def _advance(self) -> np.ndarray:
+        """Move every node one round towards its waypoint; returns the positions."""
         delta = self._waypoints - self._positions
         dist = np.linalg.norm(delta, axis=1)
         arrived = dist <= self._speed
@@ -87,7 +105,7 @@ class RandomWaypointMobility:
             count = int(np.count_nonzero(repick))
             if count:
                 self._waypoints[repick] = self._rng.random((count, 2))
-        return geometric_from_positions(self._positions, self._radius)
+        return self._positions
 
     def current_edges(self) -> FrozenSet[Edge]:
         """The edge set induced by the current positions (without moving)."""

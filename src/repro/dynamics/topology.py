@@ -1,9 +1,17 @@
-"""Immutable per-round graph snapshots.
+"""Immutable per-round graph snapshots and the deltas between them.
 
 A :class:`Topology` is the communication graph ``G_r = (V_r, E_r)`` of a
 single round: the set of awake nodes and the set of undirected edges between
 them.  Topologies are immutable so that recorded traces cannot be mutated
 after the fact, and hashable edge/neighbour queries are O(1).
+
+The paper's model (and the highly-dynamic literature in general) describes a
+round as a *small set of changes* applied to the previous graph.
+:class:`TopologyDelta` is that change set — added/removed nodes and edges —
+and :meth:`Topology.apply` materialises the successor graph from it while
+structurally sharing every untouched neighbour set (and, when possible, the
+node and edge frozensets) with the predecessor, so the per-round cost is
+proportional to the amount of change rather than to the graph size.
 
 The class intentionally does not depend on :mod:`networkx` for its hot-path
 operations (neighbour iteration during message delivery); conversion helpers
@@ -12,6 +20,7 @@ are provided for analysis code that wants the richer networkx API.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
 
 import networkx as nx
@@ -19,7 +28,142 @@ import networkx as nx
 from repro.errors import TopologyError
 from repro.types import Edge, NodeId, canonical_edge
 
-__all__ = ["Topology", "empty_topology", "topology_from_networkx"]
+__all__ = [
+    "Topology",
+    "TopologyDelta",
+    "EMPTY_DELTA",
+    "empty_topology",
+    "topology_from_networkx",
+]
+
+_EMPTY_NODES: FrozenSet[NodeId] = frozenset()
+_EMPTY_EDGES: FrozenSet[Edge] = frozenset()
+
+
+def _node_set(nodes: Iterable[NodeId]) -> FrozenSet[NodeId]:
+    """Coerce to a frozenset of ints (trusting an existing frozenset)."""
+    if isinstance(nodes, frozenset):
+        return nodes
+    return frozenset(int(v) for v in nodes)
+
+
+def _edge_set(edges: Iterable[Tuple[NodeId, NodeId]]) -> FrozenSet[Edge]:
+    """Canonicalise to a frozenset of edges.
+
+    An already-canonical frozenset (the common case — every producer in
+    :mod:`repro.dynamics` maintains canonical ``(min, max)`` tuples) is
+    returned as-is after an O(#changes) order check; anything else is
+    canonicalised edge by edge.
+    """
+    if isinstance(edges, frozenset):
+        if all(u < v for u, v in edges):
+            return edges
+        return frozenset(canonical_edge(u, v) for u, v in edges)
+    return frozenset(canonical_edge(u, v) for u, v in edges)
+
+
+class TopologyDelta:
+    """The change set between two consecutive topologies.
+
+    A delta is *exact*: added items must be absent from the predecessor and
+    removed items must be present (checked by :meth:`Topology.apply`), so a
+    stored delta is always byte-identical to the from-scratch diff of the two
+    snapshots it connects.
+
+    Parameters
+    ----------
+    added_nodes / removed_nodes:
+        Nodes that wake up / disappear.  (The simulator's dynamic-graph model
+        never removes awake nodes, but the delta type itself is general.)
+    added_edges / removed_edges:
+        Undirected edges inserted / deleted; canonicalised unless already
+        given as frozensets of canonical edges.
+    """
+
+    __slots__ = ("added_nodes", "removed_nodes", "added_edges", "removed_edges")
+
+    def __init__(
+        self,
+        *,
+        added_nodes: Iterable[NodeId] = _EMPTY_NODES,
+        removed_nodes: Iterable[NodeId] = _EMPTY_NODES,
+        added_edges: Iterable[Tuple[NodeId, NodeId]] = _EMPTY_EDGES,
+        removed_edges: Iterable[Tuple[NodeId, NodeId]] = _EMPTY_EDGES,
+    ) -> None:
+        object.__setattr__(self, "added_nodes", _node_set(added_nodes))
+        object.__setattr__(self, "removed_nodes", _node_set(removed_nodes))
+        object.__setattr__(self, "added_edges", _edge_set(added_edges))
+        object.__setattr__(self, "removed_edges", _edge_set(removed_edges))
+        if self.added_nodes & self.removed_nodes:
+            raise TopologyError("a node cannot be both added and removed in one delta")
+        if self.added_edges & self.removed_edges:
+            raise TopologyError("an edge cannot be both added and removed in one delta")
+
+    def __setattr__(self, name: str, value: object) -> None:  # immutability
+        raise AttributeError("TopologyDelta is immutable")
+
+    def is_empty(self) -> bool:
+        """Whether the delta changes nothing."""
+        return not (
+            self.added_nodes or self.removed_nodes or self.added_edges or self.removed_edges
+        )
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    @property
+    def num_changes(self) -> int:
+        """Total number of node + edge changes."""
+        return (
+            len(self.added_nodes)
+            + len(self.removed_nodes)
+            + len(self.added_edges)
+            + len(self.removed_edges)
+        )
+
+    def touched_nodes(self) -> FrozenSet[NodeId]:
+        """Every node whose awake state or neighbourhood this delta changes."""
+        touched = set(self.added_nodes) | set(self.removed_nodes)
+        for u, v in self.added_edges:
+            touched.add(u)
+            touched.add(v)
+        for u, v in self.removed_edges:
+            touched.add(u)
+            touched.add(v)
+        return frozenset(touched)
+
+    @classmethod
+    def between(cls, before: "Topology", after: "Topology") -> "TopologyDelta":
+        """The exact delta with ``before.apply(delta) == after``."""
+        return cls(
+            added_nodes=after._nodes - before._nodes,
+            removed_nodes=before._nodes - after._nodes,
+            added_edges=after._edges - before._edges,
+            removed_edges=before._edges - after._edges,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopologyDelta):
+            return NotImplemented
+        return (
+            self.added_nodes == other.added_nodes
+            and self.removed_nodes == other.removed_nodes
+            and self.added_edges == other.added_edges
+            and self.removed_edges == other.removed_edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.added_nodes, self.removed_nodes, self.added_edges, self.removed_edges))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TopologyDelta(+{len(self.added_nodes)}n/-{len(self.removed_nodes)}n, "
+            f"+{len(self.added_edges)}e/-{len(self.removed_edges)}e)"
+        )
+
+
+#: The delta that changes nothing (``topology.apply(EMPTY_DELTA) is topology``).
+EMPTY_DELTA = TopologyDelta()
 
 
 class Topology:
@@ -113,8 +257,8 @@ class Topology:
         return len(self._adjacency.get(v, ()))
 
     def adjacency(self) -> Mapping[NodeId, FrozenSet[NodeId]]:
-        """The full adjacency mapping (read-only view)."""
-        return dict(self._adjacency)
+        """The full adjacency mapping (read-only view, no copy)."""
+        return MappingProxyType(self._adjacency)
 
     # -- derived graphs ---------------------------------------------------
 
@@ -167,6 +311,113 @@ class Topology:
     def with_nodes(self, add: Iterable[NodeId]) -> "Topology":
         """Return a copy with extra awake (isolated) nodes added."""
         return Topology(self._nodes | frozenset(int(v) for v in add), self._edges)
+
+    # -- incremental construction ------------------------------------------
+
+    def apply(self, delta: TopologyDelta) -> "Topology":
+        """Return the successor topology ``G' = G ± delta``.
+
+        The result structurally shares every untouched neighbour frozenset
+        (and the node/edge frozensets when they did not change) with ``self``,
+        so the cost is O(#changes) of Python-level work plus C-speed set
+        operations — not O(n + m) re-validation.
+
+        The delta must be *exact* relative to ``self``:
+
+        * added nodes must not be awake yet, removed nodes must be awake and
+          isolated after the edge removals;
+        * added edges must be absent (with both endpoints awake afterwards),
+          removed edges must be present.
+
+        Raises
+        ------
+        TopologyError
+            If the delta is not exact (which would silently desynchronise a
+            delta-encoded trace from its snapshots).
+
+        An empty delta returns ``self`` unchanged (same object).
+        """
+        if delta.is_empty():
+            return self
+        nodes = self._nodes
+        edges = self._edges
+        added_nodes = delta.added_nodes
+        removed_nodes = delta.removed_nodes
+        added_edges = delta.added_edges
+        removed_edges = delta.removed_edges
+
+        if added_nodes and (added_nodes & nodes):
+            raise TopologyError(
+                f"delta adds nodes that are already awake: {sorted(added_nodes & nodes)[:10]}"
+            )
+        if removed_nodes and (removed_nodes - nodes):
+            raise TopologyError(
+                f"delta removes nodes that are not awake: {sorted(removed_nodes - nodes)[:10]}"
+            )
+        if removed_edges and (removed_edges - edges):
+            raise TopologyError(
+                f"delta removes edges that are not present: {sorted(removed_edges - edges)[:10]}"
+            )
+        if added_edges and (added_edges & edges):
+            raise TopologyError(
+                f"delta adds edges that are already present: {sorted(added_edges & edges)[:10]}"
+            )
+
+        new_nodes = nodes
+        if added_nodes:
+            new_nodes = new_nodes | added_nodes
+        if removed_nodes:
+            new_nodes = new_nodes - removed_nodes
+        new_edges = edges
+        if removed_edges:
+            new_edges = new_edges - removed_edges
+        if added_edges:
+            new_edges = new_edges | added_edges
+
+        adjacency = dict(self._adjacency)
+        touched: Dict[NodeId, set] = {}
+
+        def neighbours_of(v: NodeId) -> set:
+            current = touched.get(v)
+            if current is None:
+                current = set(adjacency.get(v, ()))
+                touched[v] = current
+            return current
+
+        for u, v in removed_edges:
+            neighbours_of(u).discard(v)
+            neighbours_of(v).discard(u)
+        for v in added_nodes:
+            touched.setdefault(v, set())
+        for u, v in added_edges:
+            if u not in new_nodes or v not in new_nodes:
+                raise TopologyError(
+                    f"delta edge {(u, v)} references a node outside the awake node set"
+                )
+            neighbours_of(u).add(v)
+            neighbours_of(v).add(u)
+        for v in removed_nodes:
+            remaining = touched.pop(v, None)
+            if remaining is None:
+                remaining = adjacency.get(v, ())
+            if remaining:
+                raise TopologyError(
+                    f"delta removes node {v} while it still has incident edges"
+                )
+            adjacency.pop(v, None)
+        for v, neighbours in touched.items():
+            adjacency[v] = frozenset(neighbours)
+
+        successor = Topology.__new__(Topology)
+        successor._nodes = new_nodes
+        successor._edges = new_edges
+        successor._adjacency = adjacency
+        successor._hash = None
+        return successor
+
+    def delta_to(self, other: "Topology") -> TopologyDelta:
+        """The exact delta with ``self.apply(delta) == other``."""
+        return TopologyDelta.between(self, other)
 
     # -- comparisons ------------------------------------------------------
 

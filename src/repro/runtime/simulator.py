@@ -22,11 +22,12 @@ from __future__ import annotations
 import warnings
 from typing import Any, Callable, Dict, Mapping, Optional
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, SimulationError, TopologyError
 from repro.types import Assignment, NodeId, Value
 from repro.utils.rng import RngFactory
 from repro.dynamics.adversary import Adversary, AdversaryView, ADAPTIVE_OFFLINE
-from repro.dynamics.topology import Topology
+from repro.dynamics.dynamic_graph import DEFAULT_CHECKPOINT_INTERVAL
+from repro.dynamics.topology import EMPTY_DELTA, Topology, TopologyDelta, empty_topology
 from repro.runtime.algorithm import AlgorithmSetup, DistributedAlgorithm
 from repro.runtime.messages import Message, estimate_bits
 from repro.runtime.metrics import RoundMetrics
@@ -96,6 +97,7 @@ class Simulator:
         input: Any = _UNSET,
         expose_state_to_adversary: bool = False,
         stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
     ) -> None:
         if not isinstance(n, int) or n < 1:
             raise ConfigurationError(f"n must be a positive integer, got {n!r}")
@@ -106,9 +108,15 @@ class Simulator:
         self._input = _merge_deprecated_input(input_assignment, input)
         self._expose_state = expose_state_to_adversary
         self._stop_when = stop_when
-        self._trace = ExecutionTrace(n, algorithm.name, adversary.describe())
+        self._trace = ExecutionTrace(
+            n,
+            algorithm.name,
+            adversary.describe(),
+            checkpoint_interval=checkpoint_interval,
+        )
         self._output_history: list[Assignment] = []
         self._previous_outputs: Dict[NodeId, Value] = {}
+        self._current_topology: Topology = empty_topology()
         self._started = False
 
     # -- public API -------------------------------------------------------------
@@ -152,27 +160,45 @@ class Simulator:
             n=self._n,
             round_index=round_index,
             obliviousness=self._adversary.obliviousness,
-            topologies=self._trace.graph.topologies(),
-            outputs=tuple(self._output_history),
+            # The view pulls lazily from the dynamic graph and the (read-only)
+            # output list, so building it is O(1) regardless of the history.
+            topologies=self._trace.graph,
+            outputs=self._output_history,
             state_provider=state_provider,
         )
 
     def _run_round(self) -> None:
         round_index = self._trace.num_rounds + 1
+        previous = self._current_topology
 
-        # (1) The adversary changes the graph.
-        topology = self._adversary.step(self._adversary_view(round_index))
-        if not isinstance(topology, Topology):
+        # (1) The adversary changes the graph — either as a full topology or
+        #     as a delta relative to the previous round (see Adversary.step).
+        result = self._adversary.step(self._adversary_view(round_index))
+        delta: Optional[TopologyDelta]
+        if isinstance(result, TopologyDelta):
+            delta = result
+            try:
+                topology = previous.apply(delta)
+            except TopologyError as exc:
+                raise SimulationError(
+                    f"adversary {self._adversary.describe()} emitted an invalid delta "
+                    f"for round {round_index}: {exc}"
+                ) from exc
+        elif isinstance(result, Topology):
+            topology = result
+            # Re-returning the previous round's topology object (static /
+            # frozen adversaries) is an empty delta: store it incrementally.
+            delta = EMPTY_DELTA if result is previous else None
+        else:
             raise SimulationError(
-                f"adversary {self._adversary.describe()} returned {type(topology).__name__},"
-                " expected a Topology"
+                f"adversary {self._adversary.describe()} returned {type(result).__name__},"
+                " expected a Topology or TopologyDelta"
             )
 
         # (2) Wake-ups — nodes awake for the first time initialise their state.
-        previously_awake = (
-            self._trace.topology(round_index - 1).nodes if round_index > 1 else frozenset()
-        )
-        for v in sorted(topology.nodes - previously_awake):
+        #     On the delta path only the newly added nodes are visited.
+        newly_awake = delta.added_nodes if delta is not None else topology.nodes - previous.nodes
+        for v in sorted(newly_awake):
             self._algorithm.wake(v)
 
         self._algorithm.begin_round(round_index)
@@ -217,9 +243,10 @@ class Simulator:
             outputs_changed=changed,
             algorithm_counters=dict(self._algorithm.metrics()),
         )
-        self._trace.record(topology, outputs, metrics)
+        self._trace.record(topology, outputs, metrics, delta=delta)
         self._output_history.append(outputs)
         self._previous_outputs = outputs
+        self._current_topology = topology
 
 
 def run_simulation(

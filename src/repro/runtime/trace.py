@@ -9,47 +9,96 @@ checkers cannot be fooled by an algorithm that misreports its own state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.types import Assignment, Interval, NodeId, Round, Value
-from repro.dynamics.dynamic_graph import DynamicGraph
-from repro.dynamics.topology import Topology
+from repro.dynamics.dynamic_graph import DEFAULT_CHECKPOINT_INTERVAL, DynamicGraph
+from repro.dynamics.topology import Topology, TopologyDelta
 from repro.runtime.metrics import RoundMetrics
 
 __all__ = ["RoundRecord", "ExecutionTrace"]
 
 
-@dataclass(frozen=True)
 class RoundRecord:
-    """Everything recorded about one round."""
+    """Everything recorded about one round.
 
-    round_index: Round
-    topology: Topology
-    outputs: Mapping[NodeId, Value]
-    metrics: RoundMetrics
+    The topology is not stored per record: rounds recorded through the delta
+    path live in the trace's :class:`~repro.dynamics.dynamic_graph.DynamicGraph`
+    as change sets plus periodic checkpoint snapshots, and :attr:`topology`
+    materialises transparently (sequential scans cost one delta application
+    per round).
+    """
+
+    __slots__ = ("round_index", "outputs", "metrics", "_graph")
+
+    def __init__(
+        self,
+        round_index: Round,
+        outputs: Mapping[NodeId, Value],
+        metrics: RoundMetrics,
+        graph: DynamicGraph,
+    ) -> None:
+        self.round_index = round_index
+        self.outputs = outputs
+        self.metrics = metrics
+        self._graph = graph
+
+    @property
+    def topology(self) -> Topology:
+        """``G_{round_index}`` (materialised on demand from the dynamic graph)."""
+        return self._graph.topology(self.round_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoundRecord(round={self.round_index}, outputs={len(self.outputs)})"
 
 
 class ExecutionTrace:
-    """The chronological record of a simulation run."""
+    """The chronological record of a simulation run.
 
-    def __init__(self, n: int, algorithm_name: str, adversary_description: str) -> None:
-        self._graph = DynamicGraph(n)
+    ``checkpoint_interval`` controls how often the underlying dynamic graph
+    materialises a full snapshot between delta-encoded rounds (see
+    :class:`~repro.dynamics.dynamic_graph.DynamicGraph`).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_name: str,
+        adversary_description: str,
+        *,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> None:
+        self._graph = DynamicGraph(n, checkpoint_interval=checkpoint_interval)
         self._records: List[RoundRecord] = []
         self._algorithm_name = algorithm_name
         self._adversary_description = adversary_description
 
     # -- recording (used by the simulator) ------------------------------------
 
-    def record(self, topology: Topology, outputs: Mapping[NodeId, Value], metrics: RoundMetrics) -> None:
-        """Append one round's record (topology is validated by the dynamic graph)."""
-        self._graph.append(topology)
+    def record(
+        self,
+        topology: Topology,
+        outputs: Mapping[NodeId, Value],
+        metrics: RoundMetrics,
+        *,
+        delta: Optional[TopologyDelta] = None,
+    ) -> None:
+        """Append one round's record (topology is validated by the dynamic graph).
+
+        When ``delta`` is given it must be the exact change set from the
+        previous round to ``topology``; the round is then stored incrementally
+        (validation and storage cost O(#changes) instead of O(n + m)).
+        """
+        if delta is not None:
+            self._graph.append_delta(delta, topology)
+        else:
+            self._graph.append(topology)
         record = RoundRecord(
             round_index=self._graph.last_round,
-            topology=topology,
             outputs=dict(outputs),
             metrics=metrics,
+            graph=self._graph,
         )
         self._records.append(record)
 

@@ -33,7 +33,7 @@ from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.dynamics import generators
-from repro.dynamics.adversaries.composite import FreezeAfterAdversary
+from repro.dynamics.adversaries.composite import FreezeAfterAdversary, PhaseAdversary
 from repro.dynamics.adversaries.locally_static import LocallyStaticAdversary
 from repro.dynamics.adversaries.random_churn import ChurnAdversary, MobilityAdversary
 from repro.dynamics.adversaries.scripted import StaticAdversary
@@ -41,6 +41,7 @@ from repro.dynamics.adversaries.targeted_coloring import TargetedColoringAdversa
 from repro.dynamics.adversaries.targeted_mis import TargetedMisAdversary
 from repro.dynamics.churn import (
     BurstChurn,
+    CompositeChurn,
     EdgeInsertionChurn,
     FlipChurn,
     MarkovEdgeChurn,
@@ -108,8 +109,31 @@ def _resolve(ctx, value, **extra):
 # topologies — every named generator family, plus parameterised variants
 # ---------------------------------------------------------------------------
 
+#: One-line descriptions for the lambda-based generator families (the
+#: function-backed ones fall back to their docstrings).
+_FAMILY_DOCS = {
+    "gnp_sparse": "Erdős–Rényi G(n, p) with expected degree 8.",
+    "gnp_dense": "Erdős–Rényi G(n, 0.2).",
+    "geometric": "Random geometric graph with ~10 expected neighbours.",
+    "ba3": "Barabási–Albert preferential attachment with m=3.",
+    "ring": "Cycle C_n.",
+    "star": "Star with centre 0.",
+    "clique": "Complete graph K_n.",
+    "empty": "n awake nodes, no edges.",
+}
+
+
 def _register_family(family_name: str):
-    TOPOLOGIES.register(family_name, lambda n, rng, _f=family_name: generators.GENERATORS[_f](n, rng))
+    generator = generators.GENERATORS[family_name]
+    doc = _FAMILY_DOCS.get(family_name)
+    if doc is None:
+        lines = (generator.__doc__ or "").strip().splitlines()
+        doc = lines[0] if lines else ""
+    TOPOLOGIES.register(
+        family_name,
+        lambda n, rng, _f=family_name: generators.GENERATORS[_f](n, rng),
+        doc=doc,
+    )
 
 
 for _family in generators.GENERATORS:
@@ -118,21 +142,25 @@ for _family in generators.GENERATORS:
 
 @TOPOLOGIES.register("gnp")
 def _topology_gnp(n, rng, *, p: float = 0.1):
+    """Erdős–Rényi G(n, p) with explicit edge probability p."""
     return generators.gnp(n, p, rng)
 
 
 @TOPOLOGIES.register("gnp_degree")
 def _topology_gnp_degree(n, rng, *, degree: float = 8.0):
+    """Erdős–Rényi G(n, p) parameterised by expected degree."""
     return generators.gnp(n, min(1.0, degree / max(n - 1, 1)), rng)
 
 
 @TOPOLOGIES.register("random_regular")
 def _topology_regular(n, rng, *, degree: int = 4):
+    """Random degree-regular graph."""
     return generators.random_regular(n, degree, rng)
 
 
 @TOPOLOGIES.register("random_geometric")
 def _topology_geometric(n, rng, *, radius: Optional[float] = None):
+    """Random geometric graph on the unit square (default radius targets ~10 expected neighbours)."""
     if radius is None:
         radius = math.sqrt(10.0 / max(n, 1) / math.pi)
     return generators.random_geometric(n, radius, rng)
@@ -140,6 +168,7 @@ def _topology_geometric(n, rng, *, radius: Optional[float] = None):
 
 @TOPOLOGIES.register("barabasi_albert")
 def _topology_ba(n, rng, *, m: int = 3):
+    """Barabási–Albert preferential-attachment graph (clique when n <= m)."""
     if n <= m:
         return generators.clique(n)
     return generators.barabasi_albert(n, m, rng)
@@ -152,11 +181,13 @@ def _topology_ba(n, rng, *, m: int = 3):
 
 @WAKEUPS.register("all-at-once")
 def _wakeup_all(ctx):
+    """Every node is awake from round 1."""
     return AllAwake(ctx.n)
 
 
 @WAKEUPS.register("staggered")
 def _wakeup_staggered(ctx, *, batch_size=None, interval: int = 1):
+    """Contiguous batches of nodes wake every `interval` rounds."""
     if batch_size is None:
         batch_size = max(1, ctx.n // (2 * ctx.T1))
     return StaggeredWakeup(ctx.n, batch_size=int(_resolve(ctx, batch_size)), interval=interval)
@@ -164,11 +195,13 @@ def _wakeup_staggered(ctx, *, batch_size=None, interval: int = 1):
 
 @WAKEUPS.register("uniform-random")
 def _wakeup_uniform(ctx, *, spread="2*T1"):
+    """Each node wakes at an independent uniform round in [1, spread]."""
     return UniformRandomWakeup(ctx.n, spread=_resolve(ctx, spread), rng=ctx.stream("wakeup"))
 
 
 @WAKEUPS.register("explicit")
 def _wakeup_explicit(ctx, *, wake_rounds):
+    """Explicit node -> wake-round mapping."""
     return ExplicitWakeup({int(v): int(r) for v, r in dict(wake_rounds).items()})
 
 
@@ -179,29 +212,34 @@ def _wakeup_explicit(ctx, *, wake_rounds):
 
 @ADVERSARIES.register("static")
 def _adversary_static(ctx):
+    """The base topology, unchanged every round (optionally gated by the wake-up schedule)."""
     return StaticAdversary(ctx.base, wakeup=ctx.wakeup)
 
 
 @ADVERSARIES.register("flip-churn")
 def _adversary_flip(ctx, *, flip_prob: float = 0.01):
+    """Every base edge flips its presence with probability `flip_prob` per round."""
     churn = FlipChurn(ctx.base, flip_prob) if flip_prob > 0 else StaticChurn(ctx.base)
     return ChurnAdversary(ctx.n, churn, ctx.stream("adversary", "churn"), wakeup=ctx.wakeup)
 
 
 @ADVERSARIES.register("markov-churn")
 def _adversary_markov(ctx, *, p_off: float = 0.0, p_on: float = 0.0):
+    """Per-edge two-state Markov churn with `p_off` / `p_on` transition probabilities."""
     churn = MarkovEdgeChurn(ctx.base, p_off=p_off, p_on=p_on)
     return ChurnAdversary(ctx.n, churn, ctx.stream("adversary", "churn"), wakeup=ctx.wakeup)
 
 
 @ADVERSARIES.register("burst-churn")
 def _adversary_burst(ctx, *, burst_prob: float = 0.1, drop_fraction: float = 0.5):
+    """Occasional single-round bursts deleting a random fraction of the edges."""
     churn = BurstChurn(ctx.base, burst_prob, drop_fraction)
     return ChurnAdversary(ctx.n, churn, ctx.stream("adversary", "burst"), wakeup=ctx.wakeup)
 
 
 @ADVERSARIES.register("edge-insertion")
 def _adversary_insertion(ctx, *, insertions_per_round: int = 3, lifetime: int = 3):
+    """Random short-lived extra edges on top of the stable base graph."""
     churn = EdgeInsertionChurn(
         ctx.base, insertions_per_round=insertions_per_round, lifetime=_resolve(ctx, lifetime)
     )
@@ -210,6 +248,7 @@ def _adversary_insertion(ctx, *, insertions_per_round: int = 3, lifetime: int = 
 
 @ADVERSARIES.register("targeted-coloring")
 def _adversary_targeted_coloring(ctx, *, attacks_per_round: int = 2, lifetime="2*T1"):
+    """Adaptive attacker inserting monochromatic conflict edges against the latest visible colouring."""
     return TargetedColoringAdversary(
         ctx.base,
         attacks_per_round=attacks_per_round,
@@ -220,6 +259,7 @@ def _adversary_targeted_coloring(ctx, *, attacks_per_round: int = 2, lifetime="2
 
 @ADVERSARIES.register("targeted-mis")
 def _adversary_targeted_mis(ctx, *, mode: str = "cut_notification", attacks_per_round: int = 4, lifetime=2):
+    """Adaptive attacker cutting MIS notifications or joining MIS nodes."""
     stream_label = {"cut_notification": "cut", "join_mis": "join"}.get(mode, mode)
     return TargetedMisAdversary(
         ctx.base,
@@ -232,6 +272,7 @@ def _adversary_targeted_mis(ctx, *, mode: str = "cut_notification", attacks_per_
 
 @ADVERSARIES.register("locally-static")
 def _adversary_locally_static(ctx, *, flip_prob: float = 0.05, protected_radius: int = 3, center=None):
+    """Churns everything outside a protected ball whose incident edges stay frozen."""
     if center is None:
         center = max(ctx.base.nodes, key=lambda v: ctx.base.degree(v))
     return LocallyStaticAdversary(
@@ -245,6 +286,7 @@ def _adversary_locally_static(ctx, *, flip_prob: float = 0.05, protected_radius:
 
 @ADVERSARIES.register("freeze-after")
 def _adversary_freeze_after(ctx, *, inner, freeze_round):
+    """Runs `inner` until `freeze_round`, then repeats the last graph forever."""
     from repro.scenarios.spec import ComponentSpec
 
     inner_spec = ComponentSpec.coerce(inner)
@@ -254,6 +296,7 @@ def _adversary_freeze_after(ctx, *, inner, freeze_round):
 
 @ADVERSARIES.register("mobility")
 def _adversary_mobility(ctx, *, radius: float = 0.18, speed: float = 0.02, pause_probability: float = 0.0):
+    """Random-waypoint mobility: the geometric graph of nodes moving in the unit square."""
     mobility = RandomWaypointMobility(
         ctx.n,
         radius=radius,
@@ -264,13 +307,98 @@ def _adversary_mobility(ctx, *, radius: float = 0.18, speed: float = 0.02, pause
     return MobilityAdversary(mobility, wakeup=ctx.wakeup)
 
 
+@ADVERSARIES.register("phase")
+def _adversary_phase(ctx, *, phases):
+    """Phase script: switch between registered adversaries at fixed round boundaries.
+
+    ``phases`` is a list of ``[duration, adversary]`` pairs — duration an int,
+    a duration expression (``"2*T1"``), or ``None`` for the final open-ended
+    phase; ``adversary`` any component reference (name or
+    ``{"name", "params"}``)::
+
+        component("phase", phases=[
+            [ "2*T1", {"name": "flip-churn", "params": {"flip_prob": 0.1}} ],
+            [ None,   "static" ],
+        ])
+
+    Each phase's adversary is built against a phase-indexed child rng factory,
+    so two phases of the same kind draw independent randomness instead of
+    replaying each other's streams.
+    """
+    import dataclasses
+
+    from repro.scenarios.spec import ComponentSpec
+
+    built = []
+    for index, entry in enumerate(phases):
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise ConfigurationError(
+                f"each phase must be a [duration, adversary] pair, got {entry!r}"
+            )
+        duration, inner = entry
+        inner_spec = ComponentSpec.coerce(inner)
+        phase_ctx = dataclasses.replace(
+            ctx, rng_factory=ctx.rng_factory.child("phase", index)
+        )
+        inner_adversary = ADVERSARIES.get(inner_spec.name)(phase_ctx, **inner_spec.params)
+        built.append(
+            (None if duration is None else _resolve(ctx, duration), inner_adversary)
+        )
+    return PhaseAdversary(built)
+
+
+#: Churn-process kinds available to the "composite-churn" adversary.
+_CHURN_KINDS = {
+    "static": lambda base: StaticChurn(base),
+    "flip": lambda base, *, flip_prob=0.01, **params: FlipChurn(base, flip_prob, **params),
+    "markov": lambda base, *, p_off=0.0, p_on=0.0, **params: MarkovEdgeChurn(
+        base, p_off=p_off, p_on=p_on, **params
+    ),
+    "burst": lambda base, *, burst_prob=0.1, drop_fraction=0.5: BurstChurn(
+        base, burst_prob, drop_fraction
+    ),
+    "edge-insertion": lambda base, *, insertions_per_round=3, lifetime=3: EdgeInsertionChurn(
+        base, insertions_per_round=insertions_per_round, lifetime=lifetime
+    ),
+}
+
+
+@ADVERSARIES.register("composite-churn")
+def _adversary_composite_churn(ctx, *, processes):
+    """Union of several churn processes animating the base topology.
+
+    ``processes`` is a list of ``{"kind": ..., **params}`` mappings with kinds
+    ``static`` / ``flip`` / ``markov`` / ``burst`` / ``edge-insertion``::
+
+        component("composite-churn", processes=[
+            {"kind": "flip", "flip_prob": 0.02},
+            {"kind": "edge-insertion", "insertions_per_round": 2, "lifetime": 3},
+        ])
+    """
+    if not processes:
+        raise ConfigurationError("composite-churn needs at least one process")
+    built = []
+    for entry in processes:
+        params = dict(entry)
+        kind = params.pop("kind", None)
+        if kind not in _CHURN_KINDS:
+            raise ConfigurationError(
+                f"unknown churn kind {kind!r}; available: {sorted(_CHURN_KINDS)}"
+            )
+        built.append(_CHURN_KINDS[kind](ctx.base, **params))
+    return ChurnAdversary(
+        ctx.n, CompositeChurn(built), ctx.stream("adversary", "composite"), wakeup=ctx.wakeup
+    )
+
+
 # ---------------------------------------------------------------------------
 # algorithms
 # ---------------------------------------------------------------------------
 
 
 def _register_plain_algorithm(name: str, cls):
-    ALGORITHMS.register(name, lambda ctx, _cls=cls: _cls())
+    doc = (cls.__doc__ or "").strip().splitlines()
+    ALGORITHMS.register(name, lambda ctx, _cls=cls: _cls(), doc=doc[0] if doc else "")
 
 
 for _name, _cls in (
@@ -292,42 +420,50 @@ for _name, _cls in (
 
 @ALGORITHMS.register("dmis")
 def _algorithm_dmis(ctx, *, revalidate_dominated: bool = False):
+    """DMis: dynamic MIS via desire levels over the T1-window backbone."""
     return DMis(revalidate_dominated=revalidate_dominated)
 
 
 @ALGORITHMS.register("dynamic-coloring")
 def _algorithm_dynamic_coloring(ctx, *, window=None):
+    """Concat(SColor, DColor): the paper's dynamic (deg+1)-colouring."""
     return DynamicColoring(ctx.T1 if window is None else _resolve(ctx, window))
 
 
 @ALGORITHMS.register("dynamic-mis")
 def _algorithm_dynamic_mis(ctx, *, window=None, revalidate_dominated: bool = False):
+    """Concat(SMis, DMis): the paper's dynamic MIS."""
     T1 = ctx.T1 if window is None else _resolve(ctx, window)
     return DynamicMIS(T1, revalidate_dominated=revalidate_dominated)
 
 
 @ALGORITHMS.register("dynamic-matching")
 def _algorithm_dynamic_matching(ctx, *, window=None):
+    """Concat(SMatch, DMatch): dynamic maximal matching via the MIS reduction."""
     return DynamicMatching(ctx.T1 if window is None else _resolve(ctx, window))
 
 
 @ALGORITHMS.register("restart-coloring")
 def _algorithm_restart_coloring(ctx, *, period=None):
+    """Baseline: restart a static colouring every `period` rounds."""
     return RestartColoring(ctx.T1 if period is None else _resolve(ctx, period))
 
 
 @ALGORITHMS.register("restart-mis")
 def _algorithm_restart_mis(ctx, *, period=None):
+    """Baseline: restart a static MIS every `period` rounds."""
     return RestartMis(ctx.T1 if period is None else _resolve(ctx, period))
 
 
 @ALGORITHMS.register("coloring-no-backbone")
 def _algorithm_coloring_no_backbone(ctx, *, window=None):
+    """Ablation: Concat colouring without the intersection-graph backbone."""
     return concat_without_backbone(ctx.T1 if window is None else _resolve(ctx, window))
 
 
 @ALGORITHMS.register("mis-no-backbone")
 def _algorithm_mis_no_backbone(ctx, *, window=None):
+    """Ablation: Concat MIS without the intersection-graph backbone."""
     return concat_without_backbone_mis(ctx.T1 if window is None else _resolve(ctx, window))
 
 
@@ -338,11 +474,13 @@ def _algorithm_mis_no_backbone(ctx, *, window=None):
 
 @STOP_CONDITIONS.register("all-decided")
 def _stop_all_decided(ctx):
+    """Stop as soon as every awake node has produced an output."""
     return lambda trace: rounds_to_completion(trace) is not None
 
 
 @STOP_CONDITIONS.register("after-round")
 def _stop_after_round(ctx, *, round):
+    """Stop once the trace reaches `round` rounds."""
     limit = _resolve(ctx, round)
     return lambda trace: trace.num_rounds >= limit
 

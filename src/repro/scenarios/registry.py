@@ -65,6 +65,7 @@ class Registry:
     def __init__(self, kind: str) -> None:
         self._kind = kind
         self._entries: Dict[str, Callable] = {}
+        self._docs: Dict[str, str] = {}
 
     @property
     def kind(self) -> str:
@@ -77,12 +78,15 @@ class Registry:
         factory: Optional[Callable] = None,
         *,
         overwrite: bool = False,
+        doc: Optional[str] = None,
     ):
         """Register ``factory`` under ``name``.
 
         Usable as a decorator (``@REGISTRY.register("name")``) or called
         directly (``REGISTRY.register("name", factory)``); returns the factory
-        either way.
+        either way.  ``doc`` overrides the component description surfaced by
+        :meth:`describe` / ``available(docs=True)``; by default the first line
+        of the factory's docstring is used.
         """
         if not isinstance(name, str) or not name:
             raise RegistryError(f"{self._kind} registry keys must be non-empty strings, got {name!r}")
@@ -97,6 +101,11 @@ class Registry:
                     f"{self._kind} {name!r} is already registered; pass overwrite=True to replace it"
                 )
             self._entries[name] = target
+            if doc is not None:
+                self._docs[name] = doc.strip()
+            else:
+                docstring = getattr(target, "__doc__", None) or ""
+                self._docs[name] = docstring.strip().splitlines()[0] if docstring.strip() else ""
             return target
 
         if factory is None:
@@ -106,6 +115,7 @@ class Registry:
     def unregister(self, name: str) -> None:
         """Remove ``name`` (no-op if absent); mainly for test isolation."""
         self._entries.pop(name, None)
+        self._docs.pop(name, None)
 
     def get(self, name: str) -> Callable:
         """Look up the factory registered under ``name``."""
@@ -119,6 +129,18 @@ class Registry:
     def available(self) -> Tuple[str, ...]:
         """All registered names, sorted."""
         return tuple(sorted(self._entries))
+
+    def doc(self, name: str) -> str:
+        """The one-line description of component ``name`` ("" if undocumented)."""
+        if name not in self._entries:
+            raise RegistryError(
+                f"unknown {self._kind} {name!r}; available: {list(self.available())}"
+            )
+        return self._docs.get(name, "")
+
+    def describe(self) -> Dict[str, str]:
+        """``{name: one-line description}`` for every registered component."""
+        return {name: self._docs.get(name, "") for name in self.available()}
 
     def __contains__(self, name: object) -> bool:
         return name in self._entries
@@ -166,14 +188,18 @@ REGISTRIES: Dict[str, Registry] = {
 }
 
 
-def available(kind: Optional[str] = None):
+def available(kind: Optional[str] = None, *, docs: bool = False):
     """List the registered component names.
 
     ``available()`` returns ``{family: (name, …)}`` for every registry;
-    ``available("adversaries")`` returns just that family's names.
+    ``available("adversaries")`` returns just that family's names.  With
+    ``docs=True`` every name comes with its one-line description instead:
+    ``{family: {name: doc}}`` / ``{name: doc}``.
     """
     if kind is None:
+        if docs:
+            return {family: registry.describe() for family, registry in REGISTRIES.items()}
         return {family: registry.available() for family, registry in REGISTRIES.items()}
     if kind not in REGISTRIES:
         raise RegistryError(f"unknown registry {kind!r}; available: {sorted(REGISTRIES)}")
-    return REGISTRIES[kind].available()
+    return REGISTRIES[kind].describe() if docs else REGISTRIES[kind].available()

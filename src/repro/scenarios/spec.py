@@ -156,6 +156,10 @@ class ScenarioSpec:
     window:
         Explicit ``T1`` override; defaults to
         :func:`repro.core.windows.default_window` of ``n``.
+    window_scale:
+        Alternative to ``window``: scale the default ``Θ(log n)`` window via
+        :func:`repro.core.windows.window_for` (e.g. ``0.5`` for stress tests,
+        ``2.0`` for extra slack).  Mutually exclusive with ``window``.
     expose_state_to_adversary:
         Forwarded to the simulator (adaptive adversaries may inspect state).
     name:
@@ -173,6 +177,7 @@ class ScenarioSpec:
     probe: Optional[ComponentSpec] = None
     stop: Optional[ComponentSpec] = None
     window: Optional[int] = None
+    window_scale: Optional[float] = None
     expose_state_to_adversary: bool = False
     name: str = ""
 
@@ -199,6 +204,18 @@ class ScenarioSpec:
             raise ConfigurationError(f"rounds must be >= 0, got {self.rounds}")
         if self.window is not None and (not isinstance(self.window, int) or self.window < 1):
             raise ConfigurationError(f"window must be a positive integer, got {self.window!r}")
+        if self.window_scale is not None:
+            if isinstance(self.window_scale, bool) or not isinstance(self.window_scale, (int, float)):
+                raise ConfigurationError(
+                    f"window_scale must be a number, got {self.window_scale!r}"
+                )
+            if self.window_scale <= 0:
+                raise ConfigurationError(
+                    f"window_scale must be > 0, got {self.window_scale!r}"
+                )
+            object.__setattr__(self, "window_scale", float(self.window_scale))
+            if self.window is not None:
+                raise ConfigurationError("pass either 'window' or 'window_scale', not both")
 
     # -- labels & derived values -------------------------------------------------
 
@@ -209,9 +226,13 @@ class ScenarioSpec:
 
     def resolved_window(self) -> int:
         """The window ``T1`` this scenario runs with."""
-        from repro.core.windows import default_window
+        from repro.core.windows import default_window, window_for
 
-        return self.window if self.window is not None else default_window(self.n)
+        if self.window is not None:
+            return self.window
+        if self.window_scale is not None:
+            return window_for(self.n, self.window_scale)
+        return default_window(self.n)
 
     def resolved_rounds(self) -> int:
         """The concrete number of rounds (duration expressions evaluated)."""
@@ -241,6 +262,7 @@ class ScenarioSpec:
             "probe": comp(self.probe),
             "stop": comp(self.stop),
             "window": self.window,
+            "window_scale": self.window_scale,
             "expose_state_to_adversary": self.expose_state_to_adversary,
             "name": self.name,
         }

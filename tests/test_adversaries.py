@@ -16,7 +16,7 @@ from repro.dynamics.adversaries import (
     TargetedMisAdversary,
 )
 from repro.dynamics.churn import FlipChurn, StaticChurn
-from repro.dynamics.topology import Topology
+from repro.dynamics.topology import Topology, TopologyDelta, empty_topology
 from repro.dynamics.wakeup import StaggeredWakeup
 
 
@@ -29,6 +29,15 @@ def make_view(round_index, outputs=(), topologies=(), obliviousness=FULLY_OBLIVI
         outputs=tuple(outputs),
         state_provider=state,
     )
+
+
+def step_topology(adversary, view):
+    """Drive one adversary step and materialise the result (delta or snapshot)."""
+    result = adversary.step(view)
+    if isinstance(result, TopologyDelta):
+        previous = view.previous_topology() or empty_topology()
+        return previous.apply(result)
+    return result
 
 
 class TestAdversaryView:
@@ -108,7 +117,7 @@ class TestChurnAdversary:
         previous_topo = None
         for r in range(1, 6):
             view = make_view(r, topologies=[previous_topo] if previous_topo else [])
-            topo = adversary.step(view)
+            topo = step_topology(adversary, view)
             assert previous_nodes <= topo.nodes
             previous_nodes = topo.nodes
             previous_topo = topo

@@ -1,0 +1,418 @@
+"""The delta engine: TopologyDelta, incremental storage, and path equivalence.
+
+The hard gate of the delta refactor is that the delta path is *observably
+identical* to the snapshot path: every registered adversary must produce
+byte-identical trace rows under both, and ``Topology.apply(delta)`` must
+round-trip against from-scratch construction for arbitrary change sequences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.dynamics import generators
+from repro.dynamics.adversary import (
+    Adversary,
+    FULLY_OBLIVIOUS,
+    delta_emission,
+)
+from repro.dynamics.dynamic_graph import DynamicGraph
+from repro.dynamics.topology import EMPTY_DELTA, Topology, TopologyDelta, empty_topology
+from repro.runtime.simulator import Simulator
+from repro.scenarios import ScenarioSpec, available, component
+from repro.scenarios.executor import _build_context
+from repro.types import Interval, canonical_edge
+
+
+# ---------------------------------------------------------------------------
+# TopologyDelta + Topology.apply
+# ---------------------------------------------------------------------------
+
+
+class TestTopologyDelta:
+    def test_canonicalises_edges_and_nodes(self):
+        delta = TopologyDelta(added_nodes=[3, 1], added_edges=[(2, 1), (0, 3)])
+        assert delta.added_nodes == frozenset({1, 3})
+        assert delta.added_edges == frozenset({(1, 2), (0, 3)})
+
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(TopologyError):
+            TopologyDelta(added_nodes=[1], removed_nodes=[1])
+        with pytest.raises(TopologyError):
+            TopologyDelta(added_edges=[(0, 1)], removed_edges=[(1, 0)])
+
+    def test_empty_delta_is_identity(self):
+        topo = generators.ring(6)
+        assert topo.apply(EMPTY_DELTA) is topo
+        assert EMPTY_DELTA.is_empty() and not EMPTY_DELTA
+
+    def test_between_round_trips(self):
+        before = Topology(range(5), [(0, 1), (1, 2), (3, 4)])
+        after = Topology(range(6), [(0, 1), (2, 3), (3, 4), (4, 5)])
+        delta = TopologyDelta.between(before, after)
+        assert before.apply(delta) == after
+        assert before.delta_to(after) == delta
+
+    def test_apply_shares_untouched_neighbour_sets(self):
+        before = generators.ring(8)
+        after = before.apply(TopologyDelta(removed_edges=[(0, 1)]))
+        # Nodes 3..6 are untouched: their frozensets are the same objects.
+        for v in (3, 4, 5, 6):
+            assert after.neighbors(v) is before.neighbors(v)
+        assert after.neighbors(0) == before.neighbors(0) - {1}
+
+    def test_apply_strictness(self):
+        topo = Topology(range(4), [(0, 1), (2, 3)])
+        cases = [
+            TopologyDelta(added_edges=[(0, 1)]),     # already present
+            TopologyDelta(removed_edges=[(1, 2)]),   # absent
+            TopologyDelta(added_nodes=[2]),          # already awake
+            TopologyDelta(removed_nodes=[9]),        # not awake
+            TopologyDelta(removed_nodes=[0]),        # still has an edge
+            TopologyDelta(added_edges=[(0, 9)]),     # endpoint not awake
+        ]
+        for delta in cases:
+            with pytest.raises(TopologyError):
+                topo.apply(delta)
+
+    def test_remove_node_after_its_edges(self):
+        topo = Topology(range(3), [(0, 1)])
+        out = topo.apply(TopologyDelta(removed_nodes=[2]))
+        assert out.nodes == frozenset({0, 1})
+        out2 = topo.apply(TopologyDelta(removed_edges=[(0, 1)], removed_nodes=[1]))
+        assert out2.nodes == frozenset({0, 2}) and not out2.edges
+
+    def test_property_style_random_round_trip(self):
+        rng = np.random.default_rng(7)
+        n = 30
+        nodes = set(range(10))
+        edges: set = set()
+        current = Topology(nodes, edges)
+        for _ in range(60):
+            # Random exact delta against the current graph.
+            sleeping = [v for v in range(n) if v not in nodes]
+            add_nodes = {
+                int(v) for v in rng.choice(sleeping, size=min(len(sleeping), 2), replace=False)
+            } if sleeping and rng.random() < 0.5 else set()
+            new_nodes = nodes | add_nodes
+            pool = sorted(new_nodes)
+            add_edges, del_edges = set(), set()
+            for _ in range(int(rng.integers(0, 6))):
+                u, v = rng.choice(len(pool), size=2, replace=False)
+                e = canonical_edge(pool[int(u)], pool[int(v)])
+                if e in edges:
+                    del_edges.add(e)
+                else:
+                    add_edges.add(e)
+            delta = TopologyDelta(
+                added_nodes=add_nodes, added_edges=add_edges, removed_edges=del_edges
+            )
+            nodes = new_nodes
+            edges = (edges - del_edges) | add_edges
+            current = current.apply(delta)
+            assert current == Topology(nodes, edges)
+            assert current.nodes == frozenset(nodes)
+            for v in nodes:
+                assert current.degree(v) == sum(1 for e in edges if v in e)
+
+
+# ---------------------------------------------------------------------------
+# DynamicGraph delta storage
+# ---------------------------------------------------------------------------
+
+
+def _random_evolution(rounds: int, seed: int):
+    """A list of (delta, topology) pairs for a growing random dynamic graph."""
+    rng = np.random.default_rng(seed)
+    topo = empty_topology()
+    out = []
+    for r in range(rounds):
+        add_nodes = frozenset(
+            int(v) for v in rng.choice(32, size=3, replace=False) if v not in topo.nodes
+        )
+        pool = sorted(topo.nodes | add_nodes)
+        add_edges, del_edges = set(), set()
+        if len(pool) >= 2:
+            for _ in range(4):
+                u, v = rng.choice(len(pool), size=2, replace=False)
+                e = canonical_edge(pool[int(u)], pool[int(v)])
+                if e in topo.edges:
+                    del_edges.add(e)
+                elif e not in add_edges:
+                    add_edges.add(e)
+        delta = TopologyDelta(
+            added_nodes=add_nodes, added_edges=add_edges, removed_edges=del_edges
+        )
+        topo = topo.apply(delta)
+        out.append((delta, topo))
+    return out
+
+
+class TestDeltaStorage:
+    @pytest.mark.parametrize("checkpoint_interval", [1, 3, 8, 64])
+    def test_delta_storage_matches_snapshot_storage(self, checkpoint_interval):
+        evolution = _random_evolution(rounds=40, seed=11)
+        snap = DynamicGraph(32)
+        incr = DynamicGraph(32, checkpoint_interval=checkpoint_interval)
+        for delta, topo in evolution:
+            snap.append(topo)
+            incr.append_delta(delta)
+        assert incr.last_round == snap.last_round == 40
+        assert incr.topologies() == snap.topologies()
+        # Random access (exercises the checkpoint walk, not just the cursor).
+        for r in (40, 1, 17, 5, 33, 17):
+            assert incr.topology(r) == snap.topology(r)
+        for r in range(1, 41):
+            assert incr.edge_changes(r) == snap.edge_changes(r)
+            assert incr.intersection_graph(r, 5) == snap.intersection_graph(r, 5)
+            assert incr.union_graph(r, 5) == snap.union_graph(r, 5)
+        assert incr.churn_per_round() == snap.churn_per_round()
+        interval = Interval(10, 20)
+        keep = incr.topology(10).nodes
+        assert incr.is_static_on(keep, interval) == snap.is_static_on(keep, interval)
+
+    def test_append_delta_rejects_node_removal_and_out_of_range(self):
+        graph = DynamicGraph(8)
+        graph.append_delta(TopologyDelta(added_nodes=range(4)))
+        with pytest.raises(TopologyError):
+            graph.append_delta(TopologyDelta(removed_nodes=[0]))
+        with pytest.raises(TopologyError):
+            graph.append_delta(TopologyDelta(added_nodes=[9]))
+
+    def test_latest_topology_is_o1_and_current(self):
+        graph = DynamicGraph(8)
+        assert graph.latest_topology() is None
+        graph.append_delta(TopologyDelta(added_nodes=range(3), added_edges=[(0, 1)]))
+        latest = graph.latest_topology()
+        assert latest == Topology(range(3), [(0, 1)])
+        assert graph.topology(1) is latest
+
+    def test_attached_window_replays_delta_history(self):
+        evolution = _random_evolution(rounds=20, seed=3)
+        graph = DynamicGraph(32, checkpoint_interval=6)
+        for delta, _ in evolution[:15]:
+            graph.append_delta(delta)
+        window = graph.attach_window(4)
+        assert window.round_index == 15
+        for delta, _ in evolution[15:]:
+            snapshots = graph.append_delta(delta)
+            assert snapshots[4].intersection == graph.intersection_graph(graph.last_round, 4)
+            assert snapshots[4].union == graph.union_graph(graph.last_round, 4)
+
+
+# ---------------------------------------------------------------------------
+# full-trace equivalence: delta path vs snapshot path
+# ---------------------------------------------------------------------------
+
+#: Workable parameters for every registered adversary (small but non-trivial).
+_ADVERSARY_SPECS = {
+    "static": component("static"),
+    "flip-churn": component("flip-churn", flip_prob=0.1),
+    "markov-churn": component("markov-churn", p_off=0.05, p_on=0.05),
+    "burst-churn": component("burst-churn", burst_prob=0.3, drop_fraction=0.5),
+    "edge-insertion": component("edge-insertion", insertions_per_round=2, lifetime=2),
+    "targeted-coloring": component("targeted-coloring", attacks_per_round=2, lifetime=4),
+    "targeted-mis": component("targeted-mis", mode="cut_notification", attacks_per_round=3),
+    "locally-static": component("locally-static", flip_prob=0.1, protected_radius=2),
+    "freeze-after": component(
+        "freeze-after", inner={"name": "flip-churn", "params": {"flip_prob": 0.2}}, freeze_round=12
+    ),
+    "mobility": component("mobility", radius=0.3, speed=0.05),
+    "phase": component(
+        "phase",
+        phases=[
+            [6, {"name": "flip-churn", "params": {"flip_prob": 0.2}}],
+            [6, {"name": "edge-insertion", "params": {"insertions_per_round": 2, "lifetime": 2}}],
+            [None, "static"],
+        ],
+    ),
+    "composite-churn": component(
+        "composite-churn",
+        processes=[
+            {"kind": "flip", "flip_prob": 0.1},
+            {"kind": "edge-insertion", "insertions_per_round": 1, "lifetime": 3},
+        ],
+    ),
+}
+
+_ALGORITHM_FOR = {
+    "targeted-coloring": "dcolor",
+    "targeted-mis": "smis",
+}
+
+
+def _trace_rows(spec: ScenarioSpec, seed: int, emit: bool):
+    """Run one seed in-process and flatten the trace into comparable rows."""
+    with delta_emission(emit):
+        ctx = _build_context(spec, seed)
+        sim = Simulator(
+            n=ctx.n, algorithm=ctx.algorithm, adversary=ctx.adversary, seed=ctx.seed
+        )
+        sim.run(ctx.rounds)
+    return [
+        (
+            record.round_index,
+            record.topology.nodes,
+            record.topology.edges,
+            dict(record.outputs),
+            record.metrics.as_dict(),
+        )
+        for record in sim.trace
+    ]
+
+
+class TestPathEquivalence:
+    def test_every_registered_adversary_is_covered(self):
+        assert set(available("adversaries")) == set(_ADVERSARY_SPECS)
+
+    @pytest.mark.parametrize("name", sorted(_ADVERSARY_SPECS))
+    @pytest.mark.parametrize("wakeup", [None, "staggered"])
+    def test_delta_and_snapshot_traces_identical(self, name, wakeup):
+        spec = ScenarioSpec(
+            n=30,
+            algorithm=_ALGORITHM_FOR.get(name, "dynamic-coloring"),
+            adversary=_ADVERSARY_SPECS[name],
+            topology="gnp",
+            rounds=25,
+            wakeup=wakeup,
+        )
+        assert _trace_rows(spec, seed=5, emit=True) == _trace_rows(spec, seed=5, emit=False)
+
+    def test_scenario_rows_identical_for_mis_suite(self):
+        spec = ScenarioSpec(
+            n=24,
+            algorithm="dynamic-mis",
+            adversary=component("markov-churn", p_off=0.03, p_on=0.03),
+            topology="gnp_sparse",
+            rounds="2*T1",
+            metrics=("stability", "validity"),
+        )
+        spec = spec.replace(metrics=(component("stability"), component("validity", problem="mis")))
+        assert _trace_rows(spec, seed=0, emit=True) == _trace_rows(spec, seed=0, emit=False)
+
+    def test_experiment_e01_rows_identical(self):
+        from repro.analysis import experiments as E
+
+        with delta_emission(True):
+            delta_rows = E.experiment_e01_coloring_convergence(
+                sizes=(16,), seeds=(0,), max_round_factor=15
+            )
+        with delta_emission(False):
+            snapshot_rows = E.experiment_e01_coloring_convergence(
+                sizes=(16,), seeds=(0,), max_round_factor=15
+            )
+        assert delta_rows == snapshot_rows
+
+
+# ---------------------------------------------------------------------------
+# simulator-level delta handling
+# ---------------------------------------------------------------------------
+
+
+class _DeltaScript(Adversary):
+    """Emits a scripted mix of snapshots and deltas."""
+
+    obliviousness = FULLY_OBLIVIOUS
+
+    def __init__(self, script):
+        self._script = script
+
+    def step(self, view):
+        return self._script[view.round_index - 1]
+
+
+def _null_algorithm():
+    from repro.runtime.algorithm import DistributedAlgorithm
+
+    class Null(DistributedAlgorithm):
+        name = "null"
+
+        def on_wake(self, v):
+            pass
+
+        def compose(self, v):
+            return None
+
+        def deliver(self, v, inbox):
+            pass
+
+        def output(self, v):
+            return 0
+
+    return Null()
+
+
+class TestSimulatorDeltaPath:
+    def test_mixed_snapshot_and_delta_script(self):
+        base = Topology(range(4), [(0, 1), (1, 2)])
+        script = [
+            base,
+            TopologyDelta(added_edges=[(2, 3)]),
+            TopologyDelta(removed_edges=[(0, 1)]),
+            EMPTY_DELTA,
+        ]
+        sim = Simulator(n=4, algorithm=_null_algorithm(), adversary=_DeltaScript(script))
+        trace = sim.run(4)
+        assert trace.topology(1) == base
+        assert trace.topology(2) == base.with_edges(add=[(2, 3)])
+        assert trace.topology(3) == base.with_edges(add=[(2, 3)], remove=[(0, 1)])
+        assert trace.topology(4) == trace.topology(3)
+        assert trace.graph.edge_changes(2) == (frozenset({(2, 3)}), frozenset())
+        assert trace.graph.edge_changes(4) == (frozenset(), frozenset())
+
+    def test_round_one_delta_applies_to_empty_graph(self):
+        script = [TopologyDelta(added_nodes=range(3), added_edges=[(0, 1)])]
+        sim = Simulator(n=3, algorithm=_null_algorithm(), adversary=_DeltaScript(script))
+        trace = sim.run(1)
+        assert trace.topology(1) == Topology(range(3), [(0, 1)])
+
+    def test_invalid_delta_is_a_simulation_error(self):
+        script = [Topology(range(3), [(0, 1)]), TopologyDelta(added_edges=[(0, 1)])]
+        sim = Simulator(n=3, algorithm=_null_algorithm(), adversary=_DeltaScript(script))
+        with pytest.raises(SimulationError):
+            sim.run(2)
+
+    def test_same_topology_object_is_stored_as_empty_delta(self):
+        base = generators.ring(5)
+        script = [base, base, base]
+        sim = Simulator(
+            n=5, algorithm=_null_algorithm(), adversary=_DeltaScript(script), checkpoint_interval=8
+        )
+        trace = sim.run(3)
+        # Rounds 2 and 3 re-returned the identical object: stored incrementally.
+        assert trace.graph.edge_changes(2) == (frozenset(), frozenset())
+        assert trace.topology(2) is trace.topology(3)
+
+
+# ---------------------------------------------------------------------------
+# registry docs + window_for scaling (satellites)
+# ---------------------------------------------------------------------------
+
+
+class TestRegistrySatellites:
+    def test_available_docs_surface(self):
+        docs = available(docs=True)
+        assert set(docs) == set(available())
+        for family, members in docs.items():
+            for name, doc in members.items():
+                assert doc, f"{family}:{name} has no doc string"
+        assert "phase" in docs["adversaries"]
+        assert "composite-churn" in docs["adversaries"]
+
+    def test_registry_doc_lookup(self):
+        from repro.scenarios import ADVERSARIES
+
+        assert ADVERSARIES.doc("phase")
+        with pytest.raises(Exception):
+            ADVERSARIES.doc("not-a-component")
+
+    def test_window_scale_resolution_and_round_trip(self):
+        from repro.core.windows import window_for
+
+        spec = ScenarioSpec(n=64, algorithm="smis", window_scale=0.5)
+        assert spec.resolved_window() == window_for(64, 0.5)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        with pytest.raises(Exception):
+            ScenarioSpec(n=64, algorithm="smis", window=10, window_scale=0.5)
+        with pytest.raises(Exception):
+            ScenarioSpec(n=64, algorithm="smis", window_scale=0)
