@@ -1,26 +1,19 @@
 """E1 — colouring completion time grows like log n (Lemmas 4.4 / 6.2).
 
 Regenerates the rounds-to-completion series for the basic static colouring and
-for DColor under 1% edge churn, for n = 32 … 512, and reports the ratio to
-log₂ n (paper claim: bounded as n grows).
+for DColor under 1% edge churn, and reports the ratio to log₂ n (paper claim:
+bounded as n grows).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e01.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e01_coloring_convergence
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
-def test_e01_coloring_convergence(benchmark, bench_seeds):
-    rows = regenerate(
-        benchmark,
-        experiment_e01_coloring_convergence,
-        "E1: colouring rounds-to-completion vs n (claim: O(log n))",
-        sizes=(32, 64, 128, 256, 512),
-        seeds=bench_seeds,
-        flip_prob=0.01,
-    )
+def test_e01_coloring_convergence(benchmark):
+    rows = regenerate_from_config(benchmark, "e01")
     # Shape check: the measured rounds stay within a constant multiple of log2(n).
     assert all(row["rounds_over_log2n"] <= 4.0 for row in rows)

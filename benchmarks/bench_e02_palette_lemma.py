@@ -1,24 +1,17 @@
-"""E2 — colour-or-shrink (Lemma 4.3 / 6.1).
+"""E2 — the colour-or-shrink lemma (Lemmas 4.3 / 6.1).
 
 Regenerates the per-round statistics: conditioned on a node's palette *not*
 shrinking by ≥ 1/4, the node must be coloured with probability ≥ 1/64.
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e02.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e02_palette_lemma
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
 def test_e02_palette_lemma(benchmark):
-    rows = regenerate(
-        benchmark,
-        experiment_e02_palette_lemma,
-        "E2: colour-or-shrink rate (paper lower bound 1/64)",
-        n=192,
-        seeds=(0, 1, 2, 3),
-        rounds=40,
-    )
+    rows = regenerate_from_config(benchmark, "e02")
     assert all(row["satisfies_bound"] == 1.0 for row in rows)

@@ -1,21 +1,14 @@
-"""E3 — conflicts from adversarially inserted edges resolve within the window (Corollary 1.2).
+"""E3 — conflicts from adversarially inserted edges resolve within T1 (Corollary 1.2).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e03.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e03_conflict_resolution
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
-def test_e03_conflict_resolution(benchmark, bench_seeds):
-    rows = regenerate(
-        benchmark,
-        experiment_e03_conflict_resolution,
-        "E3: conflict duration after adversarial edge insertion (claim: <= T1 = O(log n))",
-        sizes=(64, 128, 256),
-        seeds=bench_seeds,
-        attacks_per_round=2,
-    )
+def test_e03_conflict_resolution(benchmark):
+    rows = regenerate_from_config(benchmark, "e03")
     assert all(row["max_duration_max"] <= row["window_T1"] for row in rows)

@@ -1,21 +1,14 @@
-"""E4 — T-dynamic validity of the combined colouring across churn rates (Theorem 1.1(1) + Cor. 1.2).
+"""E4 — sliding-window validity of the combined colouring, per churn rate (Theorem 1.1(1)).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e04.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e04_tdynamic_coloring
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
-def test_e04_tdynamic_coloring(benchmark, bench_seeds):
-    rows = regenerate(
-        benchmark,
-        experiment_e04_tdynamic_coloring,
-        "E4: T-dynamic colouring validity vs churn rate (claim: valid every round)",
-        n=128,
-        flip_probs=(0.001, 0.01, 0.05, 0.1),
-        seeds=bench_seeds,
-    )
+def test_e04_tdynamic_coloring(benchmark):
+    rows = regenerate_from_config(benchmark, "e04")
     assert all(row["valid_fraction_mean"] >= 0.99 for row in rows)

@@ -1,23 +1,15 @@
-"""E5 — locally static graph ⇒ locally static output (Theorem 1.1(2), Corollaries 1.2/1.3).
+"""E5 — locally static graph ⇒ locally static output (Theorem 1.1(2)).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e05.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e05_local_stability
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
-def test_e05_local_stability(benchmark, bench_seeds):
-    rows = regenerate(
-        benchmark,
-        experiment_e05_local_stability,
-        "E5: output changes inside a frozen ball vs the churned remainder (claim: 0 inside)",
-        n=121,
-        seeds=bench_seeds,
-        flip_prob=0.05,
-        protected_radius=3,
-    )
+def test_e05_local_stability(benchmark):
+    rows = regenerate_from_config(benchmark, "e05")
     assert all(row["changes_protected_mean"] == 0.0 for row in rows)
     assert all(row["changes_control_mean"] > 0.0 for row in rows)

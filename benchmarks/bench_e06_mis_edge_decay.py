@@ -1,21 +1,14 @@
-"""E6 — DMis undecided-edge decay (Lemma 5.2: E[|E(H_{r+2})|] <= (2/3)·|E(H_r)|).
+"""E6 — two-round decay of undecided-undecided intersection edges (Lemma 5.2).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e06.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e06_mis_edge_decay
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
 def test_e06_mis_edge_decay(benchmark):
-    rows = regenerate(
-        benchmark,
-        experiment_e06_mis_edge_decay,
-        "E6: two-round decay of undecided-undecided intersection edges (claim: <= 2/3)",
-        n=192,
-        seeds=(0, 1, 2, 3, 4, 5),
-        rounds=30,
-    )
+    rows = regenerate_from_config(benchmark, "e06")
     assert rows[0]["mean_two_round_ratio"] <= rows[0]["paper_upper_bound"] + 0.05

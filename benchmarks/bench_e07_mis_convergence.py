@@ -1,23 +1,15 @@
-"""E7 — DMis completion time and DynamicMIS sliding-window validity (Lemma 5.4, Corollary 1.3).
+"""E7 — DMis completion time and DynamicMIS validity (Lemma 5.4 / Corollary 1.3).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e07.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e07_mis_convergence
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
-def test_e07_mis_convergence(benchmark, bench_seeds):
-    rows = regenerate(
-        benchmark,
-        experiment_e07_mis_convergence,
-        "E7: DMis rounds-to-completion vs n and DynamicMIS validity (claim: O(log n), valid w.h.p.)",
-        sizes=(32, 64, 128, 256),
-        seeds=bench_seeds,
-        flip_prob=0.01,
-        validity_rounds_factor=3,
-    )
+def test_e07_mis_convergence(benchmark):
+    rows = regenerate_from_config(benchmark, "e07")
     assert all(row["rounds_over_log2n"] <= 4.0 for row in rows)
     assert all(row["valid_fraction_mean"] >= 0.9 for row in rows)

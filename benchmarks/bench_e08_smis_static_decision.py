@@ -1,23 +1,15 @@
-"""E8 — SMis decides quickly once the graph (and hence every 2-neighbourhood) freezes (Lemma 5.6).
+"""E8 — SMis decides within O(log n) rounds once the graph freezes (Lemma 5.6).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e08.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e08_smis_freeze_decision
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
-def test_e08_smis_freeze_decision(benchmark, bench_seeds):
-    rows = regenerate(
-        benchmark,
-        experiment_e08_smis_freeze_decision,
-        "E8: SMis rounds to all-decided after the graph freezes (claim: O(log n), then no changes)",
-        sizes=(64, 128, 256),
-        seeds=bench_seeds,
-        churn_rounds=20,
-        flip_prob=0.05,
-    )
+def test_e08_smis_freeze_decision(benchmark):
+    rows = regenerate_from_config(benchmark, "e08")
     assert all(row["changes_after_decided_mean"] == 0.0 for row in rows)
     assert all(row["rounds_over_log2n"] <= 6.0 for row in rows)

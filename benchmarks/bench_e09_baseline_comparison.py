@@ -1,28 +1,22 @@
-"""E9 — framework vs recovery-style baselines under continuous churn (Section 1 motivation).
+"""E9 — the framework vs restart / repair baselines under continuous churn (Section 1).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e09.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e09_baseline_comparison
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
 def test_e09_baseline_comparison(benchmark):
-    rows = regenerate(
-        benchmark,
-        experiment_e09_baseline_comparison,
-        "E9: sliding-window validity and output churn — framework vs restart/repair baselines",
-        n=128,
-        seeds=(0, 1),
-        flip_prob=0.02,
-        rounds_factor=5,
-    )
+    rows = regenerate_from_config(benchmark, "e09")
     by_name = {row["algorithm"]: row for row in rows}
+    coloring, restart_coloring = by_name["dynamic-coloring"], by_name["restart-coloring"]
+    mis, restart_mis = by_name["dynamic-mis"], by_name["restart-mis"]
     # The combined algorithms must dominate the restart baselines on validity …
-    assert by_name["dynamic-coloring"]["valid_fraction_mean"] > by_name["restart-coloring"]["valid_fraction_mean"]
-    assert by_name["dynamic-mis"]["valid_fraction_mean"] > by_name["restart-mis"]["valid_fraction_mean"]
+    assert coloring["valid_fraction_mean"] > restart_coloring["valid_fraction_mean"]
+    assert mis["valid_fraction_mean"] > restart_mis["valid_fraction_mean"]
     # … and churn their output far less.
-    assert by_name["dynamic-coloring"]["mean_changes_mean"] < by_name["restart-coloring"]["mean_changes_mean"]
-    assert by_name["dynamic-mis"]["mean_changes_mean"] < by_name["restart-mis"]["mean_changes_mean"]
+    assert coloring["mean_changes_mean"] < restart_coloring["mean_changes_mean"]
+    assert mis["mean_changes_mean"] < restart_mis["mean_changes_mean"]

@@ -1,23 +1,16 @@
-"""E10 — adversary sensitivity (2-oblivious vs adaptive; remarks after Lemma 5.2 / §4.3).
+"""E10 — DMis under oblivious churn vs adaptive attackers (the analyses assume 2-oblivious).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e10.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e10_adversary_sensitivity
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
-def test_e10_adversary_sensitivity(benchmark, bench_seeds):
-    rows = regenerate(
-        benchmark,
-        experiment_e10_adversary_sensitivity,
-        "E10: DMis under oblivious churn vs adaptive attackers (paper analyses assume 2-oblivious)",
-        n=128,
-        seeds=bench_seeds,
-        attacks_per_round=4,
-    )
+def test_e10_adversary_sensitivity(benchmark):
+    rows = regenerate_from_config(benchmark, "e10")
     assert len(rows) == 3
     # Under the oblivious adversary every run completes within the horizon.
     oblivious = next(row for row in rows if "oblivious" in row["setting"])

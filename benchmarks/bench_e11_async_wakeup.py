@@ -1,23 +1,16 @@
-"""E11 — guarantees are preserved under asynchronous wake-up (Sections 2 / 7.2).
+"""E11 — the guarantees survive gradual wake-up schedules (Sections 2 / 7.2).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e11.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e11_async_wakeup
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
 def test_e11_async_wakeup(benchmark):
-    rows = regenerate(
-        benchmark,
-        experiment_e11_async_wakeup,
-        "E11: T-dynamic validity under gradual wake-up schedules (claim: unchanged)",
-        n=128,
-        seeds=(0, 1),
-        rounds_factor=6,
-    )
+    rows = regenerate_from_config(benchmark, "e11")
     coloring = [row for row in rows if row["algorithm"] == "dynamic-coloring"]
     mis = [row for row in rows if row["algorithm"] == "dynamic-mis"]
     assert all(row["valid_fraction_mean"] >= 0.99 for row in coloring)

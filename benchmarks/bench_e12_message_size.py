@@ -1,22 +1,16 @@
-"""E12 — message sizes stay polylogarithmic in n (Section 2 remark).
+"""E12 — message sizes stay polylogarithmic (Section 2).
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e12.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e12_message_size
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
 def test_e12_message_size(benchmark):
-    rows = regenerate(
-        benchmark,
-        experiment_e12_message_size,
-        "E12: maximum message size (bits) per algorithm vs n (claim: poly log n)",
-        sizes=(32, 128, 512),
-        rounds_factor=2,
-    )
+    rows = regenerate_from_config(benchmark, "e12")
     # Single algorithms: O(log n) bits; combined algorithms: O(log^2 n) bits.
     for row in rows:
         assert row["bits_over_log2n_sq"] <= 64.0

@@ -1,29 +1,27 @@
-"""E13 — ablations of the paper's design choices (intersection graph, un-decide rules, backbone).
+"""E13 — what breaks when one design choice is removed.
 
-The experiment is declared and executed through the ``repro.scenarios``
-registry/spec API; seed replications run on the parallel batch executor
-(see ``bench_utils.regenerate``).
+The workload — parameters, title, columns — comes from the committed config
+``configs/experiments/e13.json`` (benchmark-scale parameter set), the same
+file ``repro experiments`` and the CI drift gate execute; seed replications
+run on the parallel batch executor (see ``bench_utils.regenerate_from_config``).
 """
 
-from repro.analysis.experiments import experiment_e13_ablations
-from bench_utils import regenerate
+from bench_utils import regenerate_from_config
 
 
-def test_e13_ablations(benchmark, bench_seeds):
-    rows = regenerate(
-        benchmark,
-        experiment_e13_ablations,
-        "E13: what breaks when one design choice is removed",
-        n=96,
-        seeds=bench_seeds,
-        rounds_factor=4,
-    )
+def test_e13_ablations(benchmark):
+    rows = regenerate_from_config(benchmark, "e13")
     by_variant = {row["variant"]: row for row in rows}
     # (a) Lemma 4.2's palette invariant never fails for the paper's DColor.
     assert by_variant["dcolor"]["palette_invariant_violation_fraction_mean"] == 0.0
     # (b) Removing the un-decide rules destroys the per-round partial-solution property.
-    assert by_variant["scolor"]["b1_violation_fraction_mean"] < by_variant["scolor-no-uncolor"]["b1_violation_fraction_mean"]
-    assert by_variant["smis"]["b1_violation_fraction_mean"] < by_variant["smis-no-undecide"]["b1_violation_fraction_mean"]
+    b1 = {
+        variant: row["b1_violation_fraction_mean"]
+        for variant, row in by_variant.items()
+        if "b1_violation_fraction_mean" in row
+    }
+    assert b1["scolor"] < b1["scolor-no-uncolor"]
+    assert b1["smis"] < b1["smis-no-undecide"]
     # (c) Removing the SAlg backbone destroys stability on a static graph.
     assert by_variant["dynamic-coloring"]["mean_changes_mean"] < 1.0
     assert by_variant["coloring-no-backbone"]["mean_changes_mean"] > 10.0

@@ -1,10 +1,11 @@
 """Shared helpers for the benchmark modules.
 
-Every benchmark regenerates one experiment through the declarative scenario
-API (:mod:`repro.scenarios`).  The seed replications and sweep points inside
-an experiment are independent work units, so :func:`regenerate` runs them on
-the parallel batch executor by default — set ``REPRO_BENCH_SERIAL=1`` to
-force the (row-identical) serial path.
+Every benchmark regenerates one E1–E13 experiment from its *committed config*
+(``configs/experiments/<id>.json``) — the same file ``repro experiments`` and
+the CI drift gate execute — using the config's benchmark-scale parameter set
+and title.  The seed replications and sweep points inside an experiment are
+independent work units, so they run on the parallel batch executor by default
+— set ``REPRO_BENCH_SERIAL=1`` to force the (row-identical) serial path.
 """
 
 from __future__ import annotations
@@ -12,45 +13,49 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List
 
+from repro.analysis.experiments.catalog import run_experiment
 from repro.analysis.report import format_table
+from repro.scenarios.configs import ExperimentConfig, load_config
 
-__all__ = ["regenerate", "RESULTS_DIR"]
+__all__ = ["CONFIGS_DIR", "RESULTS_DIR", "regenerate_from_config"]
+
+#: The committed experiment configs the benchmarks are driven by.
+CONFIGS_DIR = pathlib.Path(__file__).resolve().parent.parent / "configs" / "experiments"
 
 #: Directory in which every benchmark appends the table it regenerated, so the
 #: experiment tables survive pytest's output capturing (see EXPERIMENTS.md).
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 
-def regenerate(
-    benchmark,
-    experiment: Callable[..., List[Dict[str, float]]],
-    title: str,
-    *,
-    columns: Sequence[str] | None = None,
-    **kwargs,
+def regenerate_from_config(
+    benchmark, experiment_id: str, *, scale: str = "bench"
 ) -> List[Dict[str, float]]:
-    """Run ``experiment(**kwargs)`` under pytest-benchmark and print its table.
+    """Run one committed experiment config under pytest-benchmark.
 
     The experiment is executed exactly once (``pedantic(rounds=1)``): the
     quantity of interest is the regenerated table, not the harness's wall
     time, and a single execution keeps the whole benchmark suite laptop-sized.
     The table is printed (visible with ``-s``) and appended to
     ``benchmarks/results/tables.txt``.
-
-    Seed replications fan out across cores through the scenario batch
-    executor unless ``REPRO_BENCH_SERIAL=1`` (both paths produce identical
-    rows; the parallel one is just faster).
     """
-    kwargs.setdefault("parallel", os.environ.get("REPRO_BENCH_SERIAL") != "1")
-    rows = benchmark.pedantic(lambda: experiment(**kwargs), rounds=1, iterations=1)
-    table = format_table(rows, title=title, columns=columns)
+    config = load_config(CONFIGS_DIR / f"{experiment_id}.json")
+    assert isinstance(config, ExperimentConfig)
+    params = config.params_for(scale)
+    parallel = os.environ.get("REPRO_BENCH_SERIAL") != "1"
+    rows = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, params, parallel=parallel),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(rows, title=config.title, columns=config.columns)
     print()
     print(table)
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(RESULTS_DIR / "tables.txt", "a", encoding="utf-8") as handle:
         handle.write(table + "\n")
-    benchmark.extra_info["experiment"] = title
+    benchmark.extra_info["experiment"] = config.title
+    benchmark.extra_info["config"] = str(config.path)
     benchmark.extra_info["rows"] = json.loads(json.dumps(rows, default=str))
     return rows

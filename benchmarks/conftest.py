@@ -22,9 +22,3 @@ def _fresh_results_file():
     if results.exists():
         results.unlink()
     yield
-
-
-@pytest.fixture
-def bench_seeds():
-    """Seeds used by the benchmark-scale experiment runs."""
-    return (0, 1, 2)

@@ -55,9 +55,11 @@ from repro.problems import (
 from repro.core import Concat, default_window, run_combined
 from repro import scenarios
 from repro.scenarios import (
+    ResultsStore,
     ScenarioSpec,
     available,
     component,
+    load_config,
     run_scenario,
     sweep,
 )
@@ -85,4 +87,6 @@ __all__ = [
     "run_scenario",
     "sweep",
     "available",
+    "ResultsStore",
+    "load_config",
 ]

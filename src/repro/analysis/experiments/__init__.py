@@ -26,8 +26,18 @@ from repro.analysis.experiments.framework import (
     experiment_e12_message_size,
     experiment_e13_ablations,
 )
+from repro.analysis.experiments.catalog import (
+    EXPERIMENTS,
+    ExperimentDef,
+    experiment_defaults,
+    run_experiment,
+)
 
 __all__ = [
+    "EXPERIMENTS",
+    "ExperimentDef",
+    "experiment_defaults",
+    "run_experiment",
     "experiment_e01_coloring_convergence",
     "experiment_e02_palette_lemma",
     "experiment_e03_conflict_resolution",

@@ -1,0 +1,130 @@
+"""The E1–E13 experiment catalog: stable ids for the pipeline.
+
+The experiment implementations are ordinary functions; the catalog gives each
+one a short stable id ("e01" … "e13") so that config files
+(``configs/experiments/*.json``), the ``repro`` CLI and the benchmark harness
+all refer to the same entry point by name — the same move the scenario
+registries made for components.
+
+:func:`run_experiment` is the single execution path: every consumer (CLI,
+benchmarks, tests) goes through it, so config-driven runs are byte-identical
+to direct function calls by construction.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.scenarios.registry import suggestion_hint
+from repro.analysis.experiments.coloring import (
+    experiment_e01_coloring_convergence,
+    experiment_e02_palette_lemma,
+    experiment_e03_conflict_resolution,
+    experiment_e04_tdynamic_coloring,
+)
+from repro.analysis.experiments.framework import (
+    experiment_e05_local_stability,
+    experiment_e09_baseline_comparison,
+    experiment_e10_adversary_sensitivity,
+    experiment_e11_async_wakeup,
+    experiment_e12_message_size,
+    experiment_e13_ablations,
+)
+from repro.analysis.experiments.mis import (
+    experiment_e06_mis_edge_decay,
+    experiment_e07_mis_convergence,
+    experiment_e08_smis_freeze_decision,
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentDef", "experiment_defaults", "run_experiment"]
+
+Row = Dict[str, float]
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One catalogued experiment: its id and the function that runs it."""
+
+    id: str
+    fn: Callable[..., List[Row]]
+
+    @property
+    def doc(self) -> str:
+        """First line of the experiment function's docstring."""
+        docstring = inspect.getdoc(self.fn) or ""
+        return docstring.splitlines()[0] if docstring else ""
+
+
+#: Every experiment the paper's claims are validated by, keyed by stable id.
+EXPERIMENTS: Dict[str, ExperimentDef] = {
+    definition.id: definition
+    for definition in (
+        ExperimentDef("e01", experiment_e01_coloring_convergence),
+        ExperimentDef("e02", experiment_e02_palette_lemma),
+        ExperimentDef("e03", experiment_e03_conflict_resolution),
+        ExperimentDef("e04", experiment_e04_tdynamic_coloring),
+        ExperimentDef("e05", experiment_e05_local_stability),
+        ExperimentDef("e06", experiment_e06_mis_edge_decay),
+        ExperimentDef("e07", experiment_e07_mis_convergence),
+        ExperimentDef("e08", experiment_e08_smis_freeze_decision),
+        ExperimentDef("e09", experiment_e09_baseline_comparison),
+        ExperimentDef("e10", experiment_e10_adversary_sensitivity),
+        ExperimentDef("e11", experiment_e11_async_wakeup),
+        ExperimentDef("e12", experiment_e12_message_size),
+        ExperimentDef("e13", experiment_e13_ablations),
+    )
+}
+
+
+def _lookup(experiment_id: str) -> ExperimentDef:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        hint = suggestion_hint(experiment_id, EXPERIMENTS)
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}{hint} "
+            f"(available: {', '.join(sorted(EXPERIMENTS))})"
+        ) from None
+
+
+def experiment_defaults(experiment_id: str) -> Dict[str, Any]:
+    """The keyword parameters (with defaults) the experiment accepts.
+
+    ``parallel`` is an execution knob, not part of the workload, and is
+    excluded — it never belongs in a config's parameter set.
+    """
+    signature = inspect.signature(_lookup(experiment_id).fn)
+    return {
+        name: parameter.default
+        for name, parameter in signature.parameters.items()
+        if name != "parallel"
+    }
+
+
+def run_experiment(
+    experiment_id: str,
+    params: Optional[Mapping[str, Any]] = None,
+    *,
+    parallel: bool = False,
+) -> List[Row]:
+    """Run one catalogued experiment with ``params`` and return its rows.
+
+    Unknown parameter names raise :class:`ConfigurationError` with near-miss
+    suggestions instead of a bare ``TypeError`` from the call.
+    """
+    definition = _lookup(experiment_id)
+    params = dict(params or {})
+    known = experiment_defaults(experiment_id)
+    for name in params:
+        if name not in known:
+            hint = suggestion_hint(name, known)
+            raise ConfigurationError(
+                f"experiment {experiment_id!r} has no parameter {name!r}{hint} "
+                f"(accepted: {', '.join(sorted(known))})"
+            )
+    # Sequence-valued parameters arrive as JSON lists; the experiment
+    # functions accept any sequence, so pass them through unchanged.
+    return definition.fn(**params, parallel=parallel)

@@ -222,7 +222,9 @@ def experiment_e04_tdynamic_coloring(
         ),
     )
     rows: List[Row] = []
-    for result in sweep(spec, over={"adversary.params.flip_prob": list(flip_probs)}, parallel=parallel):
+    for result in sweep(
+        spec, over={"adversary.params.flip_prob": list(flip_probs)}, parallel=parallel
+    ):
         flip_prob = result.overrides["adversary.params.flip_prob"]
         rows.append(
             result.aggregate(

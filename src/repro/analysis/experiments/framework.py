@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.scenarios import ScenarioSpec, component, run_scenario, sweep
+from repro.scenarios import ScenarioSpec, component, run_scenario
 from repro.analysis.experiments.common import DEFAULT_FAMILY, log2
 
 __all__ = [
@@ -213,7 +213,9 @@ def experiment_e10_adversary_sensitivity(
         extra={"n": float(n), "log2_n": log2(n)},
     )
     agg["completed_mean"] = agg.pop("valid_fraction_mean")
-    rows.append(agg | {"setting": "dynamic-mis/adaptive-join-mis (valid_fraction in 'completed_mean')"})
+    rows.append(
+        agg | {"setting": "dynamic-mis/adaptive-join-mis (valid_fraction in 'completed_mean')"}
+    )
     return rows
 
 

@@ -36,7 +36,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Mapping, Optional
 
 from repro.errors import ConfigurationError
-from repro.types import Assignment, NodeId, Value
+from repro.types import NodeId, Value
 from repro.problems.packing_covering import ProblemPair
 from repro.runtime.algorithm import AlgorithmSetup, DistributedAlgorithm
 from repro.runtime.messages import Message

@@ -56,6 +56,8 @@ from repro.scenarios.executor import (
     run_scenario_seed,
     sweep,
 )
+from repro.scenarios.store import ResultsStore, StoreEntry, canonical_json, content_key
+from repro.scenarios.configs import load_config, validate_config, validate_spec
 
 # Populate the registries with every built-in component (import side effects).
 from repro.scenarios import components as _components  # noqa: E402,F401
@@ -80,4 +82,11 @@ __all__ = [
     "run_scenario",
     "run_scenario_seed",
     "sweep",
+    "ResultsStore",
+    "StoreEntry",
+    "canonical_json",
+    "content_key",
+    "load_config",
+    "validate_config",
+    "validate_spec",
 ]

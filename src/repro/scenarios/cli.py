@@ -1,0 +1,396 @@
+"""The ``repro`` command line: config-driven experiment pipeline.
+
+Every workload this repository reports on is a committed config file under
+``configs/``; the CLI executes those configs through the scenario registries
+and the parallel batch executor, persists the resulting rows in the
+content-addressed results store (``results/``), and renders tables *from the
+stored rows* — the store, not the process that happened to compute them, is
+the source of truth.
+
+Subcommands::
+
+    repro run configs/scenarios/quickstart-coloring.json
+    repro sweep configs/sweeps/churn-rate.json --parallel
+    repro experiments --all            # regenerate every E1–E13 table
+    repro experiments e01 e07 --smoke  # CI-sized parameter sets
+    repro bench --all                  # benchmark-scale runs with timings
+    repro validate                     # check every committed config
+    repro diff results /tmp/fresh      # exit 1 on any row drift
+
+``repro diff`` is the drift gate CI builds on: regenerate the smoke tables
+into a scratch store, diff against the committed fixtures, and a non-zero
+exit code fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.version import __version__
+from repro.analysis.report import format_table
+from repro.scenarios.configs import (
+    ExperimentConfig,
+    ScenarioConfig,
+    SweepConfig,
+    load_config,
+    load_experiment_configs,
+    validate_config,
+)
+from repro.scenarios.executor import run_scenario, sweep
+from repro.scenarios.registry import available
+from repro.scenarios.store import ResultsStore, StoreEntry, diff_stores
+
+__all__ = ["main"]
+
+#: Default locations, relative to the invocation directory (the repo root).
+DEFAULT_CONFIGS_DIR = Path("configs")
+DEFAULT_STORE_DIR = Path("results")
+
+#: Store kind each experiment scale writes under.
+_SCALE_KINDS = {"full": "experiments", "bench": "bench", "smoke": "smoke"}
+
+
+def _print(message: str = "") -> None:
+    print(message)
+
+
+def _fail(message: str) -> int:
+    print(message, file=sys.stderr)
+    return 1
+
+
+def _validate_or_fail(config) -> int:
+    problems = validate_config(config)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _emit_entry(entry: StoreEntry, *, title: str, columns=None, status: str = "") -> str:
+    """Render a table from a *stored* entry (rows read back from disk)."""
+    table = format_table(list(entry.rows), title=title, columns=columns)
+    _print(table.rstrip("\n"))
+    if entry.path is not None and status:
+        _print(f"[{status}: {entry.path}]")
+    _print()
+    return table
+
+
+# ---------------------------------------------------------------------------
+# run / sweep
+# ---------------------------------------------------------------------------
+
+
+#: The subcommand that executes each config kind (for wrong-kind errors).
+_KIND_COMMANDS = {"scenario": "run", "sweep": "sweep", "experiment": "experiments"}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = load_config(args.config)
+    if not isinstance(config, ScenarioConfig):
+        return _fail(
+            f"{args.config} is a {config.kind} config; "
+            f"use 'repro {_KIND_COMMANDS[config.kind]}'"
+        )
+    code = _validate_or_fail(config)
+    if code:
+        return code
+    result = run_scenario(config.spec, parallel=args.parallel)
+    rows = [{"seed": float(seed), **row} for seed, row in zip(config.spec.seeds, result.rows)]
+    key = {"kind": "scenario", "spec": config.spec.to_dict()}
+    return _store_and_emit(args, "scenarios", config.label, key, rows, title=config.label)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = load_config(args.config)
+    if not isinstance(config, SweepConfig):
+        return _fail(
+            f"{args.config} is a {config.kind} config; "
+            f"use 'repro {_KIND_COMMANDS[config.kind]}'"
+        )
+    code = _validate_or_fail(config)
+    if code:
+        return code
+    results = sweep(config.spec, over=config.over, parallel=args.parallel)
+    rows: List[Dict[str, Any]] = []
+    for point in results:
+        for seed, row in zip(point.spec.seeds, point.rows):
+            rows.append({**dict(point.overrides), "seed": float(seed), **row})
+    key = {"kind": "sweep", "spec": config.spec.to_dict(), "over": dict(config.over)}
+    return _store_and_emit(args, "sweeps", config.label, key, rows, title=config.label)
+
+
+def _store_and_emit(
+    args: argparse.Namespace,
+    kind: str,
+    label: str,
+    key: Mapping[str, Any],
+    rows: Sequence[Dict[str, Any]],
+    *,
+    title: str,
+) -> int:
+    if args.no_store:
+        _print(format_table(list(rows), title=title).rstrip("\n"))
+        _print()
+        return 0
+    store = ResultsStore(args.store)
+    entry, status = store.put(kind, label, key, rows)
+    # Re-read from disk: the table is rendered from what was persisted.
+    _emit_entry(store.load(entry.path), title=title, status=status)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# experiments / bench
+# ---------------------------------------------------------------------------
+
+
+def _select_experiments(args: argparse.Namespace) -> Dict[str, ExperimentConfig]:
+    configs = load_experiment_configs(Path(args.configs) / "experiments")
+    if args.all or not args.ids:
+        return configs
+    selected: Dict[str, ExperimentConfig] = {}
+    for experiment_id in args.ids:
+        if experiment_id not in configs:
+            raise ReproError(
+                f"no committed config for experiment {experiment_id!r} "
+                f"(have: {', '.join(sorted(configs))})"
+            )
+        selected[experiment_id] = configs[experiment_id]
+    return selected
+
+
+def _run_experiments(args: argparse.Namespace, *, scale: str, timings: bool) -> int:
+    from repro.analysis.experiments.catalog import run_experiment
+
+    configs = _select_experiments(args)
+    code = 0
+    for config in configs.values():
+        problems = validate_config(config)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            code = 2
+    if code:
+        return code
+
+    store = ResultsStore(args.store)
+    tables: List[str] = []
+    summary: List[Dict[str, Any]] = []
+    for experiment_id, config in sorted(configs.items()):
+        params = config.params_for(scale)
+        started = time.perf_counter()
+        rows = run_experiment(experiment_id, params, parallel=not args.serial)
+        elapsed = time.perf_counter() - started
+        key = {"experiment": experiment_id, "scale": scale, "params": params}
+        entry, status = store.put(_SCALE_KINDS[scale], experiment_id, key, rows)
+        stored = store.load(entry.path)
+        title = f"{config.title}  [{scale}]"
+        tables.append(_emit_entry(stored, title=title, columns=config.columns, status=status))
+        summary.append(
+            {
+                "experiment": experiment_id,
+                "rows": float(len(stored.rows)),
+                "status": status,
+                "seconds": round(elapsed, 2),
+            }
+        )
+    if timings and summary:
+        _print(format_table(summary, title=f"{len(summary)} experiments ({scale} scale)").rstrip())
+        _print()
+    if args.tables:
+        Path(args.tables).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.tables).write_text("\n".join(tables), encoding="utf-8")
+        _print(f"tables written to {args.tables}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.list:
+        configs = load_experiment_configs(Path(args.configs) / "experiments")
+        listing = [
+            {"experiment": experiment_id, "title": config.title}
+            for experiment_id, config in sorted(configs.items())
+        ]
+        _print(format_table(listing, title="committed experiment configs").rstrip())
+        return 0
+    scale = "smoke" if args.smoke else "full"
+    return _run_experiments(args, scale=scale, timings=False)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    scale = "smoke" if args.smoke else "bench"
+    return _run_experiments(args, scale=scale, timings=True)
+
+
+# ---------------------------------------------------------------------------
+# validate / diff
+# ---------------------------------------------------------------------------
+
+
+def _iter_config_paths(configs_dir: Path) -> List[Path]:
+    if not configs_dir.is_dir():
+        raise ReproError(f"config directory {configs_dir} does not exist")
+    return sorted(p for p in configs_dir.rglob("*.json") if p.is_file())
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.configs_or_dirs] or _iter_config_paths(Path(args.configs))
+    expanded: List[Path] = []
+    for path in paths:
+        expanded.extend(_iter_config_paths(path) if path.is_dir() else [path])
+    if not expanded:
+        return _fail("no config files found")
+    failures = 0
+    for path in expanded:
+        try:
+            config = load_config(path)
+            problems = validate_config(config)
+        except ReproError as exc:
+            problems = [str(exc)]
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            _print(f"ok: {path}")
+    if failures:
+        return _fail(f"{failures} of {len(expanded)} configs failed validation")
+    _print(f"all {len(expanded)} configs valid")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    for role, root in (("reference", args.reference), ("candidate", args.candidate)):
+        # A missing store must not read as "no drift" — that would turn a
+        # mispointed CI gate into a silent pass.
+        if not Path(root).is_dir():
+            return _fail(f"{role} store {root} does not exist")
+    reference, candidate = ResultsStore(args.reference), ResultsStore(args.candidate)
+    diff = diff_stores(reference, candidate, kind=args.kind)
+    _print(diff.describe())
+    return 0 if diff.clean else 1
+
+
+def _cmd_components(_args: argparse.Namespace) -> int:
+    for family, docs in available(docs=True).items():
+        rows = [{"name": name, "description": doc} for name, doc in docs.items()]
+        _print(format_table(rows, title=family).rstrip())
+        _print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=str(DEFAULT_STORE_DIR),
+        help=f"results store directory (default: {DEFAULT_STORE_DIR})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Config-driven experiment pipeline for the dynamic-network reproduction.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one committed ScenarioSpec config")
+    run.add_argument("config", help="path to a scenario config (JSON)")
+    run.add_argument("--parallel", action="store_true", help="fan seeds out over cores")
+    run.add_argument("--no-store", action="store_true", help="print only, skip the results store")
+    _add_store_options(run)
+    run.set_defaults(fn=_cmd_run)
+
+    sweep_cmd = sub.add_parser("sweep", help="run a committed spec + override-grid config")
+    sweep_cmd.add_argument("config", help="path to a sweep config (JSON)")
+    sweep_cmd.add_argument("--parallel", action="store_true", help="fan units out over cores")
+    sweep_cmd.add_argument(
+        "--no-store", action="store_true", help="print only, skip the results store"
+    )
+    _add_store_options(sweep_cmd)
+    sweep_cmd.set_defaults(fn=_cmd_sweep)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate E1–E13 tables from committed configs"
+    )
+    experiments.add_argument("ids", nargs="*", help="experiment ids (e01 … e13)")
+    experiments.add_argument("--all", action="store_true", help="run every committed experiment")
+    experiments.add_argument(
+        "--smoke", action="store_true", help="use the CI-sized smoke parameter sets"
+    )
+    experiments.add_argument("--list", action="store_true", help="list committed experiments")
+    experiments.add_argument("--serial", action="store_true", help="disable the process pool")
+    experiments.add_argument("--tables", help="also write all tables to this file")
+    experiments.add_argument(
+        "--configs",
+        default=str(DEFAULT_CONFIGS_DIR),
+        help=f"config tree root (default: {DEFAULT_CONFIGS_DIR})",
+    )
+    _add_store_options(experiments)
+    experiments.set_defaults(fn=_cmd_experiments)
+
+    bench = sub.add_parser("bench", help="benchmark-scale experiment runs with wall times")
+    bench.add_argument("ids", nargs="*", help="experiment ids (e01 … e13)")
+    bench.add_argument("--all", action="store_true", help="run every committed experiment")
+    bench.add_argument("--smoke", action="store_true", help="smoke-sized dry run of the harness")
+    bench.add_argument("--serial", action="store_true", help="disable the process pool")
+    bench.add_argument("--tables", help="also write all tables to this file")
+    bench.add_argument(
+        "--configs",
+        default=str(DEFAULT_CONFIGS_DIR),
+        help=f"config tree root (default: {DEFAULT_CONFIGS_DIR})",
+    )
+    _add_store_options(bench)
+    bench.set_defaults(fn=_cmd_bench)
+
+    validate = sub.add_parser("validate", help="validate committed configs without running them")
+    validate.add_argument(
+        "configs_or_dirs", nargs="*", help="config files or directories (default: configs/)"
+    )
+    validate.add_argument(
+        "--configs",
+        default=str(DEFAULT_CONFIGS_DIR),
+        help=f"config tree root (default: {DEFAULT_CONFIGS_DIR})",
+    )
+    validate.set_defaults(fn=_cmd_validate)
+
+    diff = sub.add_parser("diff", help="compare two results stores; exit 1 on drift")
+    diff.add_argument("reference", help="reference store directory (e.g. the committed results/)")
+    diff.add_argument("candidate", help="candidate store directory (e.g. a fresh regeneration)")
+    diff.add_argument("--kind", help="restrict to one store kind (e.g. smoke)")
+    diff.set_defaults(fn=_cmd_diff)
+
+    components = sub.add_parser("components", help="list every registered scenario component")
+    components.set_defaults(fn=_cmd_components)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro`` / ``python -m repro``; returns the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        return _fail(f"error: {exc}")
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -258,7 +258,9 @@ def _adversary_targeted_coloring(ctx, *, attacks_per_round: int = 2, lifetime="2
 
 
 @ADVERSARIES.register("targeted-mis")
-def _adversary_targeted_mis(ctx, *, mode: str = "cut_notification", attacks_per_round: int = 4, lifetime=2):
+def _adversary_targeted_mis(
+    ctx, *, mode: str = "cut_notification", attacks_per_round: int = 4, lifetime=2
+):
     """Adaptive attacker cutting MIS notifications or joining MIS nodes."""
     stream_label = {"cut_notification": "cut", "join_mis": "join"}.get(mode, mode)
     return TargetedMisAdversary(
@@ -271,7 +273,9 @@ def _adversary_targeted_mis(ctx, *, mode: str = "cut_notification", attacks_per_
 
 
 @ADVERSARIES.register("locally-static")
-def _adversary_locally_static(ctx, *, flip_prob: float = 0.05, protected_radius: int = 3, center=None):
+def _adversary_locally_static(
+    ctx, *, flip_prob: float = 0.05, protected_radius: int = 3, center=None
+):
     """Churns everything outside a protected ball whose incident edges stay frozen."""
     if center is None:
         center = max(ctx.base.nodes, key=lambda v: ctx.base.degree(v))
@@ -295,7 +299,9 @@ def _adversary_freeze_after(ctx, *, inner, freeze_round):
 
 
 @ADVERSARIES.register("mobility")
-def _adversary_mobility(ctx, *, radius: float = 0.18, speed: float = 0.02, pause_probability: float = 0.0):
+def _adversary_mobility(
+    ctx, *, radius: float = 0.18, speed: float = 0.02, pause_probability: float = 0.0
+):
     """Random-waypoint mobility: the geometric graph of nodes moving in the unit square."""
     mobility = RandomWaypointMobility(
         ctx.n,

@@ -24,7 +24,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pickle import PicklingError
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,7 +32,6 @@ from repro.errors import ConfigurationError, RegistryError
 from repro.utils.rng import RngFactory
 from repro.analysis.sweep import Replication, aggregate_rows
 from repro.runtime.simulator import Simulator
-from repro.core.windows import default_window
 from repro.scenarios.registry import (
     ADVERSARIES,
     ALGORITHMS,

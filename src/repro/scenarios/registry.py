@@ -34,12 +34,14 @@ The built-in components are registered in
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict, Iterator, Optional, Tuple, TypeVar
 
 from repro.errors import RegistryError
 
 __all__ = [
     "Registry",
+    "suggestion_hint",
     "TOPOLOGIES",
     "ADVERSARIES",
     "ALGORITHMS",
@@ -52,6 +54,17 @@ __all__ = [
 ]
 
 T = TypeVar("T")
+
+
+def suggestion_hint(name: object, candidates) -> str:
+    """A ``"; did you mean …?"`` suffix for unknown-name errors ("" if no match).
+
+    The single source of truth for near-miss suggestions: registry lookups,
+    config validation and the experiment catalog all build their messages
+    through this helper.
+    """
+    suggestions = difflib.get_close_matches(str(name), list(candidates), n=3, cutoff=0.4)
+    return f"; did you mean {', '.join(suggestions)}?" if suggestions else ""
 
 
 class Registry:
@@ -118,13 +131,21 @@ class Registry:
         self._docs.pop(name, None)
 
     def get(self, name: str) -> Callable:
-        """Look up the factory registered under ``name``."""
+        """Look up the factory registered under ``name``.
+
+        Unknown names raise :class:`RegistryError` with near-miss suggestions
+        (``"did you mean …?"``) alongside the full list of registered names.
+        """
         try:
             return self._entries[name]
         except KeyError:
             raise RegistryError(
-                f"unknown {self._kind} {name!r}; available: {list(self.available())}"
+                f"unknown {self._kind} {name!r}{self._hint(name)}; "
+                f"available: {list(self.available())}"
             ) from None
+
+    def _hint(self, name: str) -> str:
+        return suggestion_hint(name, self.available())
 
     def available(self) -> Tuple[str, ...]:
         """All registered names, sorted."""
@@ -134,7 +155,8 @@ class Registry:
         """The one-line description of component ``name`` ("" if undocumented)."""
         if name not in self._entries:
             raise RegistryError(
-                f"unknown {self._kind} {name!r}; available: {list(self.available())}"
+                f"unknown {self._kind} {name!r}{self._hint(name)}; "
+                f"available: {list(self.available())}"
             )
         return self._docs.get(name, "")
 

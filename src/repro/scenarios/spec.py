@@ -21,7 +21,7 @@ import json
 import math
 import re
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 
@@ -205,7 +205,9 @@ class ScenarioSpec:
         if self.window is not None and (not isinstance(self.window, int) or self.window < 1):
             raise ConfigurationError(f"window must be a positive integer, got {self.window!r}")
         if self.window_scale is not None:
-            if isinstance(self.window_scale, bool) or not isinstance(self.window_scale, (int, float)):
+            if isinstance(self.window_scale, bool) or not isinstance(
+                self.window_scale, (int, float)
+            ):
                 raise ConfigurationError(
                     f"window_scale must be a number, got {self.window_scale!r}"
                 )

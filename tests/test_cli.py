@@ -1,0 +1,222 @@
+"""The ``repro`` CLI: run/sweep/experiments/validate/diff, and the drift gate.
+
+The drift-gate tests mirror the CI ``config-drift`` job exactly: regenerate
+smoke-scale rows from the committed configs into a scratch store, ``repro
+diff`` it against the committed fixtures, and assert the exit code flips to 1
+when a fixture is mutated.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.analysis.experiments import experiment_e04_tdynamic_coloring
+from repro.scenarios.cli import main
+from repro.scenarios.configs import load_config
+from repro.scenarios.store import ResultsStore, canonical_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CONFIGS_DIR = REPO_ROOT / "configs"
+COMMITTED_RESULTS = REPO_ROOT / "results"
+
+SCENARIO_CONFIG = {
+    "kind": "scenario",
+    "spec": {
+        "name": "tiny",
+        "n": 16,
+        "algorithm": "dynamic-coloring",
+        "adversary": {"name": "flip-churn", "params": {"flip_prob": 0.01}},
+        "rounds": "1*T1",
+        "seeds": [0, 1],
+        "metrics": [{"name": "validity", "params": {"problem": "coloring"}}],
+    },
+}
+
+
+def write_config(tmp_path, payload, name="config.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def experiments_cmd(*ids, store, extra=()):
+    return [
+        "experiments",
+        *ids,
+        "--smoke",
+        "--serial",
+        "--configs",
+        str(CONFIGS_DIR),
+        "--store",
+        str(store),
+        *extra,
+    ]
+
+
+class TestRun:
+    def test_runs_and_stores_a_scenario_config(self, tmp_path, capsys):
+        config = write_config(tmp_path, SCENARIO_CONFIG)
+        assert main(["run", str(config), "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and "valid_fraction" in out
+        entries = list(ResultsStore(tmp_path / "store").entries("scenarios"))
+        assert len(entries) == 1
+        assert entries[0].label == "tiny"
+        assert len(entries[0].rows) == 2  # one row per seed
+        assert entries[0].rows[0]["seed"] == 0.0
+
+    def test_no_store_prints_without_writing(self, tmp_path, capsys):
+        config = write_config(tmp_path, SCENARIO_CONFIG)
+        assert main(["run", str(config), "--no-store", "--store", str(tmp_path / "s")]) == 0
+        assert "valid_fraction" in capsys.readouterr().out
+        assert not (tmp_path / "s").exists()
+
+    def test_typo_fails_validation_with_suggestion(self, tmp_path, capsys):
+        bad = json.loads(json.dumps(SCENARIO_CONFIG))
+        bad["spec"]["algorithm"] = "dynamic-colorng"
+        config = write_config(tmp_path, bad)
+        assert main(["run", str(config), "--store", str(tmp_path / "store")]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "dynamic-coloring" in err
+
+    def test_wrong_config_kind_is_rejected(self, tmp_path, capsys):
+        config = write_config(
+            tmp_path,
+            {"kind": "sweep", "spec": SCENARIO_CONFIG["spec"], "over": {"n": [8]}},
+        )
+        assert main(["run", str(config)]) == 1
+        assert "use 'repro sweep'" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_runs_a_sweep_config(self, tmp_path, capsys):
+        config = write_config(
+            tmp_path,
+            {
+                "kind": "sweep",
+                "spec": SCENARIO_CONFIG["spec"],
+                "over": {"adversary.params.flip_prob": [0.0, 0.05]},
+            },
+        )
+        assert main(["sweep", str(config), "--store", str(tmp_path / "store")]) == 0
+        entries = list(ResultsStore(tmp_path / "store").entries("sweeps"))
+        assert len(entries) == 1
+        # 2 grid points x 2 seeds, each row carrying its overrides.
+        assert len(entries[0].rows) == 4
+        assert entries[0].rows[0]["adversary.params.flip_prob"] == 0.0
+
+
+class TestValidate:
+    def test_committed_configs_are_valid(self, capsys):
+        assert main(["validate", str(CONFIGS_DIR)]) == 0
+        assert "configs valid" in capsys.readouterr().out
+
+    def test_invalid_config_fails(self, tmp_path, capsys):
+        bad = json.loads(json.dumps(SCENARIO_CONFIG))
+        bad["spec"]["adversary"] = {"name": "flip-churnn", "params": {}}
+        write_config(tmp_path, bad)
+        assert main(["validate", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "flip-churn" in err and "did you mean" in err
+
+
+class TestExperiments:
+    def test_smoke_run_stores_and_reruns_unchanged(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(experiments_cmd("e04", store=store)) == 0
+        assert "[created:" in capsys.readouterr().out
+        assert main(experiments_cmd("e04", store=store)) == 0
+        assert "[unchanged:" in capsys.readouterr().out  # idempotent rerun
+
+    def test_rows_byte_identical_to_direct_entry_point(self, tmp_path):
+        store = tmp_path / "store"
+        assert main(experiments_cmd("e04", store=store)) == 0
+        (entry,) = ResultsStore(store).entries("smoke")
+        config = load_config(CONFIGS_DIR / "experiments" / "e04.json")
+        direct = experiment_e04_tdynamic_coloring(**config.params_for("smoke"))
+        assert canonical_json([dict(r) for r in entry.rows]) == canonical_json(direct)
+
+    def test_unknown_id_fails(self, tmp_path, capsys):
+        assert main(experiments_cmd("e99", store=tmp_path)) == 1
+        assert "no committed config" in capsys.readouterr().err
+
+    def test_list_shows_committed_configs(self, capsys):
+        assert main(["experiments", "--list", "--configs", str(CONFIGS_DIR)]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("e01", "e07", "e13"):
+            assert experiment_id in out
+
+    def test_tables_file_written(self, tmp_path):
+        tables = tmp_path / "tables.txt"
+        cmd = experiments_cmd("e04", store=tmp_path / "s", extra=("--tables", str(tables)))
+        assert main(cmd) == 0
+        assert "E4" in tables.read_text()
+
+
+class TestBench:
+    def test_smoke_bench_reports_timings(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "bench",
+                    "e04",
+                    "--smoke",
+                    "--serial",
+                    "--configs",
+                    str(CONFIGS_DIR),
+                    "--store",
+                    str(tmp_path / "store"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "seconds" in out
+        assert list(ResultsStore(tmp_path / "store").entries("smoke"))
+
+
+class TestDriftGate:
+    """The config-drift CI job, end to end, against the committed fixtures."""
+
+    def test_committed_smoke_fixture_matches_regeneration(self, tmp_path):
+        store = tmp_path / "fresh"
+        assert main(experiments_cmd("e04", store=store)) == 0
+        (fresh,) = ResultsStore(store).entries("smoke")
+        (committed_path,) = (COMMITTED_RESULTS / "smoke").glob("e04-*.json")
+        committed = ResultsStore.load(committed_path)
+        assert committed.key_hash == fresh.key_hash
+        assert canonical_json([dict(r) for r in committed.rows]) == canonical_json(
+            [dict(r) for r in fresh.rows]
+        )
+
+    def test_diff_gate_passes_then_fails_on_mutated_fixture(self, tmp_path, capsys):
+        fixtures = tmp_path / "fixtures" / "smoke"
+        fixtures.mkdir(parents=True)
+        (committed_path,) = (COMMITTED_RESULTS / "smoke").glob("e04-*.json")
+        shutil.copy(committed_path, fixtures / committed_path.name)
+
+        fresh = tmp_path / "fresh"
+        assert main(experiments_cmd("e04", store=fresh)) == 0
+        assert main(["diff", str(tmp_path / "fixtures"), str(fresh), "--kind", "smoke"]) == 0
+
+        # Mutate one cell of the committed fixture: the gate must now fail.
+        data = json.loads((fixtures / committed_path.name).read_text())
+        column = sorted(data["rows"][0])[0]
+        data["rows"][0][column] = -123.0
+        (fixtures / committed_path.name).write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["diff", str(tmp_path / "fixtures"), str(fresh), "--kind", "smoke"]) == 1
+        assert "rows differ" in capsys.readouterr().out
+
+    def test_diff_refuses_missing_store(self, tmp_path, capsys):
+        (tmp_path / "exists").mkdir()
+        assert main(["diff", str(tmp_path / "nope"), str(tmp_path / "exists")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestComponents:
+    def test_lists_every_registry_family(self, capsys):
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        for family in ("topologies", "adversaries", "algorithms", "metrics"):
+            assert family in out

@@ -1,0 +1,226 @@
+"""Config loading and validation (including the near-miss suggestion bugfix)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, RegistryError
+from repro.analysis.experiments.catalog import EXPERIMENTS, experiment_defaults
+from repro.scenarios import ScenarioSpec, component
+from repro.scenarios.configs import (
+    ExperimentConfig,
+    ScenarioConfig,
+    SweepConfig,
+    load_config,
+    load_experiment_configs,
+    validate_config,
+    validate_spec,
+)
+from repro.scenarios.registry import ALGORITHMS
+from repro.scenarios.store import canonical_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CONFIGS_DIR = REPO_ROOT / "configs"
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadConfig:
+    def test_scenario_config(self, tmp_path):
+        path = write(
+            tmp_path,
+            "scenario.json",
+            {"kind": "scenario", "spec": {"n": 16, "algorithm": "dynamic-coloring"}},
+        )
+        config = load_config(path)
+        assert isinstance(config, ScenarioConfig)
+        assert config.spec.n == 16
+
+    def test_bare_spec_dict_is_a_scenario(self, tmp_path):
+        spec = ScenarioSpec(n=16, algorithm="dmis")
+        path = tmp_path / "bare.json"
+        path.write_text(spec.to_json())
+        config = load_config(path)
+        assert isinstance(config, ScenarioConfig)
+        assert config.spec == spec
+
+    def test_sweep_axis_must_be_a_list(self, tmp_path):
+        for values in ("dmis", 64):
+            path = write(
+                tmp_path,
+                "sweep.json",
+                {
+                    "kind": "sweep",
+                    "spec": {"n": 16, "algorithm": "dmis"},
+                    "over": {"algorithm.name": values},
+                },
+            )
+            with pytest.raises(ConfigurationError, match="must be a JSON list"):
+                load_config(path)
+
+    def test_sweep_config(self, tmp_path):
+        path = write(
+            tmp_path,
+            "sweep.json",
+            {
+                "kind": "sweep",
+                "spec": {"n": 16, "algorithm": "dmis"},
+                "over": {"n": [16, 32]},
+            },
+        )
+        config = load_config(path)
+        assert isinstance(config, SweepConfig)
+        assert config.over == {"n": [16, 32]}
+
+    def test_experiment_config_scale_fallbacks(self, tmp_path):
+        path = write(
+            tmp_path,
+            "experiment.json",
+            {
+                "kind": "experiment",
+                "experiment": "e04",
+                "title": "E4",
+                "params": {"n": 128},
+                "smoke_params": {"n": 24},
+            },
+        )
+        config = load_config(path)
+        assert isinstance(config, ExperimentConfig)
+        assert config.params_for("full") == {"n": 128}
+        assert config.params_for("smoke") == {"n": 24}
+        assert config.params_for("bench") == {"n": 128}  # falls back to full
+        with pytest.raises(ConfigurationError, match="unknown experiment scale"):
+            config.params_for("huge")
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = write(tmp_path, "bad.json", {"kind": "wat"})
+        with pytest.raises(ConfigurationError, match="unknown kind 'wat'"):
+            load_config(path)
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        path = write(
+            tmp_path,
+            "bad.json",
+            {"kind": "scenario", "spec": {"n": 4, "algorithm": "dmis"}, "extra": 1},
+        )
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            load_config(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_config(path)
+
+
+class TestValidateSpec:
+    def test_clean_spec_has_no_problems(self):
+        spec = ScenarioSpec(
+            n=16,
+            algorithm="dynamic-coloring",
+            adversary=component("flip-churn", flip_prob=0.01),
+            metrics=(component("validity", problem="coloring"),),
+        )
+        assert validate_spec(spec) == []
+
+    def test_typo_produces_near_miss_suggestion(self):
+        # The satellite bugfix: a typo must not surface as a lookup error deep
+        # inside the registry, but as a validation message with suggestions.
+        spec = ScenarioSpec(n=16, algorithm="dynamic-colorng")
+        problems = validate_spec(spec)
+        assert len(problems) == 1
+        assert "unknown algorithm 'dynamic-colorng'" in problems[0]
+        assert "did you mean" in problems[0]
+        assert "dynamic-coloring" in problems[0]
+
+    def test_every_component_role_is_checked(self):
+        spec = ScenarioSpec(
+            n=16,
+            algorithm="nope-alg",
+            adversary="nope-adv",
+            topology="nope-topo",
+            wakeup="nope-wake",
+            metrics=("nope-metric",),
+            probe="nope-probe",
+            stop="nope-stop",
+        )
+        problems = validate_spec(spec)
+        assert len(problems) == 7
+
+    def test_registry_get_also_suggests(self):
+        with pytest.raises(RegistryError, match="did you mean.*dynamic-coloring"):
+            ALGORITHMS.get("dynamic-colorng")
+
+
+class TestValidateConfig:
+    def test_sweep_grid_points_are_validated(self, tmp_path):
+        path = write(
+            tmp_path,
+            "sweep.json",
+            {
+                "kind": "sweep",
+                "spec": {"n": 16, "algorithm": "dmis"},
+                "over": {"algorithm.name": ["dmis-typo"]},
+            },
+        )
+        problems = validate_config(load_config(path))
+        assert any("dmis-typo" in p and "did you mean" in p for p in problems)
+
+    def test_experiment_unknown_param_suggests(self, tmp_path):
+        path = write(
+            tmp_path,
+            "experiment.json",
+            {
+                "kind": "experiment",
+                "experiment": "e04",
+                "title": "E4",
+                "params": {"flip_prob": 0.1},
+            },
+        )
+        problems = validate_config(load_config(path))
+        assert len(problems) == 1
+        assert "no parameter 'flip_prob'" in problems[0]
+        assert "flip_probs" in problems[0]
+
+    def test_experiment_unknown_id_suggests(self, tmp_path):
+        path = write(
+            tmp_path,
+            "experiment.json",
+            {"kind": "experiment", "experiment": "e41", "title": "?"},
+        )
+        problems = validate_config(load_config(path))
+        assert any("unknown experiment 'e41'" in p for p in problems)
+
+
+class TestCommittedConfigs:
+    def test_every_experiment_has_a_committed_config(self):
+        configs = load_experiment_configs(CONFIGS_DIR / "experiments")
+        assert sorted(configs) == sorted(EXPERIMENTS)
+
+    def test_all_committed_configs_validate(self):
+        for sub in ("experiments", "scenarios", "sweeps"):
+            for path in sorted((CONFIGS_DIR / sub).glob("*.json")):
+                assert validate_config(load_config(path)) == [], path
+
+    def test_full_params_match_the_entry_point_defaults(self):
+        """`repro experiments --all` must be byte-identical to the in-process
+        entry points: the committed full-scale parameter sets are exactly the
+        experiment functions' defaults, so both paths make the same call."""
+        configs = load_experiment_configs(CONFIGS_DIR / "experiments")
+        for experiment_id, config in configs.items():
+            defaults = experiment_defaults(experiment_id)
+            assert canonical_json(config.params_for("full")) == canonical_json(defaults), (
+                experiment_id
+            )
+
+    def test_bench_and_smoke_params_are_subsets_of_the_signature(self):
+        configs = load_experiment_configs(CONFIGS_DIR / "experiments")
+        for experiment_id, config in configs.items():
+            known = set(experiment_defaults(experiment_id))
+            for scale in ("bench", "smoke"):
+                assert set(config.params_for(scale)) <= known, (experiment_id, scale)

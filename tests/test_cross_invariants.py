@@ -26,7 +26,6 @@ from repro.problems import (
     vertex_cover_problem_pair,
 )
 from repro.problems.mis import mis_assignment_from_set
-from repro.utils.rng import RngFactory
 from repro.algorithms.mis.greedy import greedy_mis
 from repro.algorithms.coloring.greedy import greedy_coloring
 from repro.analysis.experiments.common import base_topology, churn_adversary, log2, static_adversary

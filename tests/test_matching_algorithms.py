@@ -1,6 +1,5 @@
 """Tests of the maximal-matching extension (the §7.1 recipe demonstration)."""
 
-import pytest
 
 from repro.dynamics import generators
 from repro.dynamics.adversaries import ChurnAdversary, StaticAdversary
