@@ -6,6 +6,13 @@ the CI drift gate execute — using the config's benchmark-scale parameter set
 and title.  The seed replications and sweep points inside an experiment are
 independent work units, so they run on the parallel batch executor by default
 — set ``REPRO_BENCH_SERIAL=1`` to force the (row-identical) serial path.
+
+The execution backend is selectable without touching the benchmark modules:
+``REPRO_BENCH_BACKEND`` (``process`` default / ``thread`` /
+``local-cluster``), ``REPRO_BENCH_CHUNK_SIZE`` and ``REPRO_BENCH_WORKERS``
+map onto an :class:`repro.exec.ExecutionPolicy` installed for the duration of
+the run — every backend produces byte-identical rows, so the regenerated
+tables are the same whichever transport computed them.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Dict, List
 
 from repro.analysis.experiments.catalog import run_experiment
 from repro.analysis.report import format_table
+from repro.exec import ExecutionPolicy, use_policy
 from repro.scenarios.configs import ExperimentConfig, load_config
 
 __all__ = ["CONFIGS_DIR", "RESULTS_DIR", "regenerate_from_config"]
@@ -44,11 +52,19 @@ def regenerate_from_config(
     assert isinstance(config, ExperimentConfig)
     params = config.params_for(scale)
     parallel = os.environ.get("REPRO_BENCH_SERIAL") != "1"
-    rows = benchmark.pedantic(
-        lambda: run_experiment(experiment_id, params, parallel=parallel),
-        rounds=1,
-        iterations=1,
+    chunk_size = os.environ.get("REPRO_BENCH_CHUNK_SIZE")
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    policy = ExecutionPolicy(
+        backend=os.environ.get("REPRO_BENCH_BACKEND", "process" if parallel else "serial"),
+        chunk_size=int(chunk_size) if chunk_size else None,
+        max_workers=int(workers) if workers else None,
     )
+
+    def _regenerate() -> List[Dict[str, float]]:
+        with use_policy(policy):
+            return run_experiment(experiment_id, params, parallel=parallel)
+
+    rows = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
     table = format_table(rows, title=config.title, columns=config.columns)
     print()
     print(table)

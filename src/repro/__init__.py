@@ -54,6 +54,7 @@ from repro.problems import (
 )
 from repro.core import Concat, default_window, run_combined
 from repro import scenarios
+from repro.exec import BACKENDS, ExecutionPolicy, use_policy
 from repro.scenarios import (
     ResultsStore,
     ScenarioSpec,
@@ -89,4 +90,7 @@ __all__ = [
     "available",
     "ResultsStore",
     "load_config",
+    "BACKENDS",
+    "ExecutionPolicy",
+    "use_policy",
 ]

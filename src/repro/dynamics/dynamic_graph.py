@@ -90,7 +90,13 @@ class DynamicGraph:
         """The index of the most recently recorded round (0 if none)."""
         return len(self._entries)
 
-    def _push_windows(self, topology: Topology) -> Dict[int, WindowSnapshot]:
+    def _push_windows(
+        self, topology: Topology, delta: Optional[TopologyDelta] = None
+    ) -> Dict[int, WindowSnapshot]:
+        if delta is not None:
+            # Delta-aware push: the window updates its union/intersection
+            # sets in O(#changes) instead of re-scanning the new topology.
+            return {T: window.push(delta, topology) for T, window in self._windows.items()}
         return {T: window.push(topology) for T, window in self._windows.items()}
 
     def append(self, topology: Topology) -> Dict[int, WindowSnapshot]:
@@ -145,7 +151,7 @@ class DynamicGraph:
         else:
             self._entries.append(delta)
         self._latest = topology
-        return self._push_windows(topology)
+        return self._push_windows(topology, delta)
 
     def attach_window(self, T: int) -> SlidingWindow:
         """Attach (or return the existing) incremental window of size ``T``.

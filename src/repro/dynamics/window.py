@@ -9,9 +9,26 @@ paper defines
   edges present in **at least one** round of the window (over the same node
   set ``V^{T∩}_r``).
 
-The :class:`SlidingWindow` maintains both incrementally with per-edge and
-per-node presence counters so a round costs O(#edges changed + #edges in the
-oldest round leaving the window) instead of O(T · m).
+The :class:`SlidingWindow` maintains both **delta-incrementally**: each round
+is described by the :class:`~repro.dynamics.topology.TopologyDelta` from the
+previous round (computed with C-speed set diffs when a full
+:class:`~repro.dynamics.topology.Topology` is pushed instead), and the
+union/intersection sets update in O(#changes) amortised Python work:
+
+* a present item carries the round it last (re)appeared; it *joins* the
+  intersection at the precomputed round where the window start reaches that
+  appearance (a bucket of pending joins per round), and leaves the moment a
+  delta removes it;
+* a removed edge *leaves* the union at the precomputed round where the
+  window start passes its last presence (a bucket of pending expiries per
+  round), and a re-appearance simply cancels the scheduled exit.
+
+Each change therefore costs O(1) bookkeeping when it happens plus O(1) when
+its scheduled transition fires — there is no per-round re-scan of the window
+and no per-round iteration over all window edges.  :meth:`SlidingWindow.advance`
+is the pure O(#changes) update; :meth:`SlidingWindow.push` additionally
+materialises the :class:`WindowSnapshot` (O(window content)) for callers that
+want the graphs of every round.
 
 The window follows the paper's convention for early rounds: before ``T``
 rounds have elapsed the window simply contains every round so far (``r0 =
@@ -22,11 +39,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, FrozenSet, Iterable, Tuple
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.types import Edge, NodeId
-from repro.dynamics.topology import Topology
+from repro.dynamics.topology import Topology, TopologyDelta, empty_topology
 
 __all__ = ["SlidingWindow", "WindowSnapshot"]
 
@@ -55,7 +72,7 @@ class WindowSnapshot:
 
 
 class SlidingWindow:
-    """Maintains ``G^{T∩}_r`` and ``G^{T∪}_r`` incrementally.
+    """Maintains ``G^{T∩}_r`` and ``G^{T∪}_r`` delta-incrementally.
 
     Parameters
     ----------
@@ -64,10 +81,10 @@ class SlidingWindow:
 
     Examples
     --------
-    >>> from repro.dynamics.topology import Topology
+    >>> from repro.dynamics.topology import Topology, TopologyDelta
     >>> w = SlidingWindow(2)
     >>> snap1 = w.push(Topology([0, 1, 2], [(0, 1)]))
-    >>> snap2 = w.push(Topology([0, 1, 2], [(0, 1), (1, 2)]))
+    >>> snap2 = w.push(TopologyDelta(added_edges=[(1, 2)]))  # deltas welcome
     >>> sorted(snap2.intersection.edges)
     [(0, 1)]
     >>> sorted(snap2.union.edges)
@@ -78,10 +95,20 @@ class SlidingWindow:
         if not isinstance(T, int) or T < 1:
             raise ConfigurationError(f"window size T must be an integer >= 1, got {T!r}")
         self._T = T
-        self._history: Deque[Topology] = deque()
-        self._edge_counts: Dict[Edge, int] = {}
-        self._node_counts: Dict[NodeId, int] = {}
         self._round_index = 0
+        self._current: Topology = empty_topology()
+        self._history: Deque[Topology] = deque(maxlen=T)
+        # Presence bookkeeping: round each currently-present item last appeared.
+        self._edge_added_at: Dict[Edge, int] = {}
+        self._node_added_at: Dict[NodeId, int] = {}
+        # Materialised window sets, maintained in O(#changes) amortised.
+        self._union_edges: Set[Edge] = set()
+        self._inter_nodes: Set[NodeId] = set()
+        self._inter_edges: Set[Edge] = set()
+        # Scheduled transitions: round -> items whose window status flips then.
+        self._union_expiry: Dict[Edge, int] = {}
+        self._expiry_buckets: Dict[int, List[Edge]] = {}
+        self._join_buckets: Dict[int, List[Tuple[bool, object, int]]] = {}
 
     # -- properties --------------------------------------------------------
 
@@ -102,52 +129,106 @@ class SlidingWindow:
 
     # -- updates -----------------------------------------------------------
 
-    def push(self, topology: Topology) -> WindowSnapshot:
-        """Append round ``r+1``'s topology and return the updated snapshot."""
-        if len(self._history) == self._T:
-            self._evict(self._history.popleft())
-        self._history.append(topology)
-        for e in topology.edges:
-            self._edge_counts[e] = self._edge_counts.get(e, 0) + 1
-        for v in topology.nodes:
-            self._node_counts[v] = self._node_counts.get(v, 0) + 1
-        self._round_index += 1
-        return self.snapshot()
+    def advance(
+        self,
+        item: Union[Topology, TopologyDelta],
+        topology: Optional[Topology] = None,
+    ) -> None:
+        """Append round ``r+1`` described by ``item``; O(#changes) amortised.
 
-    def _evict(self, topology: Topology) -> None:
-        for e in topology.edges:
-            count = self._edge_counts[e] - 1
-            if count:
-                self._edge_counts[e] = count
+        ``item`` is either the round's full :class:`Topology` (the delta to
+        the previous round is then computed with set diffs) or the
+        :class:`TopologyDelta` from the previous round.  When pushing a delta
+        whose successor topology the caller already materialised (the
+        simulator's situation), pass it as ``topology`` to skip the
+        re-application; the pair is trusted to be exact — hand the window an
+        inconsistent pair and its sets silently desynchronise, exactly like a
+        corrupt delta trace would.
+        """
+        if isinstance(item, TopologyDelta):
+            delta = item
+            new_topology = topology if topology is not None else self._current.apply(delta)
+        elif isinstance(item, Topology):
+            new_topology = item
+            delta = self._current.delta_to(item)
+        else:
+            raise ConfigurationError(
+                f"push/advance expects a Topology or TopologyDelta, got {item!r}"
+            )
+        r = self._round_index + 1
+        T = self._T
+        immediate = r == 1 or T == 1
+
+        for e in delta.removed_edges:
+            self._inter_edges.discard(e)
+            self._edge_added_at.pop(e, None)
+            # The edge stays in the union until the window start passes its
+            # last presence (round r-1): it leaves at round r + T - 1.
+            leave = r + T - 1
+            self._union_expiry[e] = leave
+            self._expiry_buckets.setdefault(leave, []).append(e)
+        for v in delta.removed_nodes:
+            self._inter_nodes.discard(v)
+            self._node_added_at.pop(v, None)
+
+        for v in delta.added_nodes:
+            self._node_added_at[v] = r
+            if immediate:
+                self._inter_nodes.add(v)
             else:
-                del self._edge_counts[e]
-        for v in topology.nodes:
-            count = self._node_counts[v] - 1
-            if count:
-                self._node_counts[v] = count
+                # Joins the intersection when the window start reaches r.
+                self._join_buckets.setdefault(r + T - 1, []).append((False, v, r))
+        for e in delta.added_edges:
+            self._edge_added_at[e] = r
+            self._union_edges.add(e)
+            self._union_expiry.pop(e, None)  # cancel a scheduled union exit
+            if immediate:
+                self._inter_edges.add(e)
             else:
-                del self._node_counts[v]
+                self._join_buckets.setdefault(r + T - 1, []).append((True, e, r))
+
+        # Fire the transitions scheduled for this round.  An item re-removed
+        # or re-added since scheduling is recognised by its bookkeeping entry
+        # (appearance round / expiry round) no longer matching.
+        for is_edge, joined, added_at in self._join_buckets.pop(r, ()):
+            if is_edge:
+                if self._edge_added_at.get(joined) == added_at:
+                    self._inter_edges.add(joined)  # type: ignore[arg-type]
+            elif self._node_added_at.get(joined) == added_at:
+                self._inter_nodes.add(joined)  # type: ignore[arg-type]
+        for e in self._expiry_buckets.pop(r, ()):
+            if self._union_expiry.get(e) == r:
+                self._union_edges.discard(e)
+                del self._union_expiry[e]
+
+        self._history.append(new_topology)  # deque(maxlen=T) evicts the oldest
+        self._current = new_topology
+        self._round_index = r
+
+    def push(
+        self,
+        item: Union[Topology, TopologyDelta],
+        topology: Optional[Topology] = None,
+    ) -> WindowSnapshot:
+        """:meth:`advance` plus a materialised :class:`WindowSnapshot`.
+
+        The update itself is O(#changes); building the snapshot's topologies
+        costs O(window content).  Hot paths that only need the maintained
+        sets (:meth:`union_edges`, :meth:`intersection_nodes`, …) should call
+        :meth:`advance` and query directly.
+        """
+        self.advance(item, topology)
+        return self.snapshot()
 
     # -- queries -----------------------------------------------------------
 
     def intersection_nodes(self) -> FrozenSet[NodeId]:
         """``V^{T∩}_r``: nodes awake in every round of the window."""
-        length = len(self._history)
-        if length == 0:
-            return frozenset()
-        return frozenset(v for v, c in self._node_counts.items() if c == length)
+        return frozenset(self._inter_nodes)
 
     def intersection_edges(self) -> FrozenSet[Edge]:
         """``E^{T∩}_r``: edges present in every round of the window."""
-        length = len(self._history)
-        if length == 0:
-            return frozenset()
-        nodes = self.intersection_nodes()
-        return frozenset(
-            e
-            for e, c in self._edge_counts.items()
-            if c == length and e[0] in nodes and e[1] in nodes
-        )
+        return frozenset(self._inter_edges)
 
     def union_edges(self) -> FrozenSet[Edge]:
         """``E^{T∪}_r``: every edge present at least once in the window.
@@ -156,7 +237,7 @@ class SlidingWindow:
         intersection node set — a node's union degree counts every neighbour
         it has seen during the window, including recently woken ones.
         """
-        return frozenset(self._edge_counts)
+        return frozenset(self._union_edges)
 
     def union_edges_all(self) -> FrozenSet[Edge]:
         """Alias of :meth:`union_edges` (kept for readability at call sites)."""
@@ -164,11 +245,11 @@ class SlidingWindow:
 
     def intersection_graph(self) -> Topology:
         """``G^{T∩}_r`` as a topology."""
-        return Topology(self.intersection_nodes(), self.intersection_edges())
+        return Topology(self._inter_nodes, self._inter_edges)
 
     def union_graph(self) -> Topology:
         """``G^{T∪}_r`` as a topology (``V^{T∩}_r`` plus the endpoints of union edges)."""
-        nodes = set(self.intersection_nodes())
+        nodes = set(self._inter_nodes)
         edges = self.union_edges()
         for u, v in edges:
             nodes.add(u)
@@ -177,7 +258,7 @@ class SlidingWindow:
 
     def union_degree(self, v: NodeId) -> int:
         """``d^{∪T}_r(v)``: the number of distinct neighbours ``v`` has seen in the window."""
-        return sum(1 for e in self._edge_counts if e[0] == v or e[1] == v)
+        return sum(1 for e in self._union_edges if e[0] == v or e[1] == v)
 
     def snapshot(self) -> WindowSnapshot:
         """Return an immutable snapshot of the current window graphs."""
@@ -195,9 +276,11 @@ class SlidingWindow:
     # -- bulk construction ---------------------------------------------------
 
     @classmethod
-    def over(cls, topologies: Iterable[Topology], T: int) -> "SlidingWindow":
-        """Build a window by pushing every topology in ``topologies`` in order."""
+    def over(
+        cls, topologies: Iterable[Union[Topology, TopologyDelta]], T: int
+    ) -> "SlidingWindow":
+        """Build a window by pushing every item in ``topologies`` in order."""
         window = cls(T)
-        for topo in topologies:
-            window.push(topo)
+        for item in topologies:
+            window.advance(item)
         return window

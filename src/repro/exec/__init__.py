@@ -1,0 +1,77 @@
+"""``repro.exec`` — the pluggable execution-backend subsystem.
+
+Everything the pipeline runs is a batch of *work units* — pure
+``(spec-dict, seed)`` jobs (:mod:`repro.exec.units`) — dispatched in chunks
+through a registered :class:`~repro.exec.backends.Backend` under an
+:class:`~repro.exec.policy.ExecutionPolicy`, with optional sweep-journal
+checkpointing (:mod:`repro.exec.journal`) and progress reporting
+(:mod:`repro.exec.progress`).  :func:`~repro.exec.runner.run_units` is the
+single entry point; ``run_scenario``/``sweep``, the ``repro`` CLI and the
+benchmarks all execute through it.
+
+>>> from repro.exec import BACKENDS
+>>> sorted(BACKENDS)
+['local-cluster', 'process', 'serial', 'thread']
+
+Backends are a registry like every other scenario component, so a remote or
+cluster-scale runner plugs in without touching the pipeline::
+
+    from repro.exec import BACKENDS
+
+    @BACKENDS.register("my-cluster")
+    def _build(max_workers):
+        return MyClusterBackend(max_workers)
+
+The distributed-ready seam is the JSON wire contract
+(:meth:`~repro.exec.units.Chunk.to_wire` /
+:func:`~repro.exec.units.execute_chunk_wire`): the bundled ``local-cluster``
+backend already speaks nothing else.
+"""
+
+from repro.exec.units import (
+    Chunk,
+    WorkUnit,
+    auto_chunk_size,
+    batch_key,
+    build_chunks,
+    execute_chunk,
+    execute_chunk_wire,
+    execute_unit,
+    units_for_spec,
+)
+from repro.exec.backends import BACKENDS, Backend, BackendError, make_backend
+from repro.exec.policy import (
+    ExecutionPolicy,
+    current_policy,
+    policy_from_mapping,
+    resolve_policy,
+    use_policy,
+)
+from repro.exec.journal import SweepJournal
+from repro.exec.progress import ProgressReporter
+from repro.exec.runner import INTERRUPT_ENV, run_units
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "BackendError",
+    "Chunk",
+    "ExecutionPolicy",
+    "INTERRUPT_ENV",
+    "ProgressReporter",
+    "SweepJournal",
+    "WorkUnit",
+    "auto_chunk_size",
+    "batch_key",
+    "build_chunks",
+    "current_policy",
+    "execute_chunk",
+    "execute_chunk_wire",
+    "execute_unit",
+    "make_backend",
+    "policy_from_mapping",
+    "resolve_policy",
+    "run_units",
+    "units_for_spec",
+    "use_policy",
+]

@@ -1,0 +1,293 @@
+"""Pluggable execution backends: one dispatch contract, four transports.
+
+A :class:`Backend` turns a list of :class:`~repro.exec.units.Chunk` objects
+into per-chunk row lists.  ``submit_batch`` yields ``(chunk_index, rows)``
+pairs *in completion order* — the runner re-assembles batch order from the
+chunk's ``start`` offset, journals finished units immediately (that is what
+makes checkpoint/resume possible) and guarantees byte-identical rows across
+backends because every unit is a pure function of ``(spec, seed)``.
+
+Registered backends (``BACKENDS``):
+
+``serial``
+    In-process loop.  The reference implementation every other backend must
+    match byte for byte; also the automatic fallback when pools cannot spawn.
+``process``
+    ``concurrent.futures.ProcessPoolExecutor`` fan-out with chunk-level
+    dispatch — the default parallel backend for CPU-bound sweeps.
+``thread``
+    ``ThreadPoolExecutor`` fan-out.  The GIL serialises simulation bytecode,
+    so this only helps I/O-heavy units (store replay, trace export), but it
+    needs no picklable state and never forks.
+``local-cluster``
+    A ``spawn``-started multi-process queue backend that speaks *only* the
+    JSON wire form of the work-unit contract
+    (:meth:`~repro.exec.units.Chunk.to_wire` in,
+    ``{"index", "rows"}`` JSON out).  It is deliberately the stepping stone
+    to a remote/distributed runner: replace the two queues with any transport
+    that moves strings and the contract — and the rows — stay identical.
+
+New backends register with the usual decorator::
+
+    from repro.exec import BACKENDS
+
+    @BACKENDS.register("my-cluster")
+    def _build(max_workers):
+        return MyClusterBackend(max_workers)
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue as queue_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.scenarios.registry import Registry
+from repro.exec.units import Chunk, Row, execute_chunk, execute_chunk_wire
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "BackendError",
+    "make_backend",
+]
+
+#: Execution backends by name (the ``--backend`` / ``execution.backend`` axis).
+BACKENDS = Registry("execution backend")
+
+
+class BackendError(ReproError):
+    """A backend failed as a *transport* (worker died, queue broke).
+
+    Unit-level errors (a metric raising, an unknown component) are not
+    wrapped: they re-raise identically from the serial fallback, so genuine
+    bugs keep their real tracebacks.
+    """
+
+
+class Backend:
+    """Base class of the execution backends (see module docstring)."""
+
+    name = "backend"
+
+    def start(self) -> None:
+        """Acquire workers (idempotent; ``submit_batch`` auto-starts)."""
+
+    def close(self) -> None:
+        """Release workers (idempotent)."""
+
+    def submit_batch(self, chunks: Sequence[Chunk]) -> Iterator[Tuple[int, List[Row]]]:
+        """Execute ``chunks``; yield ``(chunk_index, rows)`` as they complete."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "Backend":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+@BACKENDS.register("serial", doc="In-process loop; the byte-identity reference and fallback.")
+class SerialBackend(Backend):
+    name = "serial"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        del max_workers  # one process, by definition
+
+    def submit_batch(self, chunks: Sequence[Chunk]) -> Iterator[Tuple[int, List[Row]]]:
+        for chunk in chunks:
+            yield chunk.index, execute_chunk((chunk.spec_key, chunk.spec_dict, chunk.seeds))
+
+
+class _PoolBackend(Backend):
+    """Shared machinery of the ``concurrent.futures`` backends."""
+
+    _executor_cls = None  # type: ignore[assignment]
+
+    def __init__(self, max_workers: int) -> None:
+        self._max_workers = max(1, int(max_workers))
+        self._pool = None
+
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = self._executor_cls(max_workers=self._max_workers)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def submit_batch(self, chunks: Sequence[Chunk]) -> Iterator[Tuple[int, List[Row]]]:
+        self.start()
+        futures = {
+            self._pool.submit(execute_chunk, (c.spec_key, c.spec_dict, c.seeds)): c.index
+            for c in chunks
+        }
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()
+        finally:
+            for future in pending:
+                future.cancel()
+
+
+@BACKENDS.register("process", doc="Chunked ProcessPoolExecutor fan-out (default parallel backend).")
+class ProcessBackend(_PoolBackend):
+    name = "process"
+    _executor_cls = ProcessPoolExecutor
+
+
+@BACKENDS.register("thread", doc="ThreadPoolExecutor fan-out for I/O-bound units (store replay).")
+class ThreadBackend(_PoolBackend):
+    name = "thread"
+    _executor_cls = ThreadPoolExecutor
+
+
+# ---------------------------------------------------------------------------
+# the local cluster
+# ---------------------------------------------------------------------------
+
+
+def _cluster_worker(task_queue, result_queue) -> None:
+    """Worker loop: JSON request in, JSON response out, ``None`` to stop.
+
+    Runs in a ``spawn``-started process: nothing is inherited from the parent
+    beyond the two queues, exactly the situation of a remote worker that only
+    shares the package installation.
+    """
+    result_queue.put(json.dumps({"ready": True}))
+    while True:
+        text = task_queue.get()
+        if text is None:
+            return
+        try:
+            result_queue.put(execute_chunk_wire(text))
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            result_queue.put(json.dumps({"error": f"{type(exc).__name__}: {exc}"}))
+
+
+@BACKENDS.register(
+    "local-cluster",
+    doc="spawn-safe multi-process queue backend speaking the JSON work-unit contract.",
+)
+class LocalClusterBackend(Backend):
+    """Queue-fed worker processes exchanging only JSON strings.
+
+    The parent never pickles live objects into the workers: requests are
+    :meth:`Chunk.to_wire` strings, responses are ``{"index", "rows"}`` (or
+    ``{"error"}``) strings.  Workers start via the ``spawn`` method, so they
+    import ``repro`` from scratch like any remote process would — ad-hoc
+    components registered only in the parent are invisible to them (the
+    runner's serial fallback covers that case, same as for ``process``).
+    """
+
+    name = "local-cluster"
+
+    #: Seconds between liveness checks while waiting for results.
+    _POLL_SECONDS = 0.5
+
+    def __init__(self, max_workers: int, *, start_method: str = "spawn") -> None:
+        self._max_workers = max(1, int(max_workers))
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: List = []
+        self._task_queue = None
+        self._result_queue = None
+        self._ready = 0
+
+    def start(self) -> None:
+        if self._workers:
+            return
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._ready = 0
+        for _ in range(self._max_workers):
+            process = self._ctx.Process(
+                target=_cluster_worker,
+                args=(self._task_queue, self._result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._workers.append(process)
+
+    def wait_ready(self, timeout: float = 120.0) -> None:
+        """Block until every worker has imported the package and reported in.
+
+        Lets callers (benchmarks, tests) separate worker cold-start from
+        steady-state dispatch throughput.
+        """
+        self.start()
+        waited = 0.0
+        while self._ready < len(self._workers):
+            message = self._take_message(timeout=min(self._POLL_SECONDS, timeout))
+            if message is None:
+                waited += self._POLL_SECONDS
+                if waited >= timeout:
+                    raise BackendError("local-cluster workers did not become ready in time")
+                self._check_alive()
+
+    def close(self) -> None:
+        for _ in self._workers:
+            try:
+                self._task_queue.put(None)
+            except (OSError, ValueError):  # queue already torn down
+                break
+        for process in self._workers:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+        self._workers = []
+        self._task_queue = None
+        self._result_queue = None
+        self._ready = 0
+
+    # -- result plumbing ----------------------------------------------------
+
+    def _check_alive(self) -> None:
+        dead = [p for p in self._workers if not p.is_alive()]
+        if dead:
+            raise BackendError(
+                f"{len(dead)} local-cluster worker(s) died "
+                f"(exit codes {[p.exitcode for p in dead]})"
+            )
+
+    def _take_message(self, timeout: float) -> Optional[Dict]:
+        """One decoded message off the result queue (``None`` on timeout)."""
+        try:
+            text = self._result_queue.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+        message = json.loads(text)
+        if message.get("ready"):
+            self._ready += 1
+            return self._take_message(timeout=0.001) or None
+        if "error" in message:
+            raise BackendError(f"local-cluster worker failed: {message['error']}")
+        return message
+
+    def submit_batch(self, chunks: Sequence[Chunk]) -> Iterator[Tuple[int, List[Row]]]:
+        self.start()
+        for chunk in chunks:
+            self._task_queue.put(chunk.to_wire())
+        remaining = len(chunks)
+        while remaining:
+            message = self._take_message(timeout=self._POLL_SECONDS)
+            if message is None:
+                self._check_alive()
+                continue
+            remaining -= 1
+            yield int(message["index"]), list(message["rows"])
+
+
+def make_backend(name: str, max_workers: int) -> Backend:
+    """Instantiate the backend registered under ``name``."""
+    return BACKENDS.get(name)(max_workers)

@@ -1,0 +1,136 @@
+"""Sweep journals: append-only checkpoints for killed-run resume.
+
+A :class:`SweepJournal` is an append-only JSONL file recording every
+completed work unit of one batch — its index, its unit key and its result
+row.  The runner appends (and flushes) a line the moment a unit's row comes
+back from a backend, so at any kill point the journal holds exactly the
+completed prefix of work.  A later run of the *same batch* with
+``resume=True`` loads the journal, skips the recorded units and recomputes
+only the rest; because units are pure functions of ``(spec, seed)``, the
+merged rows — and therefore the store entries derived from them — are
+byte-identical to an uninterrupted run.
+
+Journals are keyed by the batch's content hash
+(:func:`~repro.exec.units.batch_key`): any change to the specs, the grid or
+the seed list changes the hash and maps to a fresh journal, so a resume can
+never mix rows from a different workload.  Rows cross the journal as JSON;
+round-tripping floats through ``repr`` is exact, which is what keeps resumed
+store entries byte-for-byte equal.
+
+On successful completion the journal file is deleted — it is a checkpoint,
+not an archive; the results store is the archive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, TextIO
+
+from repro.exec.units import Row, WorkUnit, batch_key
+
+__all__ = ["JOURNAL_FORMAT", "SweepJournal"]
+
+#: Bumped whenever the journal line layout changes incompatibly.
+JOURNAL_FORMAT = "repro-journal/1"
+
+
+class SweepJournal:
+    """Append-only completion record of one batch of work units."""
+
+    def __init__(self, path: Path, units: Sequence[WorkUnit]) -> None:
+        self.path = Path(path)
+        self._unit_keys = [unit.unit_key for unit in units]
+        self._handle: Optional[TextIO] = None
+
+    @classmethod
+    def for_batch(cls, journal_dir: Path | str, units: Sequence[WorkUnit]) -> "SweepJournal":
+        """The journal for ``units`` under ``journal_dir`` (content-addressed)."""
+        return cls(Path(journal_dir) / f"{batch_key(units)[:24]}.jsonl", units)
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> Dict[int, Row]:
+        """The completed units recorded so far: ``{unit_index: row}``.
+
+        Tolerates a torn final line (a kill mid-write) and ignores entries
+        whose unit key does not match the current batch at that index — a
+        belt-and-braces guard on top of the content-addressed file name.
+        """
+        completed: Dict[int, Row] = {}
+        if not self.path.exists():
+            return completed
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return completed
+        for line_number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write; later lines cannot exist
+            if line_number == 0:
+                if data.get("format") != JOURNAL_FORMAT:
+                    return {}
+                continue
+            index = data.get("i")
+            if (
+                isinstance(index, int)
+                and 0 <= index < len(self._unit_keys)
+                and data.get("u") == self._unit_keys[index]
+            ):
+                completed[index] = data["row"]
+        return completed
+
+    # -- writing -----------------------------------------------------------
+
+    def _open(self, *, fresh: bool) -> TextIO:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            exists = self.path.exists() and not fresh
+            self._handle = self.path.open("a" if exists else "w", encoding="utf-8")
+            if not exists:
+                header = {"format": JOURNAL_FORMAT, "total": len(self._unit_keys)}
+                self._handle.write(json.dumps(header) + "\n")
+                self._handle.flush()
+            elif self.path.stat().st_size and not self.path.read_bytes().endswith(b"\n"):
+                # The previous run was killed mid-write: terminate the torn
+                # fragment so the next record starts on its own line instead
+                # of merging into an unparseable one.
+                self._handle.write("\n")
+                self._handle.flush()
+        return self._handle
+
+    def begin(self, *, resume: bool) -> Dict[int, Row]:
+        """Open for appending; returns previously completed rows.
+
+        Without ``resume`` an existing journal (a stale checkpoint of an
+        interrupted run the caller chose not to continue) is truncated.
+        """
+        completed = self.load() if resume else {}
+        self._open(fresh=not completed)
+        return completed
+
+    def record(self, index: int, row: Row) -> None:
+        """Append one completed unit (flushed immediately — kill-safe)."""
+        handle = self._open(fresh=False)
+        handle.write(
+            json.dumps({"i": index, "u": self._unit_keys[index], "row": row}) + "\n"
+        )
+        handle.flush()
+
+    def complete(self) -> None:
+        """The batch finished: close and delete the checkpoint."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Close the file handle, keeping the checkpoint on disk."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

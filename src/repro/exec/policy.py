@@ -1,0 +1,188 @@
+"""Execution policies: *how* a batch of work units runs.
+
+An :class:`ExecutionPolicy` bundles every execution knob the pipeline
+exposes — backend name, chunk size, worker count, checkpoint/resume and
+progress reporting — separated from *what* runs (the specs).  Policies come
+from three places, in increasing precedence:
+
+1. built-in defaults (serial, auto chunking),
+2. a config file's ``"execution"`` block (see ``configs/README.md``),
+3. CLI flags (``--backend``, ``--chunk-size``, ``--workers``, ``--resume``,
+   ``--progress``).
+
+:func:`use_policy` installs a policy as the *ambient* policy for a code
+region.  ``run_scenario(..., parallel=True)`` deep inside an experiment
+function then picks it up without every call site growing new parameters —
+that is how ``repro experiments --backend local-cluster`` reaches the
+scenario runs of the E1–E13 implementations unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExecutionPolicy",
+    "current_policy",
+    "default_workers",
+    "policy_from_mapping",
+    "resolve_policy",
+    "use_policy",
+]
+
+#: Keys an ``"execution"`` config block may contain.
+_POLICY_KEYS = {"backend", "chunk_size", "max_workers", "resume", "progress"}
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How to execute a batch of work units.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name (``serial`` / ``process`` / ``thread`` /
+        ``local-cluster`` / plugins).
+    chunk_size:
+        Units per dispatch chunk; ``None`` auto-sizes from the batch and
+        worker count (see :func:`~repro.exec.units.auto_chunk_size`).
+    max_workers:
+        Worker count for pooled backends; ``None`` uses the CPU count.  When
+        left at ``None`` on a single-CPU host, pooled CPU-bound backends
+        degrade to ``serial`` (pools cannot beat the serial loop there).
+    resume:
+        Reuse a matching sweep journal's completed units instead of
+        recomputing them.
+    progress:
+        Report rows/sec and ETA to stderr while the batch runs.
+    journal_dir:
+        Directory for sweep journals; ``None`` disables checkpointing.
+    """
+
+    backend: str = "serial"
+    chunk_size: Optional[int] = None
+    max_workers: Optional[int] = None
+    resume: bool = False
+    progress: bool = False
+    journal_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigurationError(f"backend must be a non-empty string, got {self.backend!r}")
+        for field_name in ("chunk_size", "max_workers"):
+            value = getattr(self, field_name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"{field_name} must be a positive integer or null, got {value!r}"
+                )
+
+    def replace(self, **changes: Any) -> "ExecutionPolicy":
+        """Field-level copy-and-update."""
+        return replace(self, **changes)
+
+
+def policy_from_mapping(
+    data: Mapping[str, Any], *, where: str = "execution block"
+) -> ExecutionPolicy:
+    """Build a policy from a config file's ``"execution"`` block.
+
+    Unknown keys and unregistered backend names fail loudly (with near-miss
+    suggestions), matching the rest of the config validation story.
+    """
+    from repro.scenarios.registry import suggestion_hint
+    from repro.exec.backends import BACKENDS
+
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(f"{where} must be a JSON object, got {data!r}")
+    unknown = set(data) - _POLICY_KEYS
+    if unknown:
+        raise ConfigurationError(
+            f"{where} has unknown keys {sorted(unknown)} (accepted: {sorted(_POLICY_KEYS)})"
+        )
+    backend = data.get("backend", "serial")
+    if backend not in BACKENDS:
+        hint = suggestion_hint(backend, BACKENDS.available())
+        raise ConfigurationError(
+            f"{where}: unknown execution backend {backend!r}{hint}; "
+            f"available: {list(BACKENDS.available())}"
+        )
+    for flag in ("resume", "progress"):
+        if flag in data and not isinstance(data[flag], bool):
+            raise ConfigurationError(f"{where}: {flag!r} must be a boolean, got {data[flag]!r}")
+    return ExecutionPolicy(
+        backend=str(backend),
+        chunk_size=data.get("chunk_size"),
+        max_workers=data.get("max_workers"),
+        resume=bool(data.get("resume", False)),
+        progress=bool(data.get("progress", False)),
+    )
+
+
+def default_workers(n_units: int) -> int:
+    """Default worker count: one per CPU, capped by the batch size."""
+    return max(1, min(n_units, os.cpu_count() or 1))
+
+
+# ---------------------------------------------------------------------------
+# the ambient policy
+# ---------------------------------------------------------------------------
+
+_CURRENT: ContextVar[Optional[ExecutionPolicy]] = ContextVar("repro_exec_policy", default=None)
+
+
+def current_policy() -> Optional[ExecutionPolicy]:
+    """The ambient policy installed by :func:`use_policy` (``None`` outside)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_policy(policy: ExecutionPolicy) -> Iterator[ExecutionPolicy]:
+    """Install ``policy`` as the ambient policy for the ``with`` region."""
+    token = _CURRENT.set(policy)
+    try:
+        yield policy
+    finally:
+        _CURRENT.reset(token)
+
+
+def resolve_policy(
+    *,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    execution: Optional[Any] = None,
+) -> ExecutionPolicy:
+    """The policy a ``run_scenario``/``sweep`` call actually runs under.
+
+    Precedence: an explicit ``execution`` argument (policy object, backend
+    name, or config-block mapping) wins; otherwise the ambient policy applies
+    (gated to ``serial`` when ``parallel=False`` — the ``--serial`` escape
+    hatch must win over an ambient parallel backend); otherwise the legacy
+    flags map exactly onto PR-1 behaviour (``parallel=True`` → ``process``).
+    """
+    if execution is not None:
+        if isinstance(execution, ExecutionPolicy):
+            policy = execution
+        elif isinstance(execution, str):
+            policy = ExecutionPolicy(backend=execution)
+        elif isinstance(execution, Mapping):
+            policy = policy_from_mapping(execution)
+        else:
+            raise ConfigurationError(
+                f"execution must be an ExecutionPolicy, backend name or mapping, "
+                f"got {execution!r}"
+            )
+        if max_workers is not None and policy.max_workers is None:
+            policy = policy.replace(max_workers=max_workers)
+        return policy
+    ambient = current_policy()
+    if ambient is not None:
+        return ambient if parallel else ambient.replace(backend="serial")
+    return ExecutionPolicy(backend="process" if parallel else "serial", max_workers=max_workers)

@@ -10,21 +10,32 @@ the source of truth.
 Subcommands::
 
     repro run configs/scenarios/quickstart-coloring.json
-    repro sweep configs/sweeps/churn-rate.json --parallel
+    repro sweep configs/sweeps/churn-rate.json --backend process --progress
+    repro sweep configs/sweeps/churn-rate.json --resume   # continue a killed run
     repro experiments --all            # regenerate every E1–E13 table
     repro experiments e01 e07 --smoke  # CI-sized parameter sets
     repro bench --all                  # benchmark-scale runs with timings
     repro validate                     # check every committed config
     repro diff results /tmp/fresh      # exit 1 on any row drift
+    repro log --kind smoke             # stored entries with provenance
+    repro gc                           # prune entries unreachable from configs
 
 ``repro diff`` is the drift gate CI builds on: regenerate the smoke tables
 into a scratch store, diff against the committed fixtures, and a non-zero
 exit code fails the build.
+
+Execution is controlled per run by ``--backend`` (serial / process / thread /
+local-cluster), ``--chunk-size``, ``--workers``, ``--progress`` and
+``--resume``, or per config by an ``"execution"`` block (CLI flags win); see
+:mod:`repro.exec`.  Store-backed runs keep a sweep journal under
+``<store>/.journals`` so a killed sweep resumes exactly where it stopped.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime as _datetime
+import os
 import sys
 import time
 from pathlib import Path
@@ -33,6 +44,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.errors import ReproError
 from repro.version import __version__
 from repro.analysis.report import format_table
+from repro.exec import BACKENDS, ExecutionPolicy, policy_from_mapping, use_policy
 from repro.scenarios.configs import (
     ExperimentConfig,
     ScenarioConfig,
@@ -46,6 +58,9 @@ from repro.scenarios.registry import available
 from repro.scenarios.store import ResultsStore, StoreEntry, diff_stores
 
 __all__ = ["main"]
+
+#: Where a store keeps its sweep journals (checkpoints of interrupted runs).
+JOURNALS_SUBDIR = ".journals"
 
 #: Default locations, relative to the invocation directory (the repo root).
 DEFAULT_CONFIGS_DIR = Path("configs")
@@ -84,12 +99,71 @@ def _emit_entry(entry: StoreEntry, *, title: str, columns=None, status: str = ""
 
 
 # ---------------------------------------------------------------------------
+# execution policies (CLI flags ⊕ config "execution" block)
+# ---------------------------------------------------------------------------
+
+
+def _build_policy(
+    args: argparse.Namespace,
+    config_execution: Optional[Mapping[str, Any]] = None,
+    *,
+    parallel: bool = False,
+) -> ExecutionPolicy:
+    """The effective policy: defaults < config ``execution`` block < CLI flags.
+
+    ``parallel`` is the legacy ergonomic switch (``--parallel`` / the absence
+    of ``--serial``): it upgrades an otherwise-default ``serial`` backend to
+    ``process``, but never overrides an explicit backend choice.
+    """
+    if config_execution is not None:
+        policy = policy_from_mapping(config_execution, where="'execution' block")
+    else:
+        policy = ExecutionPolicy()
+    if parallel and policy.backend == "serial" and (config_execution or {}).get("backend") is None:
+        policy = policy.replace(backend="process")
+    if getattr(args, "backend", None) is not None:
+        policy = policy.replace(backend=args.backend)
+    if getattr(args, "chunk_size", None) is not None:
+        policy = policy.replace(chunk_size=args.chunk_size)
+    if getattr(args, "workers", None) is not None:
+        policy = policy.replace(max_workers=args.workers)
+    if getattr(args, "resume", False):
+        policy = policy.replace(resume=True)
+    if getattr(args, "progress", False):
+        policy = policy.replace(progress=True)
+    if not getattr(args, "no_store", False):
+        policy = policy.replace(journal_dir=str(Path(args.store) / JOURNALS_SUBDIR))
+    return policy
+
+
+# ---------------------------------------------------------------------------
 # run / sweep
 # ---------------------------------------------------------------------------
 
 
 #: The subcommand that executes each config kind (for wrong-kind errors).
 _KIND_COMMANDS = {"scenario": "run", "sweep": "sweep", "experiment": "experiments"}
+
+
+def _store_target(config, *, scale: Optional[str] = None):
+    """``(store kind, label, content key)`` of a config's store entry.
+
+    The single source of truth shared by the write paths (run / sweep /
+    experiments) and ``repro gc``'s reachability computation — if the key
+    shape ever changes, both sides move together and gc cannot start
+    considering freshly written entries unreachable.
+    """
+    if isinstance(config, ScenarioConfig):
+        return "scenarios", config.label, {"kind": "scenario", "spec": config.spec.to_dict()}
+    if isinstance(config, SweepConfig):
+        key = {"kind": "sweep", "spec": config.spec.to_dict(), "over": dict(config.over)}
+        return "sweeps", config.label, key
+    if isinstance(config, ExperimentConfig):
+        if scale not in _SCALE_KINDS:
+            raise ReproError(f"experiment store targets need a scale, got {scale!r}")
+        key = {"experiment": config.experiment, "scale": scale, "params": config.params_for(scale)}
+        return _SCALE_KINDS[scale], config.experiment, key
+    raise ReproError(f"no store target for {config!r}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -102,10 +176,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     code = _validate_or_fail(config)
     if code:
         return code
-    result = run_scenario(config.spec, parallel=args.parallel)
+    policy = _build_policy(args, config.execution, parallel=args.parallel)
+    result = run_scenario(config.spec, execution=policy)
     rows = [{"seed": float(seed), **row} for seed, row in zip(config.spec.seeds, result.rows)]
-    key = {"kind": "scenario", "spec": config.spec.to_dict()}
-    return _store_and_emit(args, "scenarios", config.label, key, rows, title=config.label)
+    kind, label, key = _store_target(config)
+    return _store_and_emit(args, kind, label, key, rows, title=config.label)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -118,13 +193,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     code = _validate_or_fail(config)
     if code:
         return code
-    results = sweep(config.spec, over=config.over, parallel=args.parallel)
+    policy = _build_policy(args, config.execution, parallel=args.parallel)
+    results = sweep(config.spec, over=config.over, execution=policy)
     rows: List[Dict[str, Any]] = []
     for point in results:
         for seed, row in zip(point.spec.seeds, point.rows):
             rows.append({**dict(point.overrides), "seed": float(seed), **row})
-    key = {"kind": "sweep", "spec": config.spec.to_dict(), "over": dict(config.over)}
-    return _store_and_emit(args, "sweeps", config.label, key, rows, title=config.label)
+    kind, label, key = _store_target(config)
+    return _store_and_emit(args, kind, label, key, rows, title=config.label)
 
 
 def _store_and_emit(
@@ -186,11 +262,13 @@ def _run_experiments(args: argparse.Namespace, *, scale: str, timings: bool) -> 
     summary: List[Dict[str, Any]] = []
     for experiment_id, config in sorted(configs.items()):
         params = config.params_for(scale)
+        policy = _build_policy(args, config.execution, parallel=not args.serial)
         started = time.perf_counter()
-        rows = run_experiment(experiment_id, params, parallel=not args.serial)
+        with use_policy(policy):
+            rows = run_experiment(experiment_id, params, parallel=not args.serial)
         elapsed = time.perf_counter() - started
-        key = {"experiment": experiment_id, "scale": scale, "params": params}
-        entry, status = store.put(_SCALE_KINDS[scale], experiment_id, key, rows)
+        kind, label, key = _store_target(config, scale=scale)
+        entry, status = store.put(kind, label, key, rows)
         stored = store.load(entry.path)
         title = f"{config.title}  [{scale}]"
         tables.append(_emit_entry(stored, title=title, columns=config.columns, status=status))
@@ -288,6 +366,114 @@ def _cmd_components(_args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# gc / log (store housekeeping and provenance)
+# ---------------------------------------------------------------------------
+
+
+def _reachable_entry_paths(store: ResultsStore, configs_dir: Path) -> set:
+    """Every store path a committed config can (re)generate.
+
+    This is the gc root set: an entry not in it belongs to a deleted or
+    edited config (content addressing leaves the old file behind when a
+    config's key changes) and can be pruned.
+
+    A config that fails to load raises: a root set computed from a broken
+    config tree would mark that config's entries unreachable and delete
+    results that may have taken hours to generate.
+    """
+    reachable = set()
+    for path in _iter_config_paths(configs_dir):
+        try:
+            config = load_config(path)
+        except ReproError as exc:
+            raise ReproError(
+                f"cannot compute gc reachability: {exc} "
+                f"(fix or delete the config before collecting garbage)"
+            ) from exc
+        if isinstance(config, ExperimentConfig):
+            for scale in _SCALE_KINDS:
+                kind, label, key = _store_target(config, scale=scale)
+                reachable.add(store.entry_path(kind, label, key))
+        else:
+            kind, label, key = _store_target(config)
+            reachable.add(store.entry_path(kind, label, key))
+    return reachable
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    store_root = Path(args.store)
+    if not store_root.is_dir():
+        return _fail(f"store {store_root} does not exist")
+    store = ResultsStore(store_root)
+    reachable = _reachable_entry_paths(store, Path(args.configs))
+    kept = 0
+    doomed: List[Path] = []
+    for directory in sorted(p for p in store_root.iterdir() if p.is_dir()):
+        if directory.name.startswith("."):
+            continue  # journals and other housekeeping state are not entries
+        for path in sorted(directory.glob("*.json")):
+            if path in reachable:
+                kept += 1
+            else:
+                doomed.append(path)
+    if args.journals:
+        journals = sorted((store_root / JOURNALS_SUBDIR).glob("*.jsonl"))
+        doomed.extend(journals)
+    verb = "would remove" if args.dry_run else "removed"
+    for path in doomed:
+        _print(f"{verb} {path}")
+        if not args.dry_run:
+            path.unlink()
+    _print(
+        f"{verb} {len(doomed)} unreachable entr{'y' if len(doomed) == 1 else 'ies'}, "
+        f"kept {kept} reachable from {args.configs}"
+    )
+    return 0
+
+
+def _cmd_log(args: argparse.Namespace) -> int:
+    store_root = Path(args.store)
+    if not store_root.is_dir():
+        return _fail(f"store {store_root} does not exist")
+    store = ResultsStore(store_root)
+    rows: List[Dict[str, Any]] = []
+    for entry in store.entries(args.kind):
+        experiment = entry.key.get("experiment", "")
+        if args.experiment and experiment != args.experiment:
+            continue
+        if args.label and args.label not in entry.label:
+            continue
+        mtime = ""
+        if entry.path is not None and entry.path.exists():
+            stamp = _datetime.datetime.fromtimestamp(entry.path.stat().st_mtime)
+            mtime = stamp.strftime("%Y-%m-%d %H:%M:%S")
+        rows.append(
+            {
+                "kind": entry.kind,
+                "label": entry.label,
+                "key": entry.key_hash[:12],
+                "rows": len(entry.rows),
+                "version": str(entry.provenance.get("repro_version", "")),
+                "git": str(entry.provenance.get("git_sha") or "")[:10],
+                "written": mtime,
+            }
+        )
+    if not rows:
+        _print("no matching store entries")
+        return 0
+    # Oldest first, so --limit N tails off the N most recently written.
+    rows.sort(key=lambda row: (row["written"], row["kind"], row["label"]))
+    total = len(rows)
+    if args.limit:
+        rows = rows[-args.limit :]
+    title = f"{total} store entr{'y' if total == 1 else 'ies'}"
+    if len(rows) != total:
+        title += f" ({len(rows)} most recent shown)"
+    _print(format_table(rows, title=title))
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
 
@@ -297,6 +483,37 @@ def _add_store_options(parser: argparse.ArgumentParser) -> None:
         "--store",
         default=str(DEFAULT_STORE_DIR),
         help=f"results store directory (default: {DEFAULT_STORE_DIR})",
+    )
+
+
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    """The execution-policy flags shared by every executing subcommand."""
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS.available()),
+        help="execution backend (default: from the config's 'execution' block, else serial)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        metavar="N",
+        help="work units per dispatch chunk (default: auto-sized from the batch)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="worker count for pooled backends (default: CPU count)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse the sweep journal of an interrupted run instead of recomputing",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report units done, rows/sec and ETA on stderr while running",
     )
 
 
@@ -313,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--parallel", action="store_true", help="fan seeds out over cores")
     run.add_argument("--no-store", action="store_true", help="print only, skip the results store")
     _add_store_options(run)
+    _add_execution_options(run)
     run.set_defaults(fn=_cmd_run)
 
     sweep_cmd = sub.add_parser("sweep", help="run a committed spec + override-grid config")
@@ -322,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-store", action="store_true", help="print only, skip the results store"
     )
     _add_store_options(sweep_cmd)
+    _add_execution_options(sweep_cmd)
     sweep_cmd.set_defaults(fn=_cmd_sweep)
 
     experiments = sub.add_parser(
@@ -341,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"config tree root (default: {DEFAULT_CONFIGS_DIR})",
     )
     _add_store_options(experiments)
+    _add_execution_options(experiments)
     experiments.set_defaults(fn=_cmd_experiments)
 
     bench = sub.add_parser("bench", help="benchmark-scale experiment runs with wall times")
@@ -355,6 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"config tree root (default: {DEFAULT_CONFIGS_DIR})",
     )
     _add_store_options(bench)
+    _add_execution_options(bench)
     bench.set_defaults(fn=_cmd_bench)
 
     validate = sub.add_parser("validate", help="validate committed configs without running them")
@@ -377,6 +598,33 @@ def build_parser() -> argparse.ArgumentParser:
     components = sub.add_parser("components", help="list every registered scenario component")
     components.set_defaults(fn=_cmd_components)
 
+    gc = sub.add_parser(
+        "gc", help="prune store entries unreachable from the committed configs"
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true", help="list what would be removed without removing it"
+    )
+    gc.add_argument(
+        "--journals",
+        action="store_true",
+        help="also remove sweep-journal checkpoints of interrupted runs",
+    )
+    gc.add_argument(
+        "--configs",
+        default=str(DEFAULT_CONFIGS_DIR),
+        help=f"config tree root defining reachability (default: {DEFAULT_CONFIGS_DIR})",
+    )
+    _add_store_options(gc)
+    gc.set_defaults(fn=_cmd_gc)
+
+    log = sub.add_parser("log", help="list stored entries with their provenance")
+    log.add_argument("--kind", help="restrict to one store kind (e.g. smoke, sweeps)")
+    log.add_argument("--experiment", help="restrict to one experiment id (e.g. e01)")
+    log.add_argument("--label", help="restrict to labels containing this substring")
+    log.add_argument("--limit", type=int, metavar="N", help="show only the last N entries")
+    _add_store_options(log)
+    log.set_defaults(fn=_cmd_log)
+
     return parser
 
 
@@ -390,6 +638,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _fail(f"error: {exc}")
     except KeyboardInterrupt:
         return 130
+    except BrokenPipeError:
+        # Output truncated by a closed pipe (`repro log | head`): exit
+        # quietly with the conventional 128+SIGPIPE code, keeping the
+        # interpreter from tracebacking on the final stdout flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

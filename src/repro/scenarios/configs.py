@@ -61,6 +61,7 @@ class ScenarioConfig:
 
     spec: ScenarioSpec
     path: Optional[Path] = None
+    execution: Optional[Mapping[str, Any]] = None
 
     kind = "scenario"
 
@@ -76,6 +77,7 @@ class SweepConfig:
     spec: ScenarioSpec
     over: Mapping[str, Sequence[Any]]
     path: Optional[Path] = None
+    execution: Optional[Mapping[str, Any]] = None
 
     kind = "sweep"
 
@@ -95,6 +97,7 @@ class ExperimentConfig:
     smoke_params: Optional[Mapping[str, Any]] = None
     columns: Optional[Tuple[str, ...]] = None
     path: Optional[Path] = None
+    execution: Optional[Mapping[str, Any]] = None
 
     kind = "experiment"
 
@@ -141,16 +144,24 @@ def load_config(path: Union[str, Path]) -> Config:
     if kind is None and "n" in data and "algorithm" in data:
         kind = "scenario"  # a bare ScenarioSpec dict, e.g. spec.to_json() output
         data = {"kind": "scenario", "spec": dict(data)}
+    execution = data.get("execution")
+    if execution is not None and not isinstance(execution, Mapping):
+        raise ConfigurationError(
+            f"config {path}: 'execution' must be a JSON object, got {execution!r}"
+        )
+    execution = None if execution is None else dict(execution)
     if kind == "scenario":
         if "spec" not in data:
             raise ConfigurationError(f"scenario config {path} is missing its 'spec'")
-        _reject_unknown(path, data, {"kind", "spec"})
-        return ScenarioConfig(spec=ScenarioSpec.from_dict(data["spec"]), path=path)
+        _reject_unknown(path, data, {"kind", "spec", "execution"})
+        return ScenarioConfig(
+            spec=ScenarioSpec.from_dict(data["spec"]), path=path, execution=execution
+        )
     if kind == "sweep":
         for required in ("spec", "over"):
             if required not in data:
                 raise ConfigurationError(f"sweep config {path} is missing its {required!r}")
-        _reject_unknown(path, data, {"kind", "spec", "over"})
+        _reject_unknown(path, data, {"kind", "spec", "over", "execution"})
         over = data["over"]
         if not isinstance(over, Mapping) or not over:
             raise ConfigurationError(f"sweep config {path}: 'over' must be a non-empty object")
@@ -166,6 +177,7 @@ def load_config(path: Union[str, Path]) -> Config:
             spec=ScenarioSpec.from_dict(data["spec"]),
             over={str(k): list(v) for k, v in over.items()},
             path=path,
+            execution=execution,
         )
     if kind == "experiment":
         for required in ("experiment", "title"):
@@ -174,7 +186,16 @@ def load_config(path: Union[str, Path]) -> Config:
         _reject_unknown(
             path,
             data,
-            {"kind", "experiment", "title", "params", "bench_params", "smoke_params", "columns"},
+            {
+                "kind",
+                "experiment",
+                "title",
+                "params",
+                "bench_params",
+                "smoke_params",
+                "columns",
+                "execution",
+            },
         )
         columns = data.get("columns")
         return ExperimentConfig(
@@ -185,6 +206,7 @@ def load_config(path: Union[str, Path]) -> Config:
             smoke_params=None if data.get("smoke_params") is None else dict(data["smoke_params"]),
             columns=None if columns is None else tuple(columns),
             path=path,
+            execution=execution,
         )
     raise ConfigurationError(
         f"config {path} has unknown kind {kind!r} (expected scenario, sweep or experiment)"
@@ -257,13 +279,29 @@ def validate_spec(spec: ScenarioSpec) -> List[str]:
     return problems
 
 
+def _validate_execution(config: Config, where: str) -> List[str]:
+    """Problems with a config's optional ``"execution"`` block."""
+    if config.execution is None:
+        return []
+    from repro.exec.policy import policy_from_mapping
+
+    try:
+        policy_from_mapping(config.execution, where="'execution' block")
+    except ConfigurationError as exc:
+        return [f"{where}{exc}"]
+    return []
+
+
 def validate_config(config: Config) -> List[str]:
     """Validate one loaded config; returns problem messages ([] when clean)."""
     where = f"{config.path}: " if config.path is not None else ""
     if isinstance(config, ScenarioConfig):
-        return [where + problem for problem in validate_spec(config.spec)]
+        problems = [where + problem for problem in validate_spec(config.spec)]
+        problems.extend(_validate_execution(config, where))
+        return problems
     if isinstance(config, SweepConfig):
         problems = [where + problem for problem in validate_spec(config.spec)]
+        problems.extend(_validate_execution(config, where))
         for axis, values in config.over.items():
             if not values:
                 problems.append(f"{where}sweep axis {axis!r} has no values")
@@ -281,7 +319,7 @@ def validate_config(config: Config) -> List[str]:
     if isinstance(config, ExperimentConfig):
         from repro.analysis.experiments.catalog import EXPERIMENTS, experiment_defaults
 
-        problems = []
+        problems = _validate_execution(config, where)
         if config.experiment not in EXPERIMENTS:
             hint = suggestion_hint(config.experiment, EXPERIMENTS)
             problems.append(

@@ -1,34 +1,37 @@
-"""Scenario execution: seed replication, sweeps, and the parallel batch engine.
+"""Scenario execution: seed replication, sweeps, and the batch engine.
 
 :func:`run_scenario` turns one :class:`~repro.scenarios.spec.ScenarioSpec`
 into per-seed result rows; :func:`sweep` expands a spec into a grid of
-scenarios via dotted-path overrides and runs them all.  Both accept
-``parallel=True`` to fan the independent work units — one ``(scenario point,
-seed)`` pair each — out across cores with a
-:class:`concurrent.futures.ProcessPoolExecutor`.
+scenarios via dotted-path overrides and runs them all.  Execution is
+delegated to the :mod:`repro.exec` subsystem: the independent work units —
+one ``(scenario point, seed)`` pair each — are dispatched in chunks through
+a pluggable backend (``serial`` / ``process`` / ``thread`` /
+``local-cluster``) selected by an :class:`~repro.exec.policy.ExecutionPolicy`.
+``parallel=True`` remains the ergonomic switch for "fan out over cores"
+(the ``process`` backend); the ``execution=`` parameter — or an ambient
+policy installed with :func:`repro.exec.use_policy`, which is how the CLI's
+``--backend``/``--chunk-size``/``--resume`` flags reach the experiment
+entry points — takes full control.
 
 Determinism is a hard requirement: a work unit is a pure function of
 ``(spec, seed)`` (every random stream derives from the seed through
 :class:`~repro.utils.rng.RngFactory`), units are dispatched and re-assembled
-in a fixed order, and aggregation folds rows in seed order.  The parallel
-path therefore produces *identical* rows to the serial path — byte for byte —
-and falls back to serial execution automatically if worker processes cannot
-be spawned (restricted environments, non-picklable third-party components).
+in a fixed order, and aggregation folds rows in seed order.  Every backend
+therefore produces *identical* rows to the serial path — byte for byte —
+and pooled backends fall back to serial execution automatically if worker
+processes cannot be spawned (restricted environments, non-picklable
+third-party components).
 """
 
 from __future__ import annotations
 
 import itertools
-import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from pickle import PicklingError
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, RegistryError
+from repro.errors import ConfigurationError
 from repro.utils.rng import RngFactory
 from repro.analysis.sweep import Replication, aggregate_rows
 from repro.runtime.simulator import Simulator
@@ -198,43 +201,8 @@ class ScenarioResult:
 
 
 # ---------------------------------------------------------------------------
-# the batch engine
+# the batch engine (dispatch lives in repro.exec)
 # ---------------------------------------------------------------------------
-
-
-def _execute_payload(payload: Tuple[Dict[str, Any], int]) -> Row:
-    """Top-level (hence picklable) worker entry point."""
-    spec_dict, seed = payload
-    return run_scenario_seed(ScenarioSpec.from_dict(spec_dict), seed)
-
-
-def _run_units(
-    payloads: Sequence[Tuple[Dict[str, Any], int]],
-    *,
-    parallel: bool,
-    max_workers: Optional[int],
-) -> List[Row]:
-    """Execute work units, in order, optionally fanned out over processes.
-
-    Results come back in submission order regardless of completion order
-    (``ProcessPoolExecutor.map`` preserves it), which is what makes the
-    parallel path's output identical to the serial path's.
-    """
-    if not parallel or len(payloads) <= 1:
-        return [_execute_payload(p) for p in payloads]
-    workers = max_workers if max_workers is not None else min(len(payloads), os.cpu_count() or 1)
-    if workers <= 1:
-        return [_execute_payload(p) for p in payloads]
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_payload, payloads))
-    except (OSError, PicklingError, PermissionError, ImportError, BrokenProcessPool, RegistryError):
-        # Fall back to the serial path, which computes the identical rows.
-        # Covers restricted environments (no fork/spawn, sandboxed /dev/shm)
-        # and spawn-start workers that re-import the package without the
-        # caller's ad-hoc component registrations (RegistryError): a genuine
-        # unknown name re-raises from the serial path just the same.
-        return [_execute_payload(p) for p in payloads]
 
 
 def run_scenario(
@@ -242,15 +210,21 @@ def run_scenario(
     *,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    execution: Optional[Any] = None,
 ) -> ScenarioResult:
     """Run every seed of ``spec`` and collect the per-seed rows.
 
-    With ``parallel=True`` the seed replications run in worker processes; the
-    result is identical to the serial run (see module docstring).
+    With ``parallel=True`` the seed replications run in worker processes;
+    ``execution`` (an :class:`~repro.exec.policy.ExecutionPolicy`, a backend
+    name, or an ``"execution"`` config mapping) selects the backend, chunking
+    and checkpointing explicitly.  Every execution mode produces rows
+    identical to the serial run (see module docstring).
     """
-    spec_dict = spec.to_dict()
-    payloads = [(spec_dict, seed) for seed in spec.seeds]
-    rows = _run_units(payloads, parallel=parallel, max_workers=max_workers)
+    from repro.exec import resolve_policy, run_units, units_for_spec
+
+    units = units_for_spec(spec)
+    policy = resolve_policy(parallel=parallel, max_workers=max_workers, execution=execution)
+    rows = run_units(units, policy, label=spec.label)
     return ScenarioResult(spec=spec, rows=tuple(rows))
 
 
@@ -260,6 +234,7 @@ def sweep(
     *,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    execution: Optional[Any] = None,
 ) -> List[ScenarioResult]:
     """Run the cartesian grid of ``over`` overrides applied to ``spec``.
 
@@ -273,8 +248,12 @@ def sweep(
 
     Returns one :class:`ScenarioResult` per grid point, in row-major order of
     the ``over`` mapping; every point carries the overrides that produced it.
-    All ``len(grid) × len(seeds)`` work units share one process pool.
+    All ``len(grid) × len(seeds)`` work units run as one batch (one worker
+    pool, one sweep journal, one progress line); see :func:`run_scenario` for
+    the ``execution`` parameter.
     """
+    from repro.exec import resolve_policy, run_units, units_for_spec
+
     if not over:
         raise ConfigurationError("sweep() needs at least one override axis")
     keys = list(over)
@@ -288,15 +267,15 @@ def sweep(
         overrides = dict(zip(keys, combo))
         points.append((overrides, spec.with_overrides(overrides)))
 
-    payloads: List[Tuple[Dict[str, Any], int]] = []
+    units = []
     bounds: List[Tuple[int, int]] = []
     for _, point_spec in points:
-        spec_dict = point_spec.to_dict()
-        start = len(payloads)
-        payloads.extend((spec_dict, seed) for seed in point_spec.seeds)
-        bounds.append((start, len(payloads)))
+        start = len(units)
+        units.extend(units_for_spec(point_spec))
+        bounds.append((start, len(units)))
 
-    rows = _run_units(payloads, parallel=parallel, max_workers=max_workers)
+    policy = resolve_policy(parallel=parallel, max_workers=max_workers, execution=execution)
+    rows = run_units(units, policy, label=spec.label if spec.name else "sweep")
     return [
         ScenarioResult(spec=point_spec, rows=tuple(rows[start:end]), overrides=overrides)
         for (overrides, point_spec), (start, end) in zip(points, bounds)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.dynamics.topology import Topology
+from repro.dynamics.topology import Topology, TopologyDelta
 from repro.dynamics.window import SlidingWindow
 
 
@@ -110,3 +110,104 @@ class TestAgainstBruteForce:
                 expected_intersection &= t.edges
             assert snap.union.edges == frozenset(expected_union)
             assert snap.intersection.edges == frozenset(expected_intersection)
+
+
+def _random_topologies(rng, *, n=8, rounds=16, node_churn=True):
+    """A random topology sequence with edge churn and (optional) node churn."""
+    all_nodes = list(range(n))
+    topologies = []
+    for _ in range(rounds):
+        if node_churn:
+            awake = [v for v in all_nodes if rng.random() < 0.8] or [0]
+        else:
+            awake = all_nodes
+        candidates = [(u, v) for u in awake for v in awake if u < v]
+        mask = rng.random(len(candidates)) < 0.35
+        topologies.append(Topology(awake, [e for e, keep in zip(candidates, mask) if keep]))
+    return topologies
+
+
+def _brute_force(topologies, r, T):
+    """(nodes∩, edges∩, edges∪) of round ``r`` recomputed from scratch."""
+    window = topologies[max(0, r - T) : r]
+    inter_nodes = set(window[0].nodes)
+    inter_edges = set(window[0].edges)
+    union_edges = set()
+    for topo in window:
+        inter_nodes &= topo.nodes
+        inter_edges &= topo.edges
+        union_edges |= topo.edges
+    return inter_nodes, inter_edges, union_edges
+
+
+class TestDeltaPath:
+    """The delta-aware push is equivalent to the snapshot push (satellite)."""
+
+    @pytest.mark.parametrize("T", [1, 2, 3, 5])
+    def test_delta_push_equals_snapshot_push(self, rng_factory, T):
+        rng = rng_factory.stream("window-delta", T)
+        topologies = _random_topologies(rng)
+        by_snapshot = SlidingWindow(T)
+        by_delta = SlidingWindow(T)
+        previous = Topology([], [])
+        for r, topology in enumerate(topologies, start=1):
+            snap_a = by_snapshot.push(topology)
+            snap_b = by_delta.push(previous.delta_to(topology))
+            previous = topology
+            assert snap_a.intersection == snap_b.intersection
+            assert snap_a.union == snap_b.union
+            assert snap_a.window_length == snap_b.window_length
+            expected = _brute_force(topologies, r, T)
+            for window in (by_snapshot, by_delta):
+                assert window.intersection_nodes() == frozenset(expected[0])
+                assert window.intersection_edges() == frozenset(expected[1])
+                assert window.union_edges() == frozenset(expected[2])
+
+    def test_mixed_pushes(self, rng_factory):
+        """Interleaving snapshot and delta pushes keeps the window coherent."""
+        rng = rng_factory.stream("window-mixed")
+        topologies = _random_topologies(rng, rounds=20)
+        T = 3
+        window = SlidingWindow(T)
+        previous = Topology([], [])
+        for r, topology in enumerate(topologies, start=1):
+            if r % 2:
+                window.advance(previous.delta_to(topology), topology)
+            else:
+                window.advance(topology)
+            previous = topology
+            expected = _brute_force(topologies, r, T)
+            assert window.intersection_nodes() == frozenset(expected[0])
+            assert window.intersection_edges() == frozenset(expected[1])
+            assert window.union_edges() == frozenset(expected[2])
+            assert window.history() == tuple(topologies[max(0, r - T) : r])
+
+    def test_push_delta_doctest_shape(self):
+        window = SlidingWindow(2)
+        window.push(Topology([0, 1, 2], [(0, 1)]))
+        snap = window.push(TopologyDelta(added_edges=[(1, 2)]))
+        assert snap.intersection.edges == frozenset({(0, 1)})
+        assert snap.union.edges == frozenset({(0, 1), (1, 2)})
+
+    def test_rejects_non_topology_items(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(2).push(42)
+
+    def test_union_degree_after_deltas(self):
+        window = SlidingWindow(3)
+        window.push(Topology([0, 1, 2, 3], [(0, 1)]))
+        window.push(TopologyDelta(added_edges=[(0, 2)], removed_edges=[(0, 1)]))
+        window.push(TopologyDelta(added_edges=[(0, 3)]))
+        assert window.union_degree(0) == 3
+        window.push(TopologyDelta())  # (0,1)'s last presence (round 1) leaves
+        assert window.union_degree(0) == 2
+
+    def test_over_accepts_deltas(self):
+        items = [
+            Topology([0, 1, 2], [(0, 1)]),
+            TopologyDelta(added_edges=[(1, 2)]),
+            TopologyDelta(removed_edges=[(0, 1)]),
+        ]
+        window = SlidingWindow.over(items, T=2)
+        assert window.union_edges() == frozenset({(0, 1), (1, 2)})
+        assert window.intersection_edges() == frozenset({(1, 2)})
