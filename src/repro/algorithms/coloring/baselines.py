@@ -42,6 +42,13 @@ class RestartColoring(DistributedAlgorithm):
 
     name = "restart-coloring"
 
+    # Audited: NOT eligible for incremental delivery.  ``deliver`` advances a
+    # per-node age counter every round (so it is never a no-op, even on an
+    # unchanged inbox) and ``compose`` wipes the colour when the counter hits
+    # a restart boundary — the message is a function of elapsed time, not of
+    # delivered state.
+    message_stability = "none"
+
     def __init__(self, period: int) -> None:
         super().__init__()
         if period < 2:

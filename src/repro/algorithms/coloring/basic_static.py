@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Set
 
 from repro.types import Color, NodeId, Value
-from repro.runtime.algorithm import DistributedAlgorithm
+from repro.runtime.algorithm import DistributedAlgorithm, VOLATILE
 from repro.runtime.messages import Message
 
 __all__ = ["BasicColoring"]
@@ -37,11 +37,19 @@ class BasicColoring(DistributedAlgorithm):
 
     name = "basic-coloring"
 
+    # Purity contract: a coloured node broadcasts the deterministic
+    # ``(FIXED, c)`` forever; an uncoloured node draws fresh randomness every
+    # round (VOLATILE).  ``deliver`` recomputes the palette purely from the
+    # inbox and the node's own tentative choice, so an unchanged inbox plus
+    # an unchanged message make it a no-op.
+    message_stability = "pure"
+
     def __init__(self) -> None:
         super().__init__()
         self._color: Dict[NodeId, Optional[Color]] = {}
         self._palette: Dict[NodeId, Set[Color]] = {}
         self._tentative: Dict[NodeId, Optional[Color]] = {}
+        self._uncolored_count = 0
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -49,6 +57,8 @@ class BasicColoring(DistributedAlgorithm):
         # Input colours are honoured so the algorithm can also be used to
         # extend an existing partial colouring.
         self._color[v] = self.config.input_value(v)
+        if self._color[v] is None:
+            self._uncolored_count += 1
         self._palette[v] = {1}
         self._tentative[v] = None
 
@@ -60,6 +70,10 @@ class BasicColoring(DistributedAlgorithm):
         choice = self._pick_uniform(v, palette)
         self._tentative[v] = choice
         return (TENTATIVE, choice)
+
+    def compose_fingerprint(self, v: NodeId) -> Message:
+        color = self._color[v]
+        return (FIXED, color) if color is not None else VOLATILE
 
     def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
         fixed: Set[Color] = set()
@@ -78,6 +92,7 @@ class BasicColoring(DistributedAlgorithm):
             choice = self._tentative[v]
             if choice is not None and choice in self._palette[v] and choice not in tentative:
                 self._color[v] = choice
+                self._uncolored_count -= 1
 
     def output(self, v: NodeId) -> Value:
         return self._color.get(v)
@@ -96,5 +111,5 @@ class BasicColoring(DistributedAlgorithm):
         return frozenset(self._palette.get(v, ()))
 
     def metrics(self) -> Mapping[str, float]:
-        uncolored = sum(1 for v in self._awake if self._color.get(v) is None)
-        return {"uncolored": float(uncolored)}
+        # Maintained transition-by-transition so quiescent rounds stay O(#active).
+        return {"uncolored": float(self._uncolored_count)}

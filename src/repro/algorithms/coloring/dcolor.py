@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Set
 from repro.types import Color, NodeId, Value
 from repro.problems.coloring import coloring_problem_pair
 from repro.problems.packing_covering import ProblemPair
+from repro.runtime.algorithm import VOLATILE
 from repro.runtime.messages import Message
 from repro.core.interfaces import DynamicAlgorithm
 
@@ -51,6 +52,13 @@ class DColor(DynamicAlgorithm):
 
     name = "dcolor"
 
+    # Purity contract: a node with a fixed colour broadcasts the
+    # deterministic ``(FIXED, c)`` forever (colours are never retracted,
+    # property A.1); uncoloured nodes draw fresh randomness (VOLATILE).
+    # ``deliver`` only shrinks the live set / palette from the inbox, so an
+    # unchanged inbox plus an unchanged message make it a no-op.
+    message_stability = "pure"
+
     def __init__(self, *, restrict_to_intersection: bool = True) -> None:
         super().__init__()
         self._restrict = restrict_to_intersection
@@ -59,6 +67,7 @@ class DColor(DynamicAlgorithm):
         self._tentative: Dict[NodeId, Optional[Color]] = {}
         self._live: Dict[NodeId, Optional[FrozenSet[NodeId]]] = {}
         self._started: Dict[NodeId, bool] = {}
+        self._uncolored_count = 0
 
     def problem_pair(self) -> ProblemPair:
         return coloring_problem_pair()
@@ -67,6 +76,8 @@ class DColor(DynamicAlgorithm):
 
     def on_wake(self, v: NodeId) -> None:
         self._color[v] = self.config.input_value(v)
+        if self._color[v] is None:
+            self._uncolored_count += 1
         self._palette[v] = set()
         self._tentative[v] = None
         self._live[v] = None
@@ -82,6 +93,12 @@ class DColor(DynamicAlgorithm):
         choice = self._pick_uniform(v, self._palette[v])
         self._tentative[v] = choice
         return (TENTATIVE, choice)
+
+    def compose_fingerprint(self, v: NodeId) -> Message:
+        if not self._started[v]:
+            return VOLATILE  # the start-round broadcast happens exactly once
+        color = self._color[v]
+        return (FIXED, color) if color is not None else VOLATILE
 
     def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
         if not self._started[v]:
@@ -114,6 +131,7 @@ class DColor(DynamicAlgorithm):
             choice = self._tentative[v]
             if choice is not None and choice in self._palette[v] and choice not in tentative:
                 self._color[v] = choice
+                self._uncolored_count -= 1
 
     def _deliver_start(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
         """The start communication round: learn neighbours, initialise the palette."""
@@ -151,5 +169,5 @@ class DColor(DynamicAlgorithm):
         return frozenset() if live is None else live
 
     def metrics(self) -> Mapping[str, float]:
-        uncolored = sum(1 for v in self._awake if self._color.get(v) is None)
-        return {"uncolored": float(uncolored)}
+        # Maintained transition-by-transition so quiescent rounds stay O(#active).
+        return {"uncolored": float(self._uncolored_count)}

@@ -21,6 +21,7 @@ from typing import Dict, Mapping, Optional, Set
 from repro.types import Color, NodeId, Value
 from repro.problems.coloring import coloring_problem_pair
 from repro.problems.packing_covering import ProblemPair
+from repro.runtime.algorithm import VOLATILE
 from repro.runtime.messages import Message
 from repro.core.interfaces import NetworkStaticAlgorithm
 
@@ -36,6 +37,14 @@ class SColor(NetworkStaticAlgorithm):
     name = "scolor"
     alpha = 2
 
+    # Purity contract: coloured nodes broadcast the deterministic
+    # ``(FIXED, c)``; uncoloured nodes draw a fresh tentative colour
+    # (VOLATILE).  ``deliver`` recomputes palette/uncolouring purely from the
+    # inbox and the node's own last message, so an unchanged inbox plus an
+    # unchanged message make it a no-op (the un-colouring rule fires only
+    # when the inbox actually changed).
+    message_stability = "pure"
+
     def __init__(self, *, uncolor_enabled: bool = True) -> None:
         super().__init__()
         self._uncolor_enabled = uncolor_enabled
@@ -43,6 +52,7 @@ class SColor(NetworkStaticAlgorithm):
         self._palette: Dict[NodeId, Set[Color]] = {}
         self._tentative: Dict[NodeId, Optional[Color]] = {}
         self._uncolor_events = 0
+        self._uncolored_count = 0
 
     def problem_pair(self) -> ProblemPair:
         return coloring_problem_pair()
@@ -51,6 +61,8 @@ class SColor(NetworkStaticAlgorithm):
 
     def on_wake(self, v: NodeId) -> None:
         self._color[v] = self.config.input_value(v)
+        if self._color[v] is None:
+            self._uncolored_count += 1
         self._palette[v] = {1}
         self._tentative[v] = None
 
@@ -62,6 +74,10 @@ class SColor(NetworkStaticAlgorithm):
         choice = self._pick_uniform(v, palette)
         self._tentative[v] = choice
         return (TENTATIVE, choice)
+
+    def compose_fingerprint(self, v: NodeId) -> Message:
+        color = self._color[v]
+        return (FIXED, color) if color is not None else VOLATILE
 
     def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
         fixed: Set[Color] = set()
@@ -80,10 +96,12 @@ class SColor(NetworkStaticAlgorithm):
             choice = self._tentative[v]
             if choice is not None and choice in self._palette[v] and choice not in tentative:
                 self._color[v] = choice
+                self._uncolored_count -= 1
         elif self._uncolor_enabled and self._color[v] not in self._palette[v]:
             # Line 10: the colour clashes with a neighbour or exceeds deg+1.
             self._color[v] = None
             self._uncolor_events += 1
+            self._uncolored_count += 1
 
     def output(self, v: NodeId) -> Value:
         return self._color.get(v)
@@ -102,5 +120,8 @@ class SColor(NetworkStaticAlgorithm):
         return frozenset(self._palette.get(v, ()))
 
     def metrics(self) -> Mapping[str, float]:
-        uncolored = sum(1 for v in self._awake if self._color.get(v) is None)
-        return {"uncolored": float(uncolored), "uncolor_events": float(self._uncolor_events)}
+        # Maintained transition-by-transition so quiescent rounds stay O(#active).
+        return {
+            "uncolored": float(self._uncolored_count),
+            "uncolor_events": float(self._uncolor_events),
+        }

@@ -27,6 +27,11 @@ class NullBackbone(NetworkStaticAlgorithm):
     name = "null-backbone"
     alpha = 0
 
+    # Trivially pure: the message is the constant ``None`` and deliver/output
+    # are stateless no-ops.  (Only ever run inside the Concat combiner, which
+    # is itself ineligible, but the declaration documents the audit.)
+    message_stability = "pure"
+
     def __init__(self, pair_factory: Callable[[], ProblemPair]) -> None:
         super().__init__()
         self._pair_factory = pair_factory
@@ -39,6 +44,9 @@ class NullBackbone(NetworkStaticAlgorithm):
 
     def compose(self, v: NodeId) -> Message:
         return None
+
+    def compose_fingerprint(self, v: NodeId) -> Message:
+        return None  # the constant silent message
 
     def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
         return None

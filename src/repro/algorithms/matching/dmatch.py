@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, Mapping, Optional
 from repro.types import NodeId, Value
 from repro.problems.matching import UNMATCHED, matching_problem_pair
 from repro.problems.packing_covering import ProblemPair
+from repro.runtime.algorithm import VOLATILE
 from repro.runtime.messages import Message
 from repro.core.interfaces import DynamicAlgorithm
 
@@ -42,6 +43,13 @@ class DMatch(DynamicAlgorithm):
 
     name = "dmatch"
 
+    # Purity contract: decided nodes (matched or decidedly unmatched)
+    # broadcast a deterministic status forever (decisions are never revoked,
+    # property A.1); free nodes draw a fresh proposal (VOLATILE).  A decided
+    # node's ``deliver`` only intersects its live set with the inbox keys, so
+    # an unchanged inbox makes it a no-op.
+    message_stability = "pure"
+
     def __init__(self) -> None:
         super().__init__()
         #: partner id, UNMATCHED, or None (= still free / undecided).
@@ -50,6 +58,7 @@ class DMatch(DynamicAlgorithm):
         #: neighbours believed to still be free (refined from received messages).
         self._free_neighbors: Dict[NodeId, FrozenSet[NodeId]] = {}
         self._proposal: Dict[NodeId, Optional[NodeId]] = {}
+        self._undecided_n = 0
 
     def problem_pair(self) -> ProblemPair:
         return matching_problem_pair()
@@ -59,6 +68,8 @@ class DMatch(DynamicAlgorithm):
     def on_wake(self, v: NodeId) -> None:
         value = self.config.input_value(v)
         self._decision[v] = value if value is not None else None
+        if self._decision[v] is None:
+            self._undecided_n += 1
         self._live[v] = None
         self._free_neighbors[v] = frozenset()
         self._proposal[v] = None
@@ -74,6 +85,14 @@ class DMatch(DynamicAlgorithm):
                 proposal = None
             self._proposal[v] = proposal
             return (STATUS_FREE, proposal)
+        if decision == UNMATCHED:
+            return (STATUS_DONE,)
+        return (STATUS_MATCHED, decision)
+
+    def compose_fingerprint(self, v: NodeId) -> Message:
+        decision = self._decision[v]
+        if decision is None:
+            return VOLATILE
         if decision == UNMATCHED:
             return (STATUS_DONE,)
         return (STATUS_MATCHED, decision)
@@ -104,6 +123,7 @@ class DMatch(DynamicAlgorithm):
             if proposer_to_me is not None:
                 # Mutual proposal: match.
                 self._decision[v] = proposer_to_me
+                self._undecided_n -= 1
             elif not free_neighbors and not done_neighbor:
                 # Every intersection-graph neighbour is matched, so every
                 # incident intersection edge is covered by its other endpoint.
@@ -111,6 +131,7 @@ class DMatch(DynamicAlgorithm):
                 # unmatched next to it would leave their shared edge uncovered
                 # forever, so the node keeps waiting instead.)
                 self._decision[v] = UNMATCHED
+                self._undecided_n -= 1
         self._free_neighbors[v] = frozenset(free_neighbors)
 
     def output(self, v: NodeId) -> Value:
@@ -119,8 +140,8 @@ class DMatch(DynamicAlgorithm):
     # -- introspection --------------------------------------------------------------------
 
     def undecided_count(self) -> int:
-        """Number of awake nodes still free (⊥)."""
-        return sum(1 for v in self._awake if self._decision.get(v) is None)
+        """Number of awake nodes still free (⊥; maintained incrementally)."""
+        return self._undecided_n
 
     def metrics(self) -> Mapping[str, float]:
         return {"undecided": float(self.undecided_count())}

@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, Mapping, Optional
 from repro.types import NodeId, Value
 from repro.problems.matching import UNMATCHED, matching_problem_pair
 from repro.problems.packing_covering import ProblemPair
+from repro.runtime.algorithm import VOLATILE
 from repro.runtime.messages import Message
 from repro.core.interfaces import NetworkStaticAlgorithm
 
@@ -44,12 +45,19 @@ class SMatch(NetworkStaticAlgorithm):
     name = "smatch"
     alpha = 2
 
+    # Purity contract: matched / decidedly-unmatched nodes broadcast a
+    # deterministic status; free nodes draw a fresh proposal (VOLATILE).
+    # A decided node's ``deliver`` re-evaluates the repair rules purely from
+    # the inbox, so an unchanged inbox makes it a no-op.
+    message_stability = "pure"
+
     def __init__(self) -> None:
         super().__init__()
         self._decision: Dict[NodeId, Optional[int]] = {}
         self._free_neighbors: Dict[NodeId, FrozenSet[NodeId]] = {}
         self._proposal: Dict[NodeId, Optional[NodeId]] = {}
         self._repair_events = 0
+        self._undecided_n = 0
 
     def problem_pair(self) -> ProblemPair:
         return matching_problem_pair()
@@ -59,6 +67,8 @@ class SMatch(NetworkStaticAlgorithm):
     def on_wake(self, v: NodeId) -> None:
         value = self.config.input_value(v)
         self._decision[v] = value if value is not None else None
+        if self._decision[v] is None:
+            self._undecided_n += 1
         self._free_neighbors[v] = frozenset()
         self._proposal[v] = None
 
@@ -73,6 +83,14 @@ class SMatch(NetworkStaticAlgorithm):
                 proposal = None
             self._proposal[v] = proposal
             return (STATUS_FREE, proposal)
+        if decision == UNMATCHED:
+            return (STATUS_DONE,)
+        return (STATUS_MATCHED, decision)
+
+    def compose_fingerprint(self, v: NodeId) -> Message:
+        decision = self._decision[v]
+        if decision is None:
+            return VOLATILE
         if decision == UNMATCHED:
             return (STATUS_DONE,)
         return (STATUS_MATCHED, decision)
@@ -103,6 +121,7 @@ class SMatch(NetworkStaticAlgorithm):
             if decision not in inbox or not partner_points_back:
                 self._decision[v] = None
                 self._repair_events += 1
+                self._undecided_n += 1
         elif decision == UNMATCHED:
             # Decidedly unmatched: repair when the decision blocks progress —
             # another unmatched neighbour (their shared edge is uncovered) or a
@@ -110,17 +129,21 @@ class SMatch(NetworkStaticAlgorithm):
             if done_neighbor or free_neighbors:
                 self._decision[v] = None
                 self._repair_events += 1
+                self._undecided_n += 1
         else:
             # Free: handshake.
             my_proposal = self._proposal[v]
             if my_proposal is not None and my_proposal in proposed_to_me:
                 self._decision[v] = my_proposal
+                self._undecided_n -= 1
             elif not free_neighbors and not done_neighbor and inbox:
                 # Every neighbour is matched: all incident edges are covered.
                 self._decision[v] = UNMATCHED
+                self._undecided_n -= 1
             elif not inbox:
                 # Isolated node: trivially unmatched.
                 self._decision[v] = UNMATCHED
+                self._undecided_n -= 1
         self._free_neighbors[v] = frozenset(free_neighbors)
 
     def output(self, v: NodeId) -> Value:
@@ -146,5 +169,8 @@ class SMatch(NetworkStaticAlgorithm):
     # -- introspection -------------------------------------------------------------------
 
     def metrics(self) -> Mapping[str, float]:
-        undecided = sum(1 for v in self._awake if self._decision.get(v) is None)
-        return {"undecided": float(undecided), "repair_events": float(self._repair_events)}
+        # Maintained transition-by-transition so quiescent rounds stay O(#active).
+        return {
+            "undecided": float(self._undecided_n),
+            "repair_events": float(self._repair_events),
+        }

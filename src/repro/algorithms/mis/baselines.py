@@ -33,6 +33,11 @@ class RestartMis(DistributedAlgorithm):
 
     name = "restart-mis"
 
+    # Audited: NOT eligible for incremental delivery — same reasons as
+    # RestartColoring: the per-node age counter advances in every ``deliver``
+    # and ``compose`` restarts nodes on a time schedule.
+    message_stability = "none"
+
     def __init__(self, period: int) -> None:
         super().__init__()
         if period < 2:

@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, Mapping, Optional
 from repro.types import MisState, NodeId, Value, mis_state_to_value, value_to_mis_state
 from repro.problems.mis import mis_problem_pair
 from repro.problems.packing_covering import ProblemPair
+from repro.runtime.algorithm import VOLATILE
 from repro.runtime.messages import Message
 from repro.core.interfaces import DynamicAlgorithm
 
@@ -60,6 +61,13 @@ class DMis(DynamicAlgorithm):
 
     name = "dmis"
 
+    # Purity contract: ``mis`` nodes broadcast the deterministic ``(MARK,)``
+    # and ``dominated`` nodes stay silent (decisions are never retracted,
+    # property A.1); undecided nodes draw a fresh random value (VOLATILE).
+    # A decided node's ``deliver`` only intersects its live set with the
+    # inbox keys, so an unchanged inbox makes it a no-op.
+    message_stability = "pure"
+
     def __init__(
         self,
         *,
@@ -73,6 +81,7 @@ class DMis(DynamicAlgorithm):
         self._live: Dict[NodeId, Optional[FrozenSet[NodeId]]] = {}
         self._drawn: Dict[NodeId, float] = {}
         self._needs_revalidation: set[NodeId] = set()
+        self._undecided_n = 0
 
     def problem_pair(self) -> ProblemPair:
         return mis_problem_pair()
@@ -81,6 +90,8 @@ class DMis(DynamicAlgorithm):
 
     def on_wake(self, v: NodeId) -> None:
         self._state[v] = value_to_mis_state(self.config.input_value(v))
+        if self._state[v] is MisState.UNDECIDED:
+            self._undecided_n += 1
         self._live[v] = None
         self._drawn[v] = float("inf")
         if self._revalidate_dominated and self._state[v] is MisState.DOMINATED:
@@ -95,6 +106,16 @@ class DMis(DynamicAlgorithm):
             self._drawn[v] = value
             return (RAND, value)
         return None  # dominated nodes stay silent
+
+    def compose_fingerprint(self, v: NodeId) -> Message:
+        if v in self._needs_revalidation:
+            return VOLATILE  # the pending first-round revalidation may flip the state
+        state = self._state[v]
+        if state is MisState.MIS:
+            return (MARK,)
+        if state is MisState.UNDECIDED:
+            return VOLATILE
+        return None
 
     def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
         live = self._live[v]
@@ -117,6 +138,7 @@ class DMis(DynamicAlgorithm):
             )
             if not has_dominator:
                 self._state[v] = MisState.UNDECIDED
+                self._undecided_n += 1
             return
 
         if self._state[v] is not MisState.UNDECIDED:
@@ -136,8 +158,10 @@ class DMis(DynamicAlgorithm):
 
         if mark_received:
             self._state[v] = MisState.DOMINATED
+            self._undecided_n -= 1
         elif self._drawn[v] < min_neighbor_rand:
             self._state[v] = MisState.MIS
+            self._undecided_n -= 1
 
     def output(self, v: NodeId) -> Value:
         state = self._state.get(v)
@@ -157,8 +181,8 @@ class DMis(DynamicAlgorithm):
         return frozenset() if live is None else live
 
     def undecided_count(self) -> int:
-        """Number of awake nodes still undecided (used by Lemma 5.2/5.4 experiments)."""
-        return sum(1 for v in self._awake if self._state.get(v) is MisState.UNDECIDED)
+        """Number of awake nodes still undecided (maintained incrementally)."""
+        return self._undecided_n
 
     def metrics(self) -> Mapping[str, float]:
         return {"undecided": float(self.undecided_count())}

@@ -31,6 +31,7 @@ from typing import Dict, Mapping
 from repro.types import MisState, NodeId, Value, mis_state_to_value, value_to_mis_state
 from repro.problems.mis import mis_problem_pair
 from repro.problems.packing_covering import ProblemPair
+from repro.runtime.algorithm import VOLATILE
 from repro.runtime.messages import Message
 from repro.core.interfaces import NetworkStaticAlgorithm
 
@@ -53,6 +54,13 @@ class SMis(NetworkStaticAlgorithm):
     name = "smis"
     alpha = 2
 
+    # Purity contract: ``mis`` nodes broadcast the deterministic ``(MARK,)``
+    # and ``dominated`` nodes stay silent; undecided nodes draw a fresh
+    # candidate coin every round (VOLATILE).  A decided node's ``deliver``
+    # re-evaluates the un-decide rules purely from the inbox, so an unchanged
+    # inbox makes it a no-op (the rule fired last round or not at all).
+    message_stability = "pure"
+
     def __init__(self, *, undecide_enabled: bool = True) -> None:
         super().__init__()
         self._undecide_enabled = undecide_enabled
@@ -60,6 +68,7 @@ class SMis(NetworkStaticAlgorithm):
         self._desire: Dict[NodeId, float] = {}
         self._candidate: Dict[NodeId, bool] = {}
         self._undecide_events = 0
+        self._undecided_n = 0
 
     def problem_pair(self) -> ProblemPair:
         return mis_problem_pair()
@@ -68,6 +77,8 @@ class SMis(NetworkStaticAlgorithm):
 
     def on_wake(self, v: NodeId) -> None:
         self._state[v] = value_to_mis_state(self.config.input_value(v))
+        if self._state[v] is MisState.UNDECIDED:
+            self._undecided_n += 1
         self._desire[v] = 0.5
         self._candidate[v] = False
 
@@ -81,6 +92,14 @@ class SMis(NetworkStaticAlgorithm):
             self._candidate[v] = is_candidate
             return (UNDECIDED_MSG, p, is_candidate)
         return None  # dominated nodes stay silent
+
+    def compose_fingerprint(self, v: NodeId) -> Message:
+        state = self._state[v]
+        if state is MisState.MIS:
+            return (MARK,)
+        if state is MisState.UNDECIDED:
+            return VOLATILE
+        return None
 
     def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
         mark_received = False
@@ -108,6 +127,7 @@ class SMis(NetworkStaticAlgorithm):
 
         if state is MisState.UNDECIDED and mark_received:
             self._state[v] = MisState.DOMINATED
+            self._undecided_n -= 1
         elif (
             state is MisState.UNDECIDED
             and not mark_received
@@ -115,12 +135,15 @@ class SMis(NetworkStaticAlgorithm):
             and not candidate_note
         ):
             self._state[v] = MisState.MIS
+            self._undecided_n -= 1
         elif state is MisState.MIS and mark_received and self._undecide_enabled:
             self._state[v] = MisState.UNDECIDED
             self._undecide_events += 1
+            self._undecided_n += 1
         elif state is MisState.DOMINATED and not mark_received and self._undecide_enabled:
             self._state[v] = MisState.UNDECIDED
             self._undecide_events += 1
+            self._undecided_n += 1
 
     def output(self, v: NodeId) -> Value:
         state = self._state.get(v)
@@ -139,8 +162,8 @@ class SMis(NetworkStaticAlgorithm):
         return self._desire.get(v, 0.5)
 
     def undecided_count(self) -> int:
-        """Number of awake nodes still undecided."""
-        return sum(1 for v in self._awake if self._state.get(v) is MisState.UNDECIDED)
+        """Number of awake nodes still undecided (maintained incrementally)."""
+        return self._undecided_n
 
     def metrics(self) -> Mapping[str, float]:
         return {

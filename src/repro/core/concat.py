@@ -64,6 +64,14 @@ class Concat(DistributedAlgorithm):
 
     name = "concat"
 
+    # Audited: NOT eligible for incremental delivery.  Every round starts a
+    # fresh DAlg instance, so the broadcast bundle gains a new start-round
+    # key each round (every node's message changes every round by
+    # construction) and ``end_round`` snapshots the SAlg output of every
+    # awake node.  The combiner is inherently O(n) per round — exactly the
+    # paper's T1-parallel-instances blow-up.
+    message_stability = "none"
+
     def __init__(
         self,
         static_factory: Callable[[], NetworkStaticAlgorithm],

@@ -40,6 +40,12 @@ from repro.exec.units import (
     units_for_spec,
 )
 from repro.exec.backends import BACKENDS, Backend, BackendError, make_backend
+from repro.exec.cache import (
+    cached_base_topology,
+    topology_cache_clear,
+    topology_cache_info,
+)
+from repro.exec.stats import StatsCollector, collect_stats, record_phase, timed_phase
 from repro.exec.policy import (
     ExecutionPolicy,
     current_policy,
@@ -59,19 +65,26 @@ __all__ = [
     "ExecutionPolicy",
     "INTERRUPT_ENV",
     "ProgressReporter",
+    "StatsCollector",
     "SweepJournal",
     "WorkUnit",
     "auto_chunk_size",
     "batch_key",
     "build_chunks",
+    "cached_base_topology",
+    "collect_stats",
     "current_policy",
     "execute_chunk",
     "execute_chunk_wire",
     "execute_unit",
     "make_backend",
     "policy_from_mapping",
+    "record_phase",
     "resolve_policy",
     "run_units",
+    "timed_phase",
+    "topology_cache_clear",
+    "topology_cache_info",
     "units_for_spec",
     "use_policy",
 ]

@@ -1,0 +1,89 @@
+"""Per-process cache of built base topologies.
+
+Every seed-replication of a scenario starts by generating its base topology
+(:func:`repro.scenarios.executor._build_context`).  In chunked sweeps the
+same topology is regenerated over and over: an adversary × algorithm matrix
+re-runs the identical ``(family, params, n, seed)`` generation for every grid
+point, and resumed sweeps re-derive what a previous process already built.
+This module gives each worker process a bounded cache of finished
+:class:`~repro.dynamics.topology.Topology` objects (they are immutable, so
+sharing one instance across scenario contexts is safe), the first rung of the
+ROADMAP's "shared-memory topology path".
+
+Correctness is by key construction: the topology a scenario gets is a pure
+function of the family name, its canonical parameters, ``n`` and the derived
+seed of the ``("topology", name, n)`` rng stream (a fresh generator is
+spawned for every build, so nothing else observes the stream).  Two units
+agreeing on that tuple get byte-identical topologies whether or not the cache
+is hit — random families with different unit seeds simply occupy different
+slots, while grid points that vary only the adversary/algorithm share one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.utils.rng import derive_seed, spawn_generator
+
+__all__ = ["cached_base_topology", "topology_cache_info", "topology_cache_clear"]
+
+#: FIFO-bounded cache: key -> built Topology.  Sized for sweep grids (a grid
+#: usually touches a handful of (family, n) combinations × the seed list).
+_CACHE: Dict[Tuple, Any] = {}
+_CACHE_MAX = 64
+_LOCK = threading.Lock()
+
+_HITS = 0
+_MISSES = 0
+
+
+def _cache_key(name: str, params: Mapping[str, Any], n: int, master_seed: int) -> Tuple:
+    stream_seed = derive_seed(master_seed, "topology", name, n)
+    return (name, n, stream_seed, tuple(sorted((k, repr(v)) for k, v in params.items())))
+
+
+def cached_base_topology(name: str, params: Mapping[str, Any], n: int, master_seed: int):
+    """Build (or reuse) the base topology of a scenario replication.
+
+    ``master_seed`` is the replication's seed; the generator handed to the
+    topology factory is spawned from the same ``("topology", name, n)``
+    stream :class:`~repro.scenarios.executor.ScenarioContext` always used, so
+    cache hits and misses are indistinguishable in the produced rows.
+    """
+    global _HITS, _MISSES
+    key = _cache_key(name, params, n, master_seed)
+    topology = _CACHE.get(key)
+    if topology is not None:
+        with _LOCK:
+            _HITS += 1
+        return topology
+    from repro.scenarios.registry import TOPOLOGIES
+
+    rng = spawn_generator(master_seed, "topology", name, n)
+    topology = TOPOLOGIES.get(name)(n, rng, **params)
+    with _LOCK:
+        _MISSES += 1
+        while len(_CACHE) >= _CACHE_MAX:
+            _CACHE.pop(next(iter(_CACHE)))
+        _CACHE[key] = topology
+    return topology
+
+
+def topology_cache_info() -> Dict[str, int]:
+    """``{"entries", "capacity", "hits", "misses"}`` of this process's cache."""
+    return {
+        "entries": len(_CACHE),
+        "capacity": _CACHE_MAX,
+        "hits": _HITS,
+        "misses": _MISSES,
+    }
+
+
+def topology_cache_clear() -> None:
+    """Empty the cache and reset the counters (test isolation)."""
+    global _HITS, _MISSES
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

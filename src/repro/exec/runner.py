@@ -35,6 +35,7 @@ from repro.exec.backends import Backend, BackendError, make_backend
 from repro.exec.journal import SweepJournal
 from repro.exec.policy import ExecutionPolicy, default_workers, resolve_policy
 from repro.exec.progress import ProgressReporter
+from repro.exec.stats import EXEC_DISPATCH, EXEC_JOURNAL, timed_phase
 from repro.exec.units import Chunk, Row, WorkUnit, auto_chunk_size, build_chunks
 
 __all__ = ["INTERRUPT_ENV", "run_units"]
@@ -101,8 +102,9 @@ def run_units(
     journal: Optional[SweepJournal] = None
     completed: Dict[int, Row] = {}
     if policy.journal_dir:
-        journal = SweepJournal.for_batch(policy.journal_dir, units)
-        completed = journal.begin(resume=policy.resume)
+        with timed_phase(EXEC_JOURNAL):
+            journal = SweepJournal.for_batch(policy.journal_dir, units)
+            completed = journal.begin(resume=policy.resume)
 
     rows: List[Optional[Row]] = [completed.get(i) for i in range(len(units))]
     pending = [i for i in range(len(units)) if i not in completed]
@@ -127,7 +129,8 @@ def run_units(
             index = pending[chunk.start + offset]
             rows[index] = row
             if journal is not None:
-                journal.record(index, row)
+                with timed_phase(EXEC_JOURNAL):
+                    journal.record(index, row)
         received.add(chunk.index)
         progress.update(len(chunk.seeds))
         interrupter.tick(len(chunk.seeds))
@@ -135,7 +138,7 @@ def run_units(
     try:
         backend: Backend = make_backend(backend_name, workers)
         try:
-            with backend:
+            with backend, timed_phase(EXEC_DISPATCH):
                 for chunk_index, chunk_rows in backend.submit_batch(chunks):
                     absorb(chunks[chunk_index], chunk_rows)
         except _FALLBACK_ERRORS:
@@ -144,8 +147,9 @@ def run_units(
             # genuine unit errors re-raise from it with their real traceback.
             serial = make_backend("serial", 1)
             remaining = [chunk for chunk in chunks if chunk.index not in received]
-            for chunk_index, chunk_rows in serial.submit_batch(remaining):
-                absorb(chunks[chunk_index], chunk_rows)
+            with timed_phase(EXEC_DISPATCH):
+                for chunk_index, chunk_rows in serial.submit_batch(remaining):
+                    absorb(chunks[chunk_index], chunk_rows)
     except BaseException:
         if journal is not None:
             journal.close()  # keep the checkpoint for --resume

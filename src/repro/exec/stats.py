@@ -1,0 +1,104 @@
+"""Execution-phase timing: where a pipeline run actually spends its time.
+
+The ROADMAP's "journal-aware ``repro bench`` timing splits" rung: instead of
+one opaque wall-clock number per experiment, the runner and the scenario
+work unit report *phases* — context/component setup, the simulated round
+loop, metric extraction, journal bookkeeping, backend dispatch — into an
+ambient :class:`StatsCollector` installed with :func:`collect_stats`.
+
+Reporting is strictly opt-in and in-process: without an active collector
+:func:`record_phase` is a no-op costing one global read, so steady-state
+sweeps pay nothing.  Phase totals recorded inside pooled worker *processes*
+stay in those processes — the dispatch phase then accounts for their wall
+time — while the ``serial`` and ``thread`` backends yield complete per-unit
+splits (``repro bench --serial`` for the full breakdown).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = ["StatsCollector", "collect_stats", "record_phase", "timed_phase"]
+
+#: Phase names the pipeline reports (others are allowed; these are the
+#: conventional ones surfaced by ``repro bench``): component building per
+#: work unit, the simulated round loop, metric/probe extraction,
+#: sweep-journal resume reads + record writes, and backend dispatch wall
+#: time (including pooled workers).
+UNIT_SETUP = "unit_setup"
+UNIT_ROUNDS = "unit_rounds"
+UNIT_METRICS = "unit_metrics"
+EXEC_JOURNAL = "exec_journal"
+EXEC_DISPATCH = "exec_dispatch"
+
+
+class StatsCollector:
+    """Thread-safe accumulator of ``phase -> (seconds, events)``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds: Dict[str, float] = {}
+        self._events: Dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        with self._lock:
+            self._seconds[phase] = self._seconds.get(phase, 0.0) + seconds
+            self._events[phase] = self._events.get(phase, 0) + 1
+
+    def seconds(self, phase: str) -> float:
+        """Total seconds recorded for ``phase`` (0.0 if never reported)."""
+        return self._seconds.get(phase, 0.0)
+
+    def events(self, phase: str) -> int:
+        """Number of times ``phase`` was reported."""
+        return self._events.get(phase, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """``{phase: seconds}`` snapshot."""
+        with self._lock:
+            return dict(self._seconds)
+
+
+#: The active collector (None = reporting disabled).  A plain global, not a
+#: context-var: worker threads of the thread backend must report into the
+#: collector installed by the main thread.
+_ACTIVE: Optional[StatsCollector] = None
+
+
+@contextmanager
+def collect_stats() -> Iterator[StatsCollector]:
+    """Install a collector for the duration of the block and yield it.
+
+    Nested blocks stack: the innermost collector receives the reports.
+    """
+    global _ACTIVE
+    collector = StatsCollector()
+    previous = _ACTIVE
+    _ACTIVE = collector
+    try:
+        yield collector
+    finally:
+        _ACTIVE = previous
+
+
+def record_phase(phase: str, seconds: float) -> None:
+    """Report ``seconds`` spent in ``phase`` (no-op without a collector)."""
+    collector = _ACTIVE
+    if collector is not None:
+        collector.add(phase, seconds)
+
+
+@contextmanager
+def timed_phase(phase: str) -> Iterator[None]:
+    """Time the block and report it (near-zero cost without a collector)."""
+    if _ACTIVE is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_phase(phase, time.perf_counter() - start)

@@ -37,7 +37,32 @@ from repro.types import Assignment, NodeId, Value
 from repro.utils.rng import RngFactory
 from repro.runtime.messages import Message
 
-__all__ = ["AlgorithmSetup", "DistributedAlgorithm"]
+__all__ = [
+    "AlgorithmSetup",
+    "DistributedAlgorithm",
+    "MESSAGE_STABILITY_LEVELS",
+    "VOLATILE",
+]
+
+
+class _Volatile:
+    """Singleton sentinel: "this node's next message cannot be predicted"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "VOLATILE"
+
+
+#: Returned by :meth:`DistributedAlgorithm.compose_fingerprint` when the
+#: node's next message is not a deterministic function of its current state
+#: (typically because ``compose`` draws fresh randomness).  The incremental
+#: delivery engine then re-runs ``compose`` *and* ``deliver`` for the node
+#: every round, exactly like the full path.
+VOLATILE = _Volatile()
+
+#: The recognised values of :attr:`DistributedAlgorithm.message_stability`.
+MESSAGE_STABILITY_LEVELS = ("none", "pure")
 
 
 @dataclass(frozen=True)
@@ -90,6 +115,36 @@ class DistributedAlgorithm(ABC):
 
     #: Short identifier used for RNG stream derivation and reports.
     name: str = "algorithm"
+
+    #: The *message-stability contract* this algorithm declares towards the
+    #: simulator's incremental delivery engine.
+    #:
+    #: ``"none"`` (the conservative default)
+    #:     No promise: the simulator re-runs ``compose`` and ``deliver`` for
+    #:     every awake node every round (the byte-identical legacy behaviour).
+    #:
+    #: ``"pure"``
+    #:     The algorithm promises, for every node ``v``:
+    #:
+    #:     1. all per-node state that ``compose``, ``deliver`` or ``output``
+    #:        read changes only inside ``on_wake``, ``deliver``, or — for
+    #:        nodes whose :meth:`compose_fingerprint` is :data:`VOLATILE` —
+    #:        ``compose`` itself (never in ``begin_round``/``end_round``);
+    #:     2. when :meth:`compose_fingerprint` is not :data:`VOLATILE`,
+    #:        ``compose(v)`` is deterministic, draws no randomness, and
+    #:        mutates nothing that ``deliver`` or ``output`` can observe;
+    #:     3. if ``v``'s composed message *and* its inbox (the exact
+    #:        key → message mapping) are both unchanged from the previous
+    #:        round, then ``deliver(v, inbox)`` changes nothing observable
+    #:        (state, output, metrics counters) and draws no randomness.
+    #:
+    #:     Under this contract the simulator may skip ``compose``/``deliver``
+    #:     for quiescent nodes and reuse cached messages, inboxes and outputs
+    #:     — per-round cost O(#active nodes + #topology changes) instead of
+    #:     O(n + m) — while producing byte-identical traces.  Declarations
+    #:     are verified empirically by the equivalence test matrix and, per
+    #:     run, by setting ``REPRO_VERIFY_INCREMENTAL=1``.
+    message_stability: str = "none"
 
     def __init__(self) -> None:
         self._setup: Optional[AlgorithmSetup] = None
@@ -148,6 +203,26 @@ class DistributedAlgorithm(ABC):
     @abstractmethod
     def compose(self, v: NodeId) -> Message:
         """Return the message node ``v`` broadcasts this round (``None`` = silent)."""
+
+    def compose_fingerprint(self, v: NodeId) -> Any:
+        """A cheap token describing the message ``v`` will compose next.
+
+        Contract (consulted only when :attr:`message_stability` is ``"pure"``;
+        evaluated by the simulator after ``v``'s ``deliver``):
+
+        * return :data:`VOLATILE` when the next message is not a
+          deterministic function of the node's current state (e.g. the node
+          still draws fresh per-round randomness) — the engine then runs
+          ``compose`` and ``deliver`` for the node every round;
+        * otherwise return a hashable token such that *token unchanged ⇒
+          next composed message identical to the previous one*.  While the
+          token is stable the engine reuses the cached message without even
+          calling ``compose``; when it changes, ``compose`` runs again and
+          the node and its neighbours are re-delivered.
+
+        The default is conservatively :data:`VOLATILE`.
+        """
+        return VOLATILE
 
     @abstractmethod
     def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:

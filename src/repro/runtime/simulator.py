@@ -12,15 +12,41 @@ the round structure of Section 2:
    performs its local computation (``deliver``);
 5. every awake node's output is recorded.
 
-The engine is deliberately simple and allocation-light: per round it builds
-one dict of messages and one inbox dict per node; no global state is ever
-handed to the algorithm.
+Two delivery paths implement that structure:
+
+``full``
+    The legacy loop: every awake node re-composes its message, gets a freshly
+    built inbox dict and re-runs ``deliver`` every round.  Per-round cost is
+    O(n + m) regardless of how much actually changed.
+
+``incremental``
+    Available when the algorithm declares the ``"pure"`` message-stability
+    contract (see :class:`~repro.runtime.algorithm.DistributedAlgorithm`).
+    The engine caches each node's last composed message (and its size) and
+    the running output vector, and per round computes the *dirty frontier* —
+    nodes whose neighbourhood changed (from the round's
+    :class:`~repro.dynamics.topology.TopologyDelta`), whose own message
+    changed, that are message-volatile, that neighbour a changed message, or
+    that just woke — and runs compose/deliver/output-recording only for that
+    set.  Quiescent nodes keep their cached message and output untouched.
+    Per-round cost is O(#active + #changes); the recorded trace is
+    byte-identical to the full path (hard-gated by the test matrix and the
+    ``--smoke`` delivery benchmark).
+
+The default mode ``"auto"`` selects incremental delivery exactly when the
+algorithm declares it safe.  ``REPRO_DELIVERY=full|incremental|auto`` (or the
+:func:`delivery_mode` context manager) overrides the automatic choice, and
+``REPRO_VERIFY_INCREMENTAL=1`` makes the scenario executor run both paths and
+assert row equality (see :func:`repro.scenarios.executor.run_scenario_seed`).
 """
 
 from __future__ import annotations
 
+import os
 import warnings
-from typing import Any, Callable, Dict, Mapping, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterator, Mapping, Optional
 
 from repro.errors import ConfigurationError, SimulationError, TopologyError
 from repro.types import Assignment, NodeId, Value
@@ -28,15 +54,105 @@ from repro.utils.rng import RngFactory
 from repro.dynamics.adversary import Adversary, AdversaryView, ADAPTIVE_OFFLINE
 from repro.dynamics.dynamic_graph import DEFAULT_CHECKPOINT_INTERVAL
 from repro.dynamics.topology import EMPTY_DELTA, Topology, TopologyDelta, empty_topology
-from repro.runtime.algorithm import AlgorithmSetup, DistributedAlgorithm
+from repro.runtime.algorithm import AlgorithmSetup, DistributedAlgorithm, VOLATILE
 from repro.runtime.messages import Message, estimate_bits
 from repro.runtime.metrics import RoundMetrics
 from repro.runtime.trace import ExecutionTrace
 
-__all__ = ["Simulator", "run_simulation"]
+__all__ = [
+    "DELIVERY_ENV",
+    "RoundActivity",
+    "Simulator",
+    "delivery_mode",
+    "run_simulation",
+]
 
 #: Sentinel distinguishing "``input`` not passed" from an explicit ``None``.
 _UNSET: Any = object()
+
+#: Sentinel for "no cached message yet" (``None`` is a valid message).
+_NO_MESSAGE: Any = object()
+
+#: Environment override for the delivery path (``full`` / ``incremental`` / ``auto``).
+DELIVERY_ENV = "REPRO_DELIVERY"
+
+_DELIVERY_MODES = ("auto", "full", "incremental")
+
+#: Ambient override installed by :func:`delivery_mode` (beats the env var).
+_DELIVERY_OVERRIDE: Optional[str] = None
+
+
+@contextmanager
+def delivery_mode(mode: str) -> Iterator[None]:
+    """Force the delivery path of every :class:`Simulator` built in the block.
+
+    ``mode`` is ``"full"``, ``"incremental"`` or ``"auto"``.  Used by the
+    equivalence tests and benchmarks to time both paths on identical seeds::
+
+        with delivery_mode("full"):
+            trace_full = run_simulation(...)
+    """
+    global _DELIVERY_OVERRIDE
+    if mode not in _DELIVERY_MODES:
+        raise ConfigurationError(f"delivery mode must be one of {_DELIVERY_MODES}, got {mode!r}")
+    previous = _DELIVERY_OVERRIDE
+    _DELIVERY_OVERRIDE = mode
+    try:
+        yield
+    finally:
+        _DELIVERY_OVERRIDE = previous
+
+
+def _requested_delivery(explicit: str) -> str:
+    """Resolve the requested mode.
+
+    Precedence, highest first: a non-``"auto"`` explicit argument, then the
+    ambient :func:`delivery_mode` override, then the ``REPRO_DELIVERY``
+    environment variable; ``"auto"`` otherwise.
+    """
+    if explicit not in _DELIVERY_MODES:
+        raise ConfigurationError(
+            f"delivery must be one of {_DELIVERY_MODES}, got {explicit!r}"
+        )
+    if explicit != "auto":
+        return explicit
+    if _DELIVERY_OVERRIDE is not None:
+        return _DELIVERY_OVERRIDE
+    env = os.environ.get(DELIVERY_ENV, "").strip().lower()
+    if env:
+        if env not in _DELIVERY_MODES:
+            raise ConfigurationError(
+                f"{DELIVERY_ENV} must be one of {_DELIVERY_MODES}, got {env!r}"
+            )
+        return env
+    return "auto"
+
+
+@dataclass(frozen=True)
+class RoundActivity:
+    """What the engine actually did in one round (the delta-native surface).
+
+    Probes and ad-hoc instrumentation read this from
+    :attr:`Simulator.last_round_activity` instead of re-scanning all ``n``
+    outputs: ``delivered`` is the round's dirty frontier (every node whose
+    ``deliver`` ran), ``composed`` the nodes whose ``compose`` ran, and
+    ``changed_outputs`` the nodes whose output differs from the previous
+    round.  On the full path ``composed``/``delivered`` are simply the awake
+    node set.  ``delta`` is the topology change set the adversary emitted
+    (``None`` when it returned a fresh snapshot).
+    """
+
+    round_index: int
+    mode: str
+    delta: Optional[TopologyDelta]
+    composed: FrozenSet[NodeId]
+    delivered: FrozenSet[NodeId]
+    changed_outputs: FrozenSet[NodeId]
+
+    @property
+    def num_active(self) -> int:
+        """Number of nodes the engine ran ``deliver`` for this round."""
+        return len(self.delivered)
 
 
 def _merge_deprecated_input(
@@ -83,6 +199,12 @@ class Simulator:
     stop_when:
         Optional predicate over the :class:`~repro.runtime.trace.ExecutionTrace`
         evaluated after every round; the run stops early when it returns true.
+    delivery:
+        ``"auto"`` (default) uses incremental delivery when the algorithm
+        declares the ``"pure"`` contract, the full path otherwise;
+        ``"full"``/``"incremental"`` force a path.  Forcing ``"incremental"``
+        on an algorithm without the contract falls back to ``"full"`` (the
+        engine cannot skip work the algorithm has not declared skippable).
     """
 
     def __init__(
@@ -98,9 +220,18 @@ class Simulator:
         expose_state_to_adversary: bool = False,
         stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        delivery: str = "auto",
     ) -> None:
         if not isinstance(n, int) or n < 1:
             raise ConfigurationError(f"n must be a positive integer, got {n!r}")
+        if (
+            not isinstance(checkpoint_interval, int)
+            or isinstance(checkpoint_interval, bool)
+            or checkpoint_interval < 1
+        ):
+            raise ConfigurationError(
+                f"checkpoint_interval must be an integer >= 1, got {checkpoint_interval!r}"
+            )
         self._n = n
         self._algorithm = algorithm
         self._adversary = adversary
@@ -108,6 +239,11 @@ class Simulator:
         self._input = _merge_deprecated_input(input_assignment, input)
         self._expose_state = expose_state_to_adversary
         self._stop_when = stop_when
+        requested = _requested_delivery(delivery)
+        if requested == "full":
+            self._delivery = "full"
+        else:  # "incremental" and "auto" both require the declared contract
+            self._delivery = "incremental" if algorithm.message_stability == "pure" else "full"
         self._trace = ExecutionTrace(
             n,
             algorithm.name,
@@ -118,6 +254,22 @@ class Simulator:
         self._previous_outputs: Dict[NodeId, Value] = {}
         self._current_topology: Topology = empty_topology()
         self._started = False
+        self._last_activity: Optional[RoundActivity] = None
+        # -- incremental-delivery caches (unused on the full path) ----------
+        #: node -> last composed message / its estimated bit size.
+        self._messages: Dict[NodeId, Message] = {}
+        self._bits: Dict[NodeId, int] = {}
+        #: bit-size histogram of the cached messages (for the max metric).
+        self._bits_hist: Dict[int, int] = {}
+        self._bits_total = 0
+        self._bits_max = 0
+        #: nodes whose compose_fingerprint reported VOLATILE.
+        self._volatile: set[NodeId] = set()
+        #: nodes scheduled for a re-compose check next round.
+        self._recompose: set[NodeId] = set()
+        self._fingerprints: Dict[NodeId, Any] = {}
+        #: the running output vector (mutated in place, copied per round).
+        self._running_outputs: Dict[NodeId, Value] = {}
 
     # -- public API -------------------------------------------------------------
 
@@ -130,6 +282,16 @@ class Simulator:
     def algorithm(self) -> DistributedAlgorithm:
         """The algorithm under test."""
         return self._algorithm
+
+    @property
+    def delivery(self) -> str:
+        """The effective delivery path of this run (``"full"``/``"incremental"``)."""
+        return self._delivery
+
+    @property
+    def last_round_activity(self) -> Optional[RoundActivity]:
+        """The :class:`RoundActivity` of the most recent round (``None`` before round 1)."""
+        return self._last_activity
 
     def run(self, rounds: int) -> ExecutionTrace:
         """Execute ``rounds`` further rounds and return the trace."""
@@ -203,6 +365,29 @@ class Simulator:
 
         self._algorithm.begin_round(round_index)
 
+        if self._delivery == "incremental":
+            outputs, metrics, changed, activity = self._incremental_round(
+                round_index, previous, topology, delta, newly_awake
+            )
+        else:
+            outputs, metrics, changed, activity = self._full_round(
+                round_index, topology, delta
+            )
+
+        self._trace.record(topology, outputs, metrics, delta=delta, changed_nodes=changed)
+        self._output_history.append(outputs)
+        self._previous_outputs = outputs
+        self._current_topology = topology
+        self._last_activity = activity
+
+    # -- the legacy O(n + m) path ------------------------------------------------
+
+    def _full_round(
+        self,
+        round_index: int,
+        topology: Topology,
+        delta: Optional[TopologyDelta],
+    ) -> tuple[Dict[NodeId, Value], RoundMetrics, FrozenSet[NodeId], RoundActivity]:
         # (3) Compose — strictly before any delivery.
         messages: Dict[NodeId, Message] = {}
         total_bits = 0
@@ -227,10 +412,11 @@ class Simulator:
 
         # (5) Outputs.
         outputs: Dict[NodeId, Value] = {v: self._algorithm.output(v) for v in topology.nodes}
-        changed = sum(
-            1
+        previous_outputs = self._previous_outputs
+        changed = frozenset(
+            v
             for v, value in outputs.items()
-            if v not in self._previous_outputs or self._previous_outputs[v] != value
+            if v not in previous_outputs or previous_outputs[v] != value
         )
         metrics = RoundMetrics(
             round_index=round_index,
@@ -240,13 +426,174 @@ class Simulator:
             messages_delivered=deliveries,
             max_message_bits=max_bits,
             total_message_bits=total_bits,
-            outputs_changed=changed,
+            outputs_changed=len(changed),
             algorithm_counters=dict(self._algorithm.metrics()),
         )
-        self._trace.record(topology, outputs, metrics, delta=delta)
-        self._output_history.append(outputs)
-        self._previous_outputs = outputs
-        self._current_topology = topology
+        activity = RoundActivity(
+            round_index=round_index,
+            mode="full",
+            delta=delta,
+            composed=topology.nodes,
+            delivered=topology.nodes,
+            changed_outputs=changed,
+        )
+        return outputs, metrics, changed, activity
+
+    # -- the O(#active + #changes) path --------------------------------------------
+
+    def _record_bits(self, v: NodeId, bits: int) -> None:
+        """Account node ``v``'s (new) message size in the running aggregates."""
+        hist = self._bits_hist
+        old = self._bits.get(v)
+        if old == bits:
+            return
+        if old is not None:
+            count = hist[old] - 1
+            if count:
+                hist[old] = count
+            else:
+                del hist[old]
+            self._bits_total -= old
+        self._bits[v] = bits
+        hist[bits] = hist.get(bits, 0) + 1
+        self._bits_total += bits
+        if bits > self._bits_max:
+            self._bits_max = bits
+        elif old == self._bits_max and old not in hist:
+            self._bits_max = max(hist) if hist else 0
+
+    def _drop_node(self, v: NodeId) -> None:
+        """Forget every cache entry of a node that left the graph."""
+        self._messages.pop(v, None)
+        old = self._bits.pop(v, None)
+        if old is not None:
+            count = self._bits_hist[old] - 1
+            if count:
+                self._bits_hist[old] = count
+            else:
+                del self._bits_hist[old]
+                if old == self._bits_max:
+                    self._bits_max = max(self._bits_hist) if self._bits_hist else 0
+            self._bits_total -= old
+        self._volatile.discard(v)
+        self._recompose.discard(v)
+        self._fingerprints.pop(v, None)
+        self._running_outputs.pop(v, None)
+
+    def _incremental_round(
+        self,
+        round_index: int,
+        previous: Topology,
+        topology: Topology,
+        delta: Optional[TopologyDelta],
+        newly_awake: FrozenSet[NodeId],
+    ) -> tuple[Dict[NodeId, Value], RoundMetrics, FrozenSet[NodeId], RoundActivity]:
+        algorithm = self._algorithm
+        nodes = topology.nodes
+        # A snapshot-returning adversary still gets incremental treatment:
+        # the exact diff is a C-speed set operation, far cheaper than a full
+        # python-level round (the snapshot itself is stored unchanged).
+        effective_delta = delta if delta is not None else TopologyDelta.between(previous, topology)
+        for v in effective_delta.removed_nodes:
+            self._drop_node(v)
+
+        # (3) Compose — only nodes whose message may differ from the cache:
+        # volatile nodes (fresh randomness), nodes whose fingerprint moved
+        # after their last deliver, and nodes that just woke up.
+        recompose = (self._volatile | self._recompose) & nodes
+        recompose |= newly_awake & nodes
+        self._recompose = set()
+        messages = self._messages
+        compose = algorithm.compose
+        messages_get = messages.get
+        changed_messages: list[NodeId] = []
+        changed_append = changed_messages.append
+        for v in recompose:
+            message = compose(v)
+            if messages_get(v, _NO_MESSAGE) != message:
+                messages[v] = message
+                self._record_bits(v, estimate_bits(message))
+                changed_append(v)
+
+        # (4) The dirty frontier: neighbourhood changed, own message changed,
+        # volatile, neighbour's message changed, or just woke up.  A superset
+        # is always safe (delivering an unchanged inbox to a quiescent node
+        # is a contract no-op), so when a quarter of the graph changed its
+        # message the per-message neighbourhood unions cost more than they
+        # save and the whole awake set is taken instead — the dense-churn
+        # round then costs exactly what the full path pays, no more.
+        if 4 * len(changed_messages) >= len(nodes):
+            dirty = set(nodes)
+        else:
+            dirty = set(effective_delta.touched_nodes())
+            dirty |= self._volatile
+            dirty.update(changed_messages)
+            for v in changed_messages:
+                dirty.update(topology.neighbors(v))
+            dirty &= nodes
+
+        deliver = algorithm.deliver
+        neighbors_of = topology.neighbors
+        for v in dirty:
+            inbox: Mapping[NodeId, Message] = {u: messages[u] for u in neighbors_of(v)}
+            deliver(v, inbox)
+
+        algorithm.end_round(round_index)
+
+        # One pass over the dirty frontier: (a) re-classify volatility — a
+        # node stays on the every-round path until its fingerprint settles,
+        # and a moved fingerprint schedules a re-compose check for next
+        # round; (b) refresh the node's output — only dirty nodes can have
+        # changed theirs (contract: output-relevant state moves only in
+        # on_wake / deliver).
+        fingerprints = self._fingerprints
+        volatile = self._volatile
+        recompose_next = self._recompose
+        running = self._running_outputs
+        fingerprint_of = algorithm.compose_fingerprint
+        output_of = algorithm.output
+        changed = set()
+        changed_add = changed.add
+        for v in dirty:
+            fingerprint = fingerprint_of(v)
+            if fingerprint is VOLATILE:
+                if v not in volatile:
+                    volatile.add(v)
+                    fingerprints.pop(v, None)
+            else:
+                volatile.discard(v)
+                if fingerprints.get(v, _NO_MESSAGE) != fingerprint:
+                    fingerprints[v] = fingerprint
+                    recompose_next.add(v)
+            value = output_of(v)
+            if v not in running:
+                running[v] = value
+                changed_add(v)
+            elif running[v] != value:
+                running[v] = value
+                changed_add(v)
+        outputs = dict(running)
+
+        metrics = RoundMetrics(
+            round_index=round_index,
+            num_awake=topology.num_nodes,
+            num_edges=topology.num_edges,
+            messages_sent=len(messages),
+            messages_delivered=2 * topology.num_edges,
+            max_message_bits=self._bits_max,
+            total_message_bits=self._bits_total,
+            outputs_changed=len(changed),
+            algorithm_counters=dict(algorithm.metrics()),
+        )
+        activity = RoundActivity(
+            round_index=round_index,
+            mode="incremental",
+            delta=delta,
+            composed=frozenset(recompose),
+            delivered=frozenset(dirty),
+            changed_outputs=frozenset(changed),
+        )
+        return outputs, metrics, frozenset(changed), activity
 
 
 def run_simulation(
@@ -260,6 +607,7 @@ def run_simulation(
     input: Any = _UNSET,
     expose_state_to_adversary: bool = False,
     stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
+    delivery: str = "auto",
 ) -> ExecutionTrace:
     """One-shot convenience wrapper around :class:`Simulator`.
 
@@ -287,5 +635,6 @@ def run_simulation(
         input_assignment=_merge_deprecated_input(input_assignment, input),
         expose_state_to_adversary=expose_state_to_adversary,
         stop_when=stop_when,
+        delivery=delivery,
     )
     return sim.run(rounds)

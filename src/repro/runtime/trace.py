@@ -28,9 +28,16 @@ class RoundRecord:
     as change sets plus periodic checkpoint snapshots, and :attr:`topology`
     materialises transparently (sequential scans cost one delta application
     per round).
+
+    ``changed`` is the set of nodes whose output differs from the previous
+    round (newly awake nodes included) — the simulator knows it as a
+    byproduct of recording, so consumers get it in O(1) instead of
+    re-scanning two output vectors (``None`` for records appended by legacy
+    callers; :meth:`ExecutionTrace.changed_nodes` then falls back to the
+    scan).
     """
 
-    __slots__ = ("round_index", "outputs", "metrics", "_graph")
+    __slots__ = ("round_index", "outputs", "metrics", "changed", "_graph")
 
     def __init__(
         self,
@@ -38,10 +45,12 @@ class RoundRecord:
         outputs: Mapping[NodeId, Value],
         metrics: RoundMetrics,
         graph: DynamicGraph,
+        changed: Optional[frozenset] = None,
     ) -> None:
         self.round_index = round_index
         self.outputs = outputs
         self.metrics = metrics
+        self.changed = changed
         self._graph = graph
 
     @property
@@ -83,12 +92,16 @@ class ExecutionTrace:
         metrics: RoundMetrics,
         *,
         delta: Optional[TopologyDelta] = None,
+        changed_nodes: Optional[frozenset] = None,
     ) -> None:
         """Append one round's record (topology is validated by the dynamic graph).
 
         When ``delta`` is given it must be the exact change set from the
         previous round to ``topology``; the round is then stored incrementally
         (validation and storage cost O(#changes) instead of O(n + m)).
+        ``changed_nodes`` is the exact set of nodes whose output differs from
+        the previous round (the simulator computes it while recording
+        outputs); storing it makes :meth:`changed_nodes` O(1).
         """
         if delta is not None:
             self._graph.append_delta(delta, topology)
@@ -99,6 +112,7 @@ class ExecutionTrace:
             outputs=dict(outputs),
             metrics=metrics,
             graph=self._graph,
+            changed=changed_nodes,
         )
         self._records.append(record)
 
@@ -174,8 +188,16 @@ class ExecutionTrace:
         return range(1, len(self._records) + 1)
 
     def changed_nodes(self, r: Round) -> frozenset[NodeId]:
-        """Nodes whose output at round ``r`` differs from round ``r - 1``."""
-        current = self.record_at(r).outputs
+        """Nodes whose output at round ``r`` differs from round ``r - 1``.
+
+        O(1) for simulator-recorded rounds (the engine stores the change set
+        it computed anyway); falls back to the two-vector scan for records
+        appended without one.
+        """
+        record = self.record_at(r)
+        if record.changed is not None:
+            return record.changed
+        current = record.outputs
         previous: Mapping[NodeId, Value]
         previous = self.record_at(r - 1).outputs if r > 1 else {}
         changed = {

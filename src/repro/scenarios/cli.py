@@ -44,7 +44,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.errors import ReproError
 from repro.version import __version__
 from repro.analysis.report import format_table
-from repro.exec import BACKENDS, ExecutionPolicy, policy_from_mapping, use_policy
+from repro.exec import BACKENDS, ExecutionPolicy, collect_stats, policy_from_mapping, use_policy
+from repro.exec.stats import EXEC_DISPATCH, EXEC_JOURNAL, UNIT_METRICS, UNIT_ROUNDS, UNIT_SETUP
 from repro.scenarios.configs import (
     ExperimentConfig,
     ScenarioConfig,
@@ -264,12 +265,14 @@ def _run_experiments(args: argparse.Namespace, *, scale: str, timings: bool) -> 
         params = config.params_for(scale)
         policy = _build_policy(args, config.execution, parallel=not args.serial)
         started = time.perf_counter()
-        with use_policy(policy):
+        with collect_stats() as stats, use_policy(policy):
             rows = run_experiment(experiment_id, params, parallel=not args.serial)
         elapsed = time.perf_counter() - started
         kind, label, key = _store_target(config, scale=scale)
+        store_started = time.perf_counter()
         entry, status = store.put(kind, label, key, rows)
         stored = store.load(entry.path)
+        store_elapsed = time.perf_counter() - store_started
         title = f"{config.title}  [{scale}]"
         tables.append(_emit_entry(stored, title=title, columns=config.columns, status=status))
         summary.append(
@@ -278,10 +281,25 @@ def _run_experiments(args: argparse.Namespace, *, scale: str, timings: bool) -> 
                 "rows": float(len(stored.rows)),
                 "status": status,
                 "seconds": round(elapsed, 2),
+                # Phase splits (see repro.exec.stats): in-process unit phases
+                # are complete under serial/thread execution; under pooled
+                # backends the worker-side time shows up in dispatch_s.
+                "setup_s": round(stats.seconds(UNIT_SETUP), 2),
+                "rounds_s": round(stats.seconds(UNIT_ROUNDS), 2),
+                "metrics_s": round(stats.seconds(UNIT_METRICS), 2),
+                "dispatch_s": round(stats.seconds(EXEC_DISPATCH), 2),
+                "journal_s": round(stats.seconds(EXEC_JOURNAL), 3),
+                "store_s": round(store_elapsed, 3),
             }
         )
     if timings and summary:
         _print(format_table(summary, title=f"{len(summary)} experiments ({scale} scale)").rstrip())
+        _print(
+            "[timing splits: setup/rounds/metrics are in-process unit phases "
+            "(complete with --serial or --backend thread); dispatch is backend "
+            "wall time incl. pooled workers; journal/store are checkpoint + "
+            "results-store writes]"
+        )
         _print()
     if args.tables:
         Path(args.tables).parent.mkdir(parents=True, exist_ok=True)

@@ -78,6 +78,7 @@ from repro.algorithms.mis.dynamic_mis import DynamicMIS
 from repro.algorithms.mis.ghaffari import GhaffariMIS
 from repro.algorithms.mis.luby import LubyMIS
 from repro.algorithms.mis.smis import SMis
+from repro.core.concat import Concat
 from repro.analysis.conflicts import conflict_resolution_times
 from repro.analysis.convergence import completion_round_for_nodes, rounds_to_completion
 from repro.analysis.quality import coloring_quality, matching_quality, mis_quality
@@ -473,6 +474,47 @@ def _algorithm_mis_no_backbone(ctx, *, window=None):
     return concat_without_backbone_mis(ctx.T1 if window is None else _resolve(ctx, window))
 
 
+#: The implementation class behind each registered algorithm name — the
+#: source of the per-component delivery-contract annotation below.
+_ALGORITHM_CLASSES = {
+    "basic-coloring": BasicColoring,
+    "scolor": SColor,
+    "dcolor": DColor,
+    "dcolor-current-graph": DColorCurrentGraphAblation,
+    "scolor-no-uncolor": SColorNoUncolorAblation,
+    "smis": SMis,
+    "smis-no-undecide": SMisNoUndecideAblation,
+    "dmis-current-graph": DMisCurrentGraphAblation,
+    "luby-mis": LubyMIS,
+    "ghaffari-mis": GhaffariMIS,
+    "smatch": SMatch,
+    "dmatch": DMatch,
+    "dmis": DMis,
+    "dynamic-coloring": DynamicColoring,
+    "dynamic-mis": DynamicMIS,
+    "dynamic-matching": DynamicMatching,
+    "restart-coloring": RestartColoring,
+    "restart-mis": RestartMis,
+    "coloring-no-backbone": Concat,
+    "mis-no-backbone": Concat,
+}
+
+# Surface each algorithm's audited message-stability contract in
+# ``available(docs=True)`` / `repro components`, so the delivery path an
+# algorithm gets is discoverable without reading its source.  Iterating the
+# *registry* keeps this loop safe under drift: a stale map entry is simply
+# never looked up, and a newly registered algorithm missing from the map is
+# caught by the tier-1 docs test (every doc must carry its contract tag)
+# rather than by an import-time crash.
+for _algo_name in ALGORITHMS:
+    _algo_cls = _ALGORITHM_CLASSES.get(_algo_name)
+    if _algo_cls is not None:
+        ALGORITHMS.set_doc(
+            _algo_name,
+            f"{ALGORITHMS.doc(_algo_name)} [delivery: {_algo_cls.message_stability}]",
+        )
+
+
 # ---------------------------------------------------------------------------
 # stop conditions
 # ---------------------------------------------------------------------------
@@ -577,6 +619,27 @@ def _metric_message_size(ctx):
 def _metric_trace_summary(ctx):
     """Basic run facts (rounds simulated)."""
     return {"trace_rounds": float(ctx.trace.num_rounds)}
+
+
+@METRICS.register("output-activity")
+def _metric_output_activity(ctx, *, warmup=0):
+    """Output-churn totals from the trace's stored changed-node sets.
+
+    Delta-native: reads the per-round changed-output sets the engine recorded
+    (O(#changes) total) instead of re-scanning all ``n`` outputs per round.
+    Counts every changed node including newly awake ones (round 1 counts
+    first outputs), i.e. the same notion as ``RoundMetrics.outputs_changed``.
+    """
+    trace = ctx.trace
+    start = max(1, _resolve(ctx, warmup) + 1)
+    per_round = [len(trace.changed_nodes(r)) for r in range(start, trace.num_rounds + 1)]
+    if not per_round:
+        return {"total_changed_outputs": 0.0, "max_changed_outputs": 0.0, "activity_rounds": 0.0}
+    return {
+        "total_changed_outputs": float(sum(per_round)),
+        "max_changed_outputs": float(max(per_round)),
+        "activity_rounds": float(len(per_round)),
+    }
 
 
 @METRICS.register("region-stability")
@@ -790,4 +853,43 @@ class _PaletteInvariantProbe:
             if self.observations
             else 0.0,
             "uncolored_fraction": uncolored / self._ctx.n,
+        }
+
+
+@PROBES.register("activity")
+class _ActivityProbe:
+    """Engine-activity observer consuming the round's dirty set and delta.
+
+    Delta-native: reads :attr:`~repro.runtime.simulator.Simulator.last_round_activity`
+    (the incremental engine's own bookkeeping) instead of scanning all ``n``
+    outputs per round — the probe itself is O(1) per round.  Reports how
+    quiescent the run was: mean/max dirty-frontier size, the fraction of
+    node-rounds that were active, and the mean topology churn per round.
+    """
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        self._active: list[int] = []
+        self._changed: list[int] = []
+        self._churn: list[int] = []
+
+    def observe(self, sim) -> bool:
+        activity = sim.last_round_activity
+        self._active.append(activity.num_active)
+        self._changed.append(len(activity.changed_outputs))
+        self._churn.append(activity.delta.num_changes if activity.delta is not None else -1)
+        return False
+
+    def finish(self) -> Dict[str, float]:
+        rounds = max(1, len(self._active))
+        total_active = float(sum(self._active))
+        churn_known = [c for c in self._churn if c >= 0]
+        return {
+            "mean_active": total_active / rounds,
+            "max_active": float(max(self._active, default=0)),
+            "active_node_round_fraction": total_active / (rounds * max(1, self._ctx.n)),
+            "mean_changed_outputs": float(sum(self._changed)) / rounds,
+            "mean_topology_churn": float(sum(churn_known)) / len(churn_known)
+            if churn_known
+            else float("nan"),
         }

@@ -26,15 +26,16 @@ third-party components).
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.utils.rng import RngFactory
 from repro.analysis.sweep import Replication, aggregate_rows
-from repro.runtime.simulator import Simulator
+from repro.runtime.simulator import Simulator, delivery_mode
 from repro.scenarios.registry import (
     ADVERSARIES,
     ALGORITHMS,
@@ -49,12 +50,20 @@ from repro.scenarios.spec import ScenarioSpec
 __all__ = [
     "ScenarioContext",
     "ScenarioResult",
+    "VERIFY_INCREMENTAL_ENV",
     "run_scenario",
     "run_scenario_seed",
     "sweep",
 ]
 
 Row = Dict[str, float]
+
+#: Debug flag: when set (to anything but ``0``/empty), every seed that ran on
+#: the incremental delivery path is re-run on the full path and the two
+#: traces are compared row by row — an algorithm whose declared ``"pure"``
+#: contract is wrong is caught with a :class:`SimulationError` instead of
+#: silently producing a divergent trace.
+VERIFY_INCREMENTAL_ENV = "REPRO_VERIFY_INCREMENTAL"
 
 
 @dataclass
@@ -100,10 +109,15 @@ def _build_context(spec: ScenarioSpec, seed: int) -> ScenarioContext:
         rounds=spec.resolved_rounds(),
         rng_factory=RngFactory(int(seed)),
     )
+    # Built through the per-process topology cache: repeated (family, params,
+    # n, seed) tuples — adversary/algorithm grid points, resumed sweeps —
+    # reuse the immutable Topology instead of regenerating it (the cache
+    # spawns the identical ("topology", name, n) stream on a miss, so hits
+    # and misses are byte-indistinguishable).
+    from repro.exec.cache import cached_base_topology
+
     topology = spec.topology
-    ctx.base = TOPOLOGIES.get(topology.name)(
-        n, ctx.stream("topology", topology.name, n), **topology.params
-    )
+    ctx.base = cached_base_topology(topology.name, topology.params, n, ctx.seed)
     if spec.wakeup is not None:
         ctx.wakeup = WAKEUPS.get(spec.wakeup.name)(ctx, **spec.wakeup.params)
     ctx.adversary = ADVERSARIES.get(spec.adversary.name)(ctx, **spec.adversary.params)
@@ -111,44 +125,116 @@ def _build_context(spec: ScenarioSpec, seed: int) -> ScenarioContext:
     return ctx
 
 
+def _execute_seed(spec: ScenarioSpec, seed: int) -> Tuple[Row, Simulator]:
+    """Run one seed-replication and return its metric row plus the simulator.
+
+    Reports per-phase timings (setup / round loop / metric extraction) into
+    the ambient :mod:`repro.exec.stats` collector when one is installed —
+    that is where ``repro bench``'s timing splits come from.
+    """
+    from repro.exec.stats import UNIT_METRICS, UNIT_ROUNDS, UNIT_SETUP, timed_phase
+
+    with timed_phase(UNIT_SETUP):
+        ctx = _build_context(spec, seed)
+        stop_when = None
+        if spec.stop is not None:
+            stop_when = STOP_CONDITIONS.get(spec.stop.name)(ctx, **spec.stop.params)
+        sim = Simulator(
+            n=ctx.n,
+            algorithm=ctx.algorithm,
+            adversary=ctx.adversary,
+            seed=ctx.seed,
+            expose_state_to_adversary=spec.expose_state_to_adversary,
+            # With a probe, the round loop below owns the stop check — passing
+            # the predicate to the simulator too would evaluate it twice a round.
+            stop_when=None if spec.probe is not None else stop_when,
+        )
+        probe = None
+        if spec.probe is not None:
+            probe = PROBES.get(spec.probe.name)(ctx, **spec.probe.params)
+    with timed_phase(UNIT_ROUNDS):
+        if probe is not None:
+            for _ in range(ctx.rounds):
+                sim.run(1)
+                if probe.observe(sim):
+                    break
+                if stop_when is not None and stop_when(sim.trace):
+                    break
+        else:
+            sim.run(ctx.rounds)
+    ctx.trace = sim.trace
+
+    row: Row = {}
+    with timed_phase(UNIT_METRICS):
+        for metric in spec.metrics:
+            row.update(METRICS.get(metric.name)(ctx, **metric.params))
+        if probe is not None:
+            row.update(probe.finish())
+    return row, sim
+
+
+def _comparable_trace_rows(trace) -> List[tuple]:
+    """Flatten a trace into the tuples the incremental-verification gate compares."""
+    return [
+        (
+            record.round_index,
+            record.topology.nodes,
+            record.topology.edges,
+            dict(record.outputs),
+            record.metrics.as_dict(),
+        )
+        for record in trace
+    ]
+
+
 def run_scenario_seed(spec: ScenarioSpec, seed: int) -> Row:
     """Run one seed-replication of ``spec`` and return its metric row.
 
     This is the deterministic work unit of the batch executor: the same
     ``(spec, seed)`` pair always yields the same row, in any process.
-    """
-    ctx = _build_context(spec, seed)
-    stop_when = None
-    if spec.stop is not None:
-        stop_when = STOP_CONDITIONS.get(spec.stop.name)(ctx, **spec.stop.params)
-    sim = Simulator(
-        n=ctx.n,
-        algorithm=ctx.algorithm,
-        adversary=ctx.adversary,
-        seed=ctx.seed,
-        expose_state_to_adversary=spec.expose_state_to_adversary,
-        # With a probe, the round loop below owns the stop check — passing
-        # the predicate to the simulator too would evaluate it twice a round.
-        stop_when=None if spec.probe is not None else stop_when,
-    )
-    probe = None
-    if spec.probe is not None:
-        probe = PROBES.get(spec.probe.name)(ctx, **spec.probe.params)
-        for _ in range(ctx.rounds):
-            sim.run(1)
-            if probe.observe(sim):
-                break
-            if stop_when is not None and stop_when(sim.trace):
-                break
-    else:
-        sim.run(ctx.rounds)
-    ctx.trace = sim.trace
 
-    row: Row = {}
-    for metric in spec.metrics:
-        row.update(METRICS.get(metric.name)(ctx, **metric.params))
-    if probe is not None:
-        row.update(probe.finish())
+    With ``REPRO_VERIFY_INCREMENTAL=1`` in the environment, a seed that ran
+    on the incremental delivery path is re-executed on the full path and the
+    two traces must match row for row — the debug harness that catches an
+    algorithm declaring the ``"pure"`` contract it does not honour.
+    """
+    row, sim = _execute_seed(spec, seed)
+    verify = os.environ.get(VERIFY_INCREMENTAL_ENV, "").strip() not in ("", "0")
+    if verify and sim.delivery == "incremental":
+        from repro.exec.stats import collect_stats
+
+        # The throwaway collector keeps the verification re-run's phase
+        # timings out of the caller's stats — `repro bench` splits must
+        # reflect one execution per seed, not the debug double-run.
+        with delivery_mode("full"), collect_stats():
+            full_row, full_sim = _execute_seed(spec, seed)
+        incremental_rows = _comparable_trace_rows(sim.trace)
+        full_rows = _comparable_trace_rows(full_sim.trace)
+        # Metric rows are compared only for probe-less runs: a probe may
+        # legitimately report the *engine's* per-round activity (e.g. the
+        # "activity" probe reads the dirty set), which differs between
+        # delivery paths by design.  The model-level record — every round's
+        # topology, outputs and metrics — must always match.
+        rows_comparable = spec.probe is None
+        if incremental_rows != full_rows or (rows_comparable and row != full_row):
+            if len(incremental_rows) != len(full_rows):
+                raise SimulationError(
+                    f"incremental delivery simulated {len(incremental_rows)} rounds but "
+                    f"the full path {len(full_rows)} for algorithm {spec.algorithm.name!r} "
+                    f"(seed {seed}): the message_stability='pure' declaration is wrong"
+                )
+            for inc, full in zip(incremental_rows, full_rows):
+                if inc != full:
+                    raise SimulationError(
+                        f"incremental delivery diverged from the full path at round "
+                        f"{inc[0]} for algorithm {spec.algorithm.name!r} (seed {seed}): "
+                        f"the algorithm's message_stability='pure' declaration is wrong"
+                    )
+            raise SimulationError(
+                f"incremental delivery produced a different metric row than the "
+                f"full path for algorithm {spec.algorithm.name!r} (seed {seed}): "
+                f"the algorithm's message_stability='pure' declaration is wrong"
+            )
     return row
 
 

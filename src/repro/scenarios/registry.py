@@ -130,6 +130,20 @@ class Registry:
         self._entries.pop(name, None)
         self._docs.pop(name, None)
 
+    def set_doc(self, name: str, doc: str) -> None:
+        """Replace the one-line description of an already-registered component.
+
+        Used by :mod:`repro.scenarios.components` to enrich docs with
+        metadata known only after registration (e.g. an algorithm's declared
+        delivery contract).
+        """
+        if name not in self._entries:
+            raise RegistryError(
+                f"unknown {self._kind} {name!r}{self._hint(name)}; "
+                f"available: {list(self.available())}"
+            )
+        self._docs[name] = doc.strip()
+
     def get(self, name: str) -> Callable:
         """Look up the factory registered under ``name``.
 
