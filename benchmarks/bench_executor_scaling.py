@@ -16,9 +16,11 @@ This benchmark times four executors over the same unit batches:
   payload and one spec re-parse per unit;
 * ``process`` — the new chunked process backend (spec sent once per chunk,
   parsed once per worker via the spec cache);
-* ``thread`` / ``local-cluster`` — the other registered backends, for
-  coverage (the GIL caps ``thread`` on CPU-bound units; ``local-cluster``
-  pays a JSON round-trip for its distribution-ready contract).
+* ``thread`` / ``local-cluster`` / ``remote`` — the other registered
+  backends, for coverage (the GIL caps ``thread`` on CPU-bound units;
+  ``local-cluster`` pays a JSON round-trip for its distribution-ready
+  contract; ``remote`` adds the loopback-transport dispatcher on top —
+  heartbeats, deadlines and adaptive sizing included in its number).
 
 Workloads:
 
@@ -171,7 +173,7 @@ def run_workload(
     timings["pr1_unchunked"] = len(units) / pr1_elapsed
     identical["pr1_unchunked"] = canonical_json(pr1_rows) == reference
 
-    for backend in ("process", "thread", "local-cluster"):
+    for backend in ("process", "thread", "local-cluster", "remote"):
         rows, elapsed = _run_backend(backend, units, chunk_size)
         timings[backend.replace("-", "_")] = len(units) / elapsed
         identical[backend.replace("-", "_")] = canonical_json(rows) == reference
@@ -192,6 +194,7 @@ def run_workload(
         f"process-chunked={timings['process']:7.1f} r/s  "
         f"thread={timings['thread']:7.1f} r/s  "
         f"local-cluster={timings['local_cluster']:7.1f} r/s  "
+        f"remote={timings['remote']:7.1f} r/s  "
         f"speedup={row['speedup_chunked_vs_unchunked']}x"
     )
     mismatched = [name for name, same in identical.items() if not same]

@@ -11,7 +11,7 @@ benchmarks all execute through it.
 
 >>> from repro.exec import BACKENDS
 >>> sorted(BACKENDS)
-['local-cluster', 'process', 'serial', 'thread']
+['local-cluster', 'process', 'remote', 'serial', 'thread']
 
 Backends are a registry like every other scenario component, so a remote or
 cluster-scale runner plugs in without touching the pipeline::
@@ -25,7 +25,9 @@ cluster-scale runner plugs in without touching the pipeline::
 The distributed-ready seam is the JSON wire contract
 (:meth:`~repro.exec.units.Chunk.to_wire` /
 :func:`~repro.exec.units.execute_chunk_wire`): the bundled ``local-cluster``
-backend already speaks nothing else.
+backend speaks nothing else, and the ``remote`` backend
+(:mod:`repro.exec.remote`) carries the same strings over pluggable
+transports to long-lived workers on other machines.
 """
 
 from repro.exec.units import (
@@ -45,7 +47,13 @@ from repro.exec.cache import (
     topology_cache_clear,
     topology_cache_info,
 )
-from repro.exec.stats import StatsCollector, collect_stats, record_phase, timed_phase
+from repro.exec.stats import (
+    RateEstimator,
+    StatsCollector,
+    collect_stats,
+    record_phase,
+    timed_phase,
+)
 from repro.exec.policy import (
     ExecutionPolicy,
     current_policy,
@@ -57,6 +65,16 @@ from repro.exec.journal import SweepJournal
 from repro.exec.progress import ProgressReporter
 from repro.exec.runner import INTERRUPT_ENV, run_units
 
+# Importing the remote package registers the ``remote`` backend; it must come
+# after ``backends`` (the registry) and ``units`` (the wire contract).
+from repro.exec.remote import (  # noqa: E402
+    TRANSPORTS,
+    RemoteBackend,
+    WORKER_HANG_ENV,
+    WORKER_INTERRUPT_ENV,
+    parse_hosts,
+)
+
 __all__ = [
     "BACKENDS",
     "Backend",
@@ -65,8 +83,13 @@ __all__ = [
     "ExecutionPolicy",
     "INTERRUPT_ENV",
     "ProgressReporter",
+    "RateEstimator",
+    "RemoteBackend",
     "StatsCollector",
     "SweepJournal",
+    "TRANSPORTS",
+    "WORKER_HANG_ENV",
+    "WORKER_INTERRUPT_ENV",
     "WorkUnit",
     "auto_chunk_size",
     "batch_key",
@@ -78,6 +101,7 @@ __all__ = [
     "execute_chunk_wire",
     "execute_unit",
     "make_backend",
+    "parse_hosts",
     "policy_from_mapping",
     "record_phase",
     "resolve_policy",

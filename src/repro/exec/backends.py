@@ -26,6 +26,12 @@ Registered backends (``BACKENDS``):
     ``{"index", "rows"}`` JSON out).  It is deliberately the stepping stone
     to a remote/distributed runner: replace the two queues with any transport
     that moves strings and the contract — and the rows — stay identical.
+``remote``
+    The distributed sweep fabric built on exactly that seam
+    (:mod:`repro.exec.remote`): long-lived workers behind a pluggable
+    transport (``loopback`` subprocesses or ``ssh``), with fault-tolerant
+    re-dispatch, heartbeats, per-worker in-flight limits and adaptive chunk
+    re-sizing.  Registered on import of :mod:`repro.exec.remote`.
 
 New backends register with the usual decorator::
 
@@ -44,7 +50,7 @@ import queue as queue_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.scenarios.registry import Registry
 from repro.exec.units import Chunk, Row, execute_chunk, execute_chunk_wire
 
@@ -288,6 +294,28 @@ class LocalClusterBackend(Backend):
             yield int(message["index"]), list(message["rows"])
 
 
-def make_backend(name: str, max_workers: int) -> Backend:
-    """Instantiate the backend registered under ``name``."""
-    return BACKENDS.get(name)(max_workers)
+def make_backend(
+    name: str,
+    max_workers: int,
+    options: Optional[Dict] = None,
+    extras: Optional[Dict] = None,
+) -> Backend:
+    """Instantiate the backend registered under ``name``.
+
+    ``options`` are user-facing transport options (an
+    :meth:`~repro.exec.policy.ExecutionPolicy.backend_options` dict) and must
+    be consumed: passing them to a backend that declares no
+    ``accepts_options`` fails loudly instead of silently ignoring a
+    ``--transport``/``--hosts`` flag.  ``extras`` are runner-internal hooks
+    (e.g. the shared rate estimator) that option-less backends drop.
+    """
+    builder = BACKENDS.get(name)
+    accepts = bool(getattr(builder, "accepts_options", False))
+    if options and not accepts:
+        raise ConfigurationError(
+            f"backend {name!r} accepts no transport options "
+            f"(got {sorted(options)}); use --backend remote"
+        )
+    if accepts:
+        return builder(max_workers, **{**(extras or {}), **(options or {})})
+    return builder(max_workers)

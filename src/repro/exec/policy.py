@@ -23,7 +23,7 @@ import os
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, replace
-from typing import Any, Iterator, Mapping, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -37,7 +37,15 @@ __all__ = [
 ]
 
 #: Keys an ``"execution"`` config block may contain.
-_POLICY_KEYS = {"backend", "chunk_size", "max_workers", "resume", "progress"}
+_POLICY_KEYS = {
+    "backend",
+    "chunk_size",
+    "max_workers",
+    "resume",
+    "progress",
+    "transport",
+    "hosts",
+}
 
 
 @dataclass(frozen=True)
@@ -63,6 +71,12 @@ class ExecutionPolicy:
         Report rows/sec and ETA to stderr while the batch runs.
     journal_dir:
         Directory for sweep journals; ``None`` disables checkpointing.
+    transport:
+        Remote transport name for the ``remote`` backend (``loopback`` /
+        ``ssh``); ``None`` uses the backend default (``loopback``).
+    hosts:
+        Fleet member list for the ``remote`` backend: ``host`` or
+        ``host=slots`` entries (``slots`` = that worker's in-flight limit).
     """
 
     backend: str = "serial"
@@ -71,6 +85,8 @@ class ExecutionPolicy:
     resume: bool = False
     progress: bool = False
     journal_dir: Optional[str] = None
+    transport: Optional[str] = None
+    hosts: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.backend, str) or not self.backend:
@@ -83,10 +99,35 @@ class ExecutionPolicy:
                 raise ConfigurationError(
                     f"{field_name} must be a positive integer or null, got {value!r}"
                 )
+        if self.transport is not None and (
+            not isinstance(self.transport, str) or not self.transport
+        ):
+            raise ConfigurationError(
+                f"transport must be a non-empty string or None, got {self.transport!r}"
+            )
+        if self.hosts is not None:
+            hosts = tuple(str(h) for h in self.hosts)
+            if not hosts:
+                raise ConfigurationError("hosts must be a non-empty list or None")
+            object.__setattr__(self, "hosts", hosts)
 
     def replace(self, **changes: Any) -> "ExecutionPolicy":
         """Field-level copy-and-update."""
         return replace(self, **changes)
+
+    def backend_options(self) -> Dict[str, Any]:
+        """The transport-level options this policy pins (for ``make_backend``).
+
+        Only user-facing transport knobs belong here — ``make_backend`` fails
+        loudly when a backend cannot consume them, so ``--transport ssh``
+        with ``--backend process`` is an error rather than a silent no-op.
+        """
+        options: Dict[str, Any] = {}
+        if self.transport is not None:
+            options["transport"] = self.transport
+        if self.hosts is not None:
+            options["hosts"] = list(self.hosts)
+        return options
 
 
 def policy_from_mapping(
@@ -117,12 +158,36 @@ def policy_from_mapping(
     for flag in ("resume", "progress"):
         if flag in data and not isinstance(data[flag], bool):
             raise ConfigurationError(f"{where}: {flag!r} must be a boolean, got {data[flag]!r}")
+    transport = data.get("transport")
+    if transport is not None:
+        from repro.exec.remote.transport import TRANSPORTS
+
+        if transport not in TRANSPORTS:
+            hint = suggestion_hint(transport, TRANSPORTS.available())
+            raise ConfigurationError(
+                f"{where}: unknown remote transport {transport!r}{hint}; "
+                f"available: {list(TRANSPORTS.available())}"
+            )
+    hosts = data.get("hosts")
+    if hosts is not None:
+        if not isinstance(hosts, (list, tuple)) or not all(
+            isinstance(h, str) and h for h in hosts
+        ):
+            raise ConfigurationError(
+                f"{where}: 'hosts' must be a list of 'host' or 'host=slots' strings, "
+                f"got {hosts!r}"
+            )
+        from repro.exec.remote.transport import parse_hosts
+
+        parse_hosts(hosts)  # validates the host=slots syntax eagerly
     return ExecutionPolicy(
         backend=str(backend),
         chunk_size=data.get("chunk_size"),
         max_workers=data.get("max_workers"),
         resume=bool(data.get("resume", False)),
         progress=bool(data.get("progress", False)),
+        transport=transport,
+        hosts=tuple(hosts) if hosts else None,
     )
 
 
@@ -184,5 +249,10 @@ def resolve_policy(
         return policy
     ambient = current_policy()
     if ambient is not None:
-        return ambient if parallel else ambient.replace(backend="serial")
+        if parallel:
+            return ambient
+        # The serial gate also drops transport options: they belong to the
+        # remote backend the gate just overrode, and make_backend rejects
+        # them on any other backend by design.
+        return ambient.replace(backend="serial", transport=None, hosts=None)
     return ExecutionPolicy(backend="process" if parallel else "serial", max_workers=max_workers)

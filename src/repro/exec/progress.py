@@ -5,13 +5,22 @@ terminal, plain appended lines when stderr is a pipe (CI logs), silence when
 disabled.  The reporter measures *units completed per second of wall time*,
 which is the number the executor-scaling benchmark optimises, so the live
 display and the committed benchmark speak the same unit.
+
+When the runner hands over its :class:`~repro.exec.stats.RateEstimator`
+(``rate_source``), the displayed rows/sec and ETA come from the estimator's
+smoothed per-unit cost instead of the raw wall-clock average — the same
+number the remote dispatcher uses to size chunks, so the live display and
+the adaptive dispatcher agree — and the line gains a ``~X ms/unit`` figure.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Optional, TextIO
+from typing import TYPE_CHECKING, Optional, TextIO
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stats imports nothing here)
+    from repro.exec.stats import RateEstimator
 
 __all__ = ["ProgressReporter"]
 
@@ -45,6 +54,10 @@ class ProgressReporter:
         excluded from the rows/sec rate (they cost no wall time this run).
     stream:
         Defaults to ``sys.stderr``; parameterised for tests.
+    rate_source:
+        Optional :class:`~repro.exec.stats.RateEstimator` shared with the
+        runner/dispatcher; when it has observations its smoothed rate wins
+        over the wall-clock average.
     """
 
     def __init__(
@@ -55,6 +68,7 @@ class ProgressReporter:
         enabled: bool = False,
         already_done: int = 0,
         stream: Optional[TextIO] = None,
+        rate_source: Optional["RateEstimator"] = None,
     ) -> None:
         self.total = int(total)
         self.label = label
@@ -62,6 +76,7 @@ class ProgressReporter:
         self._restored = int(already_done)
         self._done = int(already_done)
         self._stream = stream if stream is not None else sys.stderr
+        self._rate_source = rate_source
         self._started = time.perf_counter()
         self._last_paint = 0.0
         self._isatty = bool(getattr(self._stream, "isatty", lambda: False)())
@@ -91,8 +106,18 @@ class ProgressReporter:
     # -- rendering ----------------------------------------------------------
 
     def _rate(self) -> float:
+        if self._rate_source is not None:
+            smoothed = self._rate_source.rate
+            if smoothed is not None and smoothed > 0:
+                return smoothed
         elapsed = max(time.perf_counter() - self._started, 1e-9)
         return (self._done - self._restored) / elapsed
+
+    def _per_unit_ms(self) -> Optional[float]:
+        if self._rate_source is None:
+            return None
+        cost = self._rate_source.seconds_per_unit
+        return cost * 1000.0 if cost is not None else None
 
     def _paint(self, *, force: bool = False) -> None:
         now = time.perf_counter()
@@ -100,10 +125,12 @@ class ProgressReporter:
             return
         self._last_paint = now
         rate = self._rate()
+        per_unit_ms = self._per_unit_ms()
         parts = [
             f"{self.label}: " if self.label else "",
             f"{self._done}/{self.total} units",
             f" | {rate:.1f} rows/s" if rate > 0 else "",
+            f" | ~{per_unit_ms:.1f} ms/unit" if per_unit_ms is not None else "",
         ]
         if self._restored and self._done == self._restored:
             parts.append(f" | {self._restored} restored from journal")

@@ -21,6 +21,10 @@ Fault injection for tests and the CI resume gate: setting the environment
 variable ``REPRO_EXEC_INTERRUPT_AFTER`` to an integer makes the runner raise
 :class:`KeyboardInterrupt` after that many freshly computed units have been
 journalled — a deterministic stand-in for "the machine died mid-sweep".
+Its worker-side siblings ``REPRO_EXEC_WORKER_INTERRUPT_AFTER`` /
+``REPRO_EXEC_WORKER_HANG_AFTER`` (see :mod:`repro.exec.remote.worker`) kill
+or wedge one *remote worker* mid-chunk instead, exercising the dispatcher's
+re-dispatch path rather than the journal.
 """
 
 from __future__ import annotations
@@ -35,7 +39,7 @@ from repro.exec.backends import Backend, BackendError, make_backend
 from repro.exec.journal import SweepJournal
 from repro.exec.policy import ExecutionPolicy, default_workers, resolve_policy
 from repro.exec.progress import ProgressReporter
-from repro.exec.stats import EXEC_DISPATCH, EXEC_JOURNAL, timed_phase
+from repro.exec.stats import EXEC_DISPATCH, EXEC_JOURNAL, RateEstimator, timed_phase
 from repro.exec.units import Chunk, Row, WorkUnit, auto_chunk_size, build_chunks
 
 __all__ = ["INTERRUPT_ENV", "run_units"]
@@ -108,8 +112,13 @@ def run_units(
 
     rows: List[Optional[Row]] = [completed.get(i) for i in range(len(units))]
     pending = [i for i in range(len(units)) if i not in completed]
+    estimator = RateEstimator()
     progress = ProgressReporter(
-        len(units), label=label, enabled=policy.progress, already_done=len(completed)
+        len(units),
+        label=label,
+        enabled=policy.progress,
+        already_done=len(completed),
+        rate_source=estimator,
     )
     interrupter = _Interrupter()
 
@@ -132,11 +141,20 @@ def run_units(
                 with timed_phase(EXEC_JOURNAL):
                     journal.record(index, row)
         received.add(chunk.index)
+        estimator.observe_batch(len(chunk.seeds))
         progress.update(len(chunk.seeds))
         interrupter.tick(len(chunk.seeds))
 
     try:
-        backend: Backend = make_backend(backend_name, workers)
+        # An explicit chunk size is a promise: the remote dispatcher must not
+        # re-split it adaptively behind the caller's back.  Both hooks travel
+        # as extras so option-less backends simply ignore them.
+        extras = {"cost_estimator": estimator}
+        if policy.chunk_size is not None:
+            extras["adaptive"] = False
+        backend: Backend = make_backend(
+            backend_name, workers, policy.backend_options() or None, extras=extras
+        )
         try:
             with backend, timed_phase(EXEC_DISPATCH):
                 for chunk_index, chunk_rows in backend.submit_batch(chunks):

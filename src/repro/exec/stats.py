@@ -21,7 +21,13 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
-__all__ = ["StatsCollector", "collect_stats", "record_phase", "timed_phase"]
+__all__ = [
+    "RateEstimator",
+    "StatsCollector",
+    "collect_stats",
+    "record_phase",
+    "timed_phase",
+]
 
 #: Phase names the pipeline reports (others are allowed; these are the
 #: conventional ones surfaced by ``repro bench``): component building per
@@ -60,6 +66,69 @@ class StatsCollector:
         """``{phase: seconds}`` snapshot."""
         with self._lock:
             return dict(self._seconds)
+
+
+class RateEstimator:
+    """EMA model of observed unit throughput and per-unit cost.
+
+    The runner feeds it completion events (:meth:`observe_batch`) and remote
+    workers feed it their measured wall time per dispatch
+    (:meth:`observe_cost`); the progress reporter reads :attr:`rate` /
+    :attr:`seconds_per_unit` for a stats-derived ETA that settles quickly
+    and tracks load changes, instead of the raw cumulative average, and the
+    remote dispatcher reads :attr:`seconds_per_unit` to size outgoing
+    chunks.  Thread-safe: reader threads and the dispatch loop may report
+    concurrently.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        self._alpha = float(alpha)
+        self._lock = threading.Lock()
+        self._rate: Optional[float] = None
+        self._cost: Optional[float] = None
+        self._last_batch = time.perf_counter()
+
+    def _blend(self, previous: Optional[float], sample: float) -> float:
+        return sample if previous is None else previous + self._alpha * (sample - previous)
+
+    def observe_batch(self, units: int) -> None:
+        """``units`` more completions arrived (wall interval measured here)."""
+        now = time.perf_counter()
+        with self._lock:
+            interval = now - self._last_batch
+            self._last_batch = now
+            if units > 0 and interval > 0:
+                self._rate = self._blend(self._rate, units / interval)
+
+    def observe_cost(self, units: int, seconds: float) -> None:
+        """A worker reports ``units`` computed in ``seconds`` of its wall time."""
+        if units > 0 and seconds > 0:
+            with self._lock:
+                self._cost = self._blend(self._cost, seconds / units)
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Smoothed units/second throughput (``None`` before any observation).
+
+        Falls back to the inverse worker-side cost when only workers have
+        reported — a single-worker approximation, but better than showing
+        nothing before the first dispatcher-side completion.
+        """
+        if self._rate is not None:
+            return self._rate
+        return (1.0 / self._cost) if self._cost else None
+
+    @property
+    def seconds_per_unit(self) -> Optional[float]:
+        """Smoothed worker-side cost of one unit (``None`` without reports).
+
+        Falls back to the inverse throughput when no worker-side cost has
+        been reported (serial and pooled backends measure nothing inside
+        the worker).
+        """
+        if self._cost is not None:
+            return self._cost
+        return (1.0 / self._rate) if self._rate else None
 
 
 #: The active collector (None = reporting disabled).  A plain global, not a

@@ -1,0 +1,189 @@
+"""Store auditing: find interrupted, torn, corrupt or drifted state.
+
+The results store is append-by-rename and content-addressed, and the sweep
+journals are flush-per-unit checkpoints — so every irregular on-disk state
+has a *meaning*, and :func:`audit_store` (surfaced as ``repro audit``) turns
+each one into a :class:`Finding`:
+
+``interrupted``
+    A journal under ``<store>/.journals`` — journals are deleted when their
+    batch completes, so an existing one *is* an interrupted run.  The finding
+    reports completed/total units; ``repro repair`` (or re-running the config
+    with ``--resume``) finishes the batch.
+``corrupt-journal``
+    A journal whose header is missing or not ``repro-journal/1`` — a resume
+    would recompute from scratch.
+``torn-write``
+    A leftover ``*.json.tmp`` scratch file: a crash happened between write
+    and rename.  The target entry is still intact (that is the point of the
+    rename dance); the scratch is safe to delete and ``repro repair`` does.
+``corrupt-entry``
+    An entry file that does not parse or has the wrong format version.
+``key-drift``
+    An entry whose recorded ``key_hash`` no longer equals the content hash
+    of its recorded key — the file was hand-edited or the hashing changed.
+``misfiled``
+    An entry whose file name does not match its label/key-hash — it was
+    renamed or copied and can shadow nothing; ``repro gc`` would not protect
+    it either.
+``schema-drift``
+    An entry whose recorded ``row_schema`` is not the column union of its
+    rows — the rows were edited after writing.
+
+Findings are facts about the tree, not judgements about who caused them;
+``repro audit`` exits 1 when any exist, which is what lets CI gate on a
+committed results tree being complete and internally consistent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.exec.journal import JOURNAL_FORMAT
+from repro.scenarios.store import ResultsStore, StoreEntry, content_key, _HASH_PREFIX_LEN, _slug
+
+__all__ = ["Finding", "audit_store", "journal_status"]
+
+#: Where a store keeps its sweep journals (mirrors ``repro.scenarios.cli``).
+JOURNALS_SUBDIR = ".journals"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One irregularity in a results tree."""
+
+    category: str
+    path: str
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"category": self.category, "path": self.path, "message": self.message}
+
+    def describe(self) -> str:
+        return f"[{self.category}] {self.path}: {self.message}"
+
+
+def journal_status(path: Path) -> Dict[str, Any]:
+    """Parse one journal checkpoint: ``{"ok", "total", "completed", "torn"}``.
+
+    Tolerates the same states :meth:`~repro.exec.journal.SweepJournal.load`
+    does — a torn final line is reported, not fatal — but unlike the loader
+    it does not need the batch's units: an audit sees only the file.
+    """
+    status: Dict[str, Any] = {"ok": False, "total": None, "completed": 0, "torn": False}
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return status
+    if not lines:
+        return status
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        return status
+    if not isinstance(header, dict) or header.get("format") != JOURNAL_FORMAT:
+        return status
+    status["ok"] = True
+    status["total"] = header.get("total")
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            status["torn"] = True
+            continue
+        if isinstance(record, dict) and "i" in record and "row" in record:
+            status["completed"] += 1
+    return status
+
+
+def _audit_journals(store_root: Path) -> Iterator[Finding]:
+    for path in sorted((store_root / JOURNALS_SUBDIR).glob("*.jsonl")):
+        status = journal_status(path)
+        if not status["ok"]:
+            yield Finding(
+                "corrupt-journal",
+                str(path),
+                f"missing or unrecognised header (expected {JOURNAL_FORMAT!r})",
+            )
+            continue
+        total = status["total"]
+        done = status["completed"]
+        torn = " (torn final line)" if status["torn"] else ""
+        yield Finding(
+            "interrupted",
+            str(path),
+            f"interrupted batch: {done}/{total} units complete{torn}; "
+            f"finish it with 'repro repair' or re-run the config with --resume",
+        )
+
+
+def _entry_findings(path: Path, entry: StoreEntry) -> Iterator[Finding]:
+    recorded = content_key(entry.key)
+    if recorded != entry.key_hash:
+        yield Finding(
+            "key-drift",
+            str(path),
+            f"recorded key_hash {entry.key_hash[:12]} != content hash {recorded[:12]} "
+            f"of the recorded key (entry was edited after writing)",
+        )
+        return  # the name check below would re-report the same corruption
+    expected_name = f"{_slug(entry.label)}-{entry.key_hash[:_HASH_PREFIX_LEN]}.json"
+    if path.name != expected_name:
+        yield Finding(
+            "misfiled",
+            str(path),
+            f"file name should be {expected_name} for label {entry.label!r} "
+            f"(renamed or copied entry; unreachable by its key)",
+        )
+    columns: set = set()
+    for row in entry.rows:
+        columns.update(row)
+    if tuple(sorted(columns)) != tuple(entry.row_schema):
+        yield Finding(
+            "schema-drift",
+            str(path),
+            f"row_schema {list(entry.row_schema)} does not match the "
+            f"column union {sorted(columns)} of the rows",
+        )
+
+
+def audit_store(store_root: Path | str, *, kind: Optional[str] = None) -> List[Finding]:
+    """Every irregularity in the results tree at ``store_root``."""
+    store_root = Path(store_root)
+    store = ResultsStore(store_root)
+    findings: List[Finding] = []
+    if kind is not None:
+        kind_dirs = [store_root / kind]
+    elif store_root.is_dir():
+        findings.extend(_audit_journals(store_root))
+        kind_dirs = sorted(
+            p for p in store_root.iterdir() if p.is_dir() and not p.name.startswith(".")
+        )
+    else:
+        kind_dirs = []
+    for directory in kind_dirs:
+        if not directory.is_dir():
+            continue
+        for scratch in sorted(directory.glob("*.json.tmp")):
+            findings.append(
+                Finding(
+                    "torn-write",
+                    str(scratch),
+                    "leftover scratch file from a crash between write and rename; "
+                    "safe to delete ('repro repair' does)",
+                )
+            )
+        for path in sorted(directory.glob("*.json")):
+            try:
+                entry = store.load(path)
+            except ConfigurationError as exc:
+                findings.append(Finding("corrupt-entry", str(path), str(exc)))
+                continue
+            findings.extend(_entry_findings(path, entry))
+    return findings

@@ -17,17 +17,25 @@ Subcommands::
     repro bench --all                  # benchmark-scale runs with timings
     repro validate                     # check every committed config
     repro diff results /tmp/fresh      # exit 1 on any row drift
-    repro log --kind smoke             # stored entries with provenance
+    repro audit                        # exit 1 on interrupted/torn/drifted state
+    repro repair                       # finish interrupted batches, clean torn writes
+    repro log --kind smoke [--json]    # stored entries with provenance
     repro gc                           # prune entries unreachable from configs
 
 ``repro diff`` is the drift gate CI builds on: regenerate the smoke tables
 into a scratch store, diff against the committed fixtures, and a non-zero
-exit code fails the build.
+exit code fails the build.  ``repro audit`` is its structural sibling: it
+scans a store *tree* (entries, scratch files, journals) for interrupted or
+internally inconsistent state, and ``repro repair`` re-runs exactly the
+missing units of every interrupted batch it can match back to a committed
+config (resume semantics make the reassembled entries byte-identical to an
+uninterrupted run).
 
 Execution is controlled per run by ``--backend`` (serial / process / thread /
-local-cluster), ``--chunk-size``, ``--workers``, ``--progress`` and
-``--resume``, or per config by an ``"execution"`` block (CLI flags win); see
-:mod:`repro.exec`.  Store-backed runs keep a sweep journal under
+local-cluster / remote), ``--chunk-size``, ``--workers``, ``--progress`` and
+``--resume`` — plus ``--transport``/``--hosts`` for the distributed
+``remote`` backend — or per config by an ``"execution"`` block (CLI flags
+win); see :mod:`repro.exec`.  Store-backed runs keep a sweep journal under
 ``<store>/.journals`` so a killed sweep resumes exactly where it stopped.
 """
 
@@ -35,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import datetime as _datetime
+import json
 import os
 import sys
 import time
@@ -44,8 +53,18 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.errors import ReproError
 from repro.version import __version__
 from repro.analysis.report import format_table
-from repro.exec import BACKENDS, ExecutionPolicy, collect_stats, policy_from_mapping, use_policy
+from repro.exec import (
+    BACKENDS,
+    TRANSPORTS,
+    ExecutionPolicy,
+    batch_key,
+    collect_stats,
+    policy_from_mapping,
+    units_for_spec,
+    use_policy,
+)
 from repro.exec.stats import EXEC_DISPATCH, EXEC_JOURNAL, UNIT_METRICS, UNIT_ROUNDS, UNIT_SETUP
+from repro.scenarios.audit import audit_store, journal_status
 from repro.scenarios.configs import (
     ExperimentConfig,
     ScenarioConfig,
@@ -54,7 +73,7 @@ from repro.scenarios.configs import (
     load_experiment_configs,
     validate_config,
 )
-from repro.scenarios.executor import run_scenario, sweep
+from repro.scenarios.executor import expand_sweep, run_scenario, sweep
 from repro.scenarios.registry import available
 from repro.scenarios.store import ResultsStore, StoreEntry, diff_stores
 
@@ -132,6 +151,11 @@ def _build_policy(
         policy = policy.replace(resume=True)
     if getattr(args, "progress", False):
         policy = policy.replace(progress=True)
+    if getattr(args, "transport", None) is not None:
+        policy = policy.replace(transport=args.transport)
+    if getattr(args, "hosts", None):
+        hosts = tuple(h.strip() for h in args.hosts.split(",") if h.strip())
+        policy = policy.replace(hosts=hosts or None)
     if not getattr(args, "no_store", False):
         policy = policy.replace(journal_dir=str(Path(args.store) / JOURNALS_SUBDIR))
     return policy
@@ -167,6 +191,26 @@ def _store_target(config, *, scale: Optional[str] = None):
     raise ReproError(f"no store target for {config!r}")
 
 
+def _rows_for_config(config, policy: ExecutionPolicy) -> List[Dict[str, Any]]:
+    """Execute a scenario/sweep config under ``policy`` and build its store rows.
+
+    The single row-building path shared by ``repro run``, ``repro sweep`` and
+    ``repro repair`` — repair must produce exactly the rows a normal run
+    would, or its "byte-identical reassembly" guarantee means nothing.
+    """
+    if isinstance(config, ScenarioConfig):
+        result = run_scenario(config.spec, execution=policy)
+        return [{"seed": float(seed), **row} for seed, row in zip(config.spec.seeds, result.rows)]
+    if isinstance(config, SweepConfig):
+        results = sweep(config.spec, over=config.over, execution=policy)
+        rows: List[Dict[str, Any]] = []
+        for point in results:
+            for seed, row in zip(point.spec.seeds, point.rows):
+                rows.append({**dict(point.overrides), "seed": float(seed), **row})
+        return rows
+    raise ReproError(f"cannot build rows for {config!r}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = load_config(args.config)
     if not isinstance(config, ScenarioConfig):
@@ -178,8 +222,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if code:
         return code
     policy = _build_policy(args, config.execution, parallel=args.parallel)
-    result = run_scenario(config.spec, execution=policy)
-    rows = [{"seed": float(seed), **row} for seed, row in zip(config.spec.seeds, result.rows)]
+    rows = _rows_for_config(config, policy)
     kind, label, key = _store_target(config)
     return _store_and_emit(args, kind, label, key, rows, title=config.label)
 
@@ -195,11 +238,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if code:
         return code
     policy = _build_policy(args, config.execution, parallel=args.parallel)
-    results = sweep(config.spec, over=config.over, execution=policy)
-    rows: List[Dict[str, Any]] = []
-    for point in results:
-        for seed, row in zip(point.spec.seeds, point.rows):
-            rows.append({**dict(point.overrides), "seed": float(seed), **row})
+    rows = _rows_for_config(config, policy)
     kind, label, key = _store_target(config)
     return _store_and_emit(args, kind, label, key, rows, title=config.label)
 
@@ -375,6 +414,109 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.clean else 1
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    store_root = Path(args.store)
+    if not store_root.is_dir():
+        # Same stance as repro diff: a missing store must not read as clean.
+        return _fail(f"store {store_root} does not exist")
+    findings = audit_store(store_root, kind=args.kind)
+    if args.json:
+        _print(
+            json.dumps(
+                {
+                    "store": str(store_root),
+                    "clean": not findings,
+                    "findings": [finding.to_dict() for finding in findings],
+                },
+                indent=2,
+            )
+        )
+        return 1 if findings else 0
+    for finding in findings:
+        _print(finding.describe())
+    if findings:
+        return _fail(
+            f"{len(findings)} finding{'' if len(findings) == 1 else 's'} in {store_root}"
+        )
+    _print(f"store {store_root} is clean")
+    return 0
+
+
+def _batch_units_for_config(config) -> Optional[list]:
+    """The flat work-unit batch a scenario/sweep config runs as one journal.
+
+    ``None`` for experiment configs — those run many internal batches whose
+    journals repair cannot match one-to-one (re-run them with ``--resume``
+    instead).
+    """
+    if isinstance(config, ScenarioConfig):
+        return units_for_spec(config.spec)
+    if isinstance(config, SweepConfig):
+        return expand_sweep(config.spec, config.over)[1]
+    return None
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    store_root = Path(args.store)
+    if not store_root.is_dir():
+        return _fail(f"store {store_root} does not exist")
+    verb = "would remove" if args.dry_run else "removed"
+    for directory in sorted(p for p in store_root.iterdir() if p.is_dir()):
+        if directory.name.startswith("."):
+            continue
+        for scratch in sorted(directory.glob("*.json.tmp")):
+            _print(f"{verb} torn write {scratch}")
+            if not args.dry_run:
+                scratch.unlink()
+
+    journals = sorted((store_root / JOURNALS_SUBDIR).glob("*.jsonl"))
+    if not journals:
+        _print("no interrupted batches")
+        return 0
+
+    # Match each journal back to the committed config whose unit batch it
+    # checkpoints — the journal file name is the batch's content hash, and
+    # expand_sweep/units_for_spec recompute that hash without running anything.
+    by_batch: Dict[str, Any] = {}
+    for path in _iter_config_paths(Path(args.configs)):
+        try:
+            config = load_config(path)
+            units = _batch_units_for_config(config)
+        except ReproError:
+            continue  # validate reports broken configs; repair skips them
+        if units:
+            by_batch[batch_key(units)[:24]] = (path, config)
+
+    code = 0
+    for journal_path in journals:
+        matched = by_batch.get(journal_path.stem)
+        status = journal_status(journal_path)
+        done, total = status["completed"], status["total"]
+        if matched is None:
+            print(
+                f"unmatched journal {journal_path} ({done}/{total} units): no committed "
+                f"scenario/sweep config produces this batch — either its config was "
+                f"edited/deleted (remove the journal with 'repro gc --journals') or it "
+                f"belongs to an experiment run (re-run with --resume)",
+                file=sys.stderr,
+            )
+            code = 1
+            continue
+        config_path, config = matched
+        if args.dry_run:
+            _print(f"would repair {config_path} ({done}/{total} units journalled)")
+            continue
+        _print(f"repairing {config_path}: {done}/{total} units journalled, resuming")
+        policy = _build_policy(args, config.execution).replace(resume=True)
+        rows = _rows_for_config(config, policy)
+        kind, label, key = _store_target(config)
+        entry, put_status = ResultsStore(args.store).put(kind, label, key, rows)
+        # "unchanged" is the byte-identity verification: the reassembled rows
+        # equal the previously stored entry exactly.
+        _print(f"{put_status}: {entry.path} ({len(rows)} rows)")
+    return code
+
+
 def _cmd_components(_args: argparse.Namespace) -> int:
     for family, docs in available(docs=True).items():
         rows = [{"name": name, "description": doc} for name, doc in docs.items()]
@@ -476,14 +618,17 @@ def _cmd_log(args: argparse.Namespace) -> int:
                 "written": mtime,
             }
         )
-    if not rows:
-        _print("no matching store entries")
-        return 0
     # Oldest first, so --limit N tails off the N most recently written.
     rows.sort(key=lambda row: (row["written"], row["kind"], row["label"]))
     total = len(rows)
     if args.limit:
         rows = rows[-args.limit :]
+    if args.json:
+        _print(json.dumps({"total": total, "entries": rows}, indent=2))
+        return 0
+    if not rows:
+        _print("no matching store entries")
+        return 0
     title = f"{total} store entr{'y' if total == 1 else 'ies'}"
     if len(rows) != total:
         title += f" ({len(rows)} most recent shown)"
@@ -532,6 +677,17 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         "--progress",
         action="store_true",
         help="report units done, rows/sec and ETA on stderr while running",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=list(TRANSPORTS.available()),
+        help="remote transport for --backend remote (default: loopback)",
+    )
+    parser.add_argument(
+        "--hosts",
+        metavar="H1,H2=4",
+        help="comma-separated fleet for --backend remote: 'host' or 'host=slots' "
+        "entries (slots = that worker's in-flight limit)",
     )
 
 
@@ -613,6 +769,31 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--kind", help="restrict to one store kind (e.g. smoke)")
     diff.set_defaults(fn=_cmd_diff)
 
+    audit = sub.add_parser(
+        "audit", help="scan a results tree for interrupted/torn/drifted state; exit 1 on findings"
+    )
+    audit.add_argument("--kind", help="restrict to one store kind (e.g. smoke, sweeps)")
+    audit.add_argument("--json", action="store_true", help="machine-readable findings")
+    _add_store_options(audit)
+    audit.set_defaults(fn=_cmd_audit)
+
+    repair = sub.add_parser(
+        "repair",
+        help="finish interrupted batches (re-running only their missing units) "
+        "and clean torn writes",
+    )
+    repair.add_argument(
+        "--dry-run", action="store_true", help="report what would be repaired without running"
+    )
+    repair.add_argument(
+        "--configs",
+        default=str(DEFAULT_CONFIGS_DIR),
+        help=f"config tree journals are matched against (default: {DEFAULT_CONFIGS_DIR})",
+    )
+    _add_store_options(repair)
+    _add_execution_options(repair)
+    repair.set_defaults(fn=_cmd_repair)
+
     components = sub.add_parser("components", help="list every registered scenario component")
     components.set_defaults(fn=_cmd_components)
 
@@ -640,6 +821,7 @@ def build_parser() -> argparse.ArgumentParser:
     log.add_argument("--experiment", help="restrict to one experiment id (e.g. e01)")
     log.add_argument("--label", help="restrict to labels containing this substring")
     log.add_argument("--limit", type=int, metavar="N", help="show only the last N entries")
+    log.add_argument("--json", action="store_true", help="machine-readable entry listing")
     _add_store_options(log)
     log.set_defaults(fn=_cmd_log)
 

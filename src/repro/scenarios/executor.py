@@ -51,6 +51,7 @@ __all__ = [
     "ScenarioContext",
     "ScenarioResult",
     "VERIFY_INCREMENTAL_ENV",
+    "expand_sweep",
     "run_scenario",
     "run_scenario_seed",
     "sweep",
@@ -314,6 +315,42 @@ def run_scenario(
     return ScenarioResult(spec=spec, rows=tuple(rows))
 
 
+def expand_sweep(
+    spec: ScenarioSpec, over: Mapping[str, Sequence[Any]]
+) -> Tuple[List[Tuple[Mapping[str, Any], ScenarioSpec]], List[Any], List[Tuple[int, int]]]:
+    """Expand a sweep grid into ``(points, units, bounds)`` without running it.
+
+    ``points`` is one ``(overrides, point spec)`` pair per grid point in
+    row-major order of ``over``; ``units`` is the flat work-unit batch of the
+    whole sweep (the list whose :func:`~repro.exec.units.batch_key` names the
+    sweep journal — which is how ``repro audit``/``repro repair`` match an
+    interrupted checkpoint back to its committed config); ``bounds`` are each
+    point's ``(start, end)`` slice into the batch.
+    """
+    from repro.exec import units_for_spec
+
+    if not over:
+        raise ConfigurationError("sweep() needs at least one override axis")
+    keys = list(over)
+    axes = [list(over[key]) for key in keys]
+    for key, values in zip(keys, axes):
+        if not values:
+            raise ConfigurationError(f"sweep axis {key!r} has no values")
+
+    points: List[Tuple[Mapping[str, Any], ScenarioSpec]] = []
+    for combo in itertools.product(*axes):
+        overrides = dict(zip(keys, combo))
+        points.append((overrides, spec.with_overrides(overrides)))
+
+    units: List[Any] = []
+    bounds: List[Tuple[int, int]] = []
+    for _, point_spec in points:
+        start = len(units)
+        units.extend(units_for_spec(point_spec))
+        bounds.append((start, len(units)))
+    return points, units, bounds
+
+
 def sweep(
     spec: ScenarioSpec,
     over: Mapping[str, Sequence[Any]],
@@ -338,28 +375,9 @@ def sweep(
     pool, one sweep journal, one progress line); see :func:`run_scenario` for
     the ``execution`` parameter.
     """
-    from repro.exec import resolve_policy, run_units, units_for_spec
+    from repro.exec import resolve_policy, run_units
 
-    if not over:
-        raise ConfigurationError("sweep() needs at least one override axis")
-    keys = list(over)
-    axes = [list(over[key]) for key in keys]
-    for key, values in zip(keys, axes):
-        if not values:
-            raise ConfigurationError(f"sweep axis {key!r} has no values")
-
-    points: List[Tuple[Mapping[str, Any], ScenarioSpec]] = []
-    for combo in itertools.product(*axes):
-        overrides = dict(zip(keys, combo))
-        points.append((overrides, spec.with_overrides(overrides)))
-
-    units = []
-    bounds: List[Tuple[int, int]] = []
-    for _, point_spec in points:
-        start = len(units)
-        units.extend(units_for_spec(point_spec))
-        bounds.append((start, len(units)))
-
+    points, units, bounds = expand_sweep(spec, over)
     policy = resolve_policy(parallel=parallel, max_workers=max_workers, execution=execution)
     rows = run_units(units, policy, label=spec.label if spec.name else "sweep")
     return [
