@@ -103,6 +103,7 @@ class _WorkerState:
     inflight: Dict[int, float] = field(default_factory=dict)  # task_id -> deadline
     last_seen: float = field(default_factory=time.monotonic)
     next_ping: int = 0
+    pong_deadline: Optional[float] = None  # outstanding ping; any line clears it
 
 
 @BACKENDS.register(
@@ -208,17 +209,28 @@ class RemoteBackend(Backend):
             elif state.inflight and any(deadline < now for deadline in state.inflight.values()):
                 self._lose_worker(state, tasks, backlog)  # a wedged node
 
-    def _heartbeat(self) -> None:
-        """Ping idle ready workers so a silently dead ssh link surfaces."""
-        for state in self._workers.values():
-            if state.ready and not state.inflight:
-                if time.monotonic() - state.last_seen >= self._heartbeat_interval:
-                    state.next_ping += 1
-                    try:
-                        state.link.send(json.dumps({"ping": state.next_ping}))
-                    except OSError:
-                        pass  # the deadline/EOF path reaps it
-                    state.last_seen = time.monotonic()
+    def _heartbeat(self, tasks: Dict[int, _Task], backlog: List[_Task]) -> None:
+        """Ping idle ready workers so a silently dead ssh link surfaces.
+
+        A ping leaves a ``pong_deadline`` on the worker; any inbound line
+        clears it.  A worker whose deadline lapses with no traffic at all is
+        wedged and reaped immediately, instead of being pinged forever.
+        """
+        now = time.monotonic()
+        for state in list(self._workers.values()):
+            if not state.ready or state.inflight:
+                continue
+            if state.pong_deadline is not None:
+                if now >= state.pong_deadline:
+                    self._lose_worker(state, tasks, backlog)  # missed heartbeat
+                continue
+            if now - state.last_seen >= self._heartbeat_interval:
+                state.next_ping += 1
+                try:
+                    state.link.send(json.dumps({"ping": state.next_ping}))
+                except OSError:
+                    continue  # the deadline/EOF path reaps it
+                state.pong_deadline = now + max(self._heartbeat_interval, 10.0)
 
     # -- adaptive sizing ----------------------------------------------------
 
@@ -312,7 +324,10 @@ class RemoteBackend(Backend):
 
     def submit_batch(self, chunks: Sequence[Chunk]) -> Iterator[Tuple[int, List[Row]]]:
         self.start()
-        task_ids = itertools.count(len(chunks))  # distinct from chunk indices
+        # Split-task ids must never collide with the initial task ids (which
+        # reuse chunk indices) — and chunk indices need not be 0..len-1 when a
+        # caller hands us a surviving subset of an earlier batch.
+        task_ids = itertools.count(max((c.index for c in chunks), default=-1) + 1)
         assemblies = {c.index: _Assembly(c) for c in chunks}
         backlog: List[_Task] = [
             _Task(task_id=c.index, chunk=c, offset=0, seeds=tuple(c.seeds)) for c in chunks
@@ -336,7 +351,7 @@ class RemoteBackend(Backend):
                 worker_id, line = self._inbox.get(timeout=_TICK_SECONDS)
             except queue.Empty:
                 self._check_deadlines(tasks, backlog)
-                self._heartbeat()
+                self._heartbeat(tasks, backlog)
                 continue
             state = self._workers.get(worker_id)
             if state is None:
@@ -345,6 +360,7 @@ class RemoteBackend(Backend):
                 self._lose_worker(state, tasks, backlog)
                 continue
             state.last_seen = time.monotonic()
+            state.pong_deadline = None  # any line is proof of life
             try:
                 message = json.loads(line)
             except json.JSONDecodeError:

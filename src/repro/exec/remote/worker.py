@@ -110,8 +110,9 @@ def main(stdin: Optional[TextIO] = None, stdout: Optional[TextIO] = None) -> int
                     "timings": stats.as_dict(),
                 },
             )
-        except BaseException as exc:  # noqa: BLE001 - reported to the dispatcher
+        except Exception as exc:  # noqa: BLE001 - reported to the dispatcher
             _send(out, {"index": message.get("index"), "error": f"{type(exc).__name__}: {exc}"})
+        # KeyboardInterrupt/SystemExit propagate: signals must stop the worker.
     return 0
 
 

@@ -152,9 +152,11 @@ def run_units(
         extras = {"cost_estimator": estimator}
         if policy.chunk_size is not None:
             extras["adaptive"] = False
-        backend: Backend = make_backend(
-            backend_name, workers, policy.backend_options() or None, extras=extras
-        )
+        # When the batch was downgraded away from the policy's backend (one
+        # pending unit, single-CPU host), the policy's transport options belong
+        # to the backend that was overridden — serial rejects them by design.
+        options = policy.backend_options() if backend_name == policy.backend else {}
+        backend: Backend = make_backend(backend_name, workers, options or None, extras=extras)
         try:
             with backend, timed_phase(EXEC_DISPATCH):
                 for chunk_index, chunk_rows in backend.submit_batch(chunks):

@@ -123,6 +123,22 @@ class TestRemoteByteIdentity:
         rows = [row for index in sorted(got) for row in got[index]]
         assert canonical_json(rows) == expected
 
+    def test_split_ids_survive_noncontiguous_chunk_indices(self, reference):
+        """Split-task ids are seeded past the *max* chunk index, so a subset
+        batch that preserves original indices (the runner's fallback shape)
+        cannot collide with them."""
+        units, _ = reference
+        chunks = build_chunks(units, 3)[2:]  # indices 2 and 3, not 0..len-1
+        estimator = RateEstimator()
+        estimator.observe_cost(1, 1.0)  # known cost: splitting kicks in at once
+        backend = RemoteBackend(2, target_seconds=1e-9, cost_estimator=estimator)
+        with backend:
+            got = dict(backend.submit_batch(chunks))
+        assert backend.stats["splits"] > 0
+        for chunk in chunks:
+            serial = execute_chunk((chunk.spec_key, chunk.spec_dict, chunk.seeds))
+            assert canonical_json(got[chunk.index]) == canonical_json(serial)
+
 
 # ---------------------------------------------------------------------------
 # fault tolerance
@@ -161,6 +177,54 @@ class TestFaultTolerance:
         monkeypatch.setenv(WORKER_INTERRUPT_ENV, "1")
         policy = ExecutionPolicy(backend="remote", max_workers=1, chunk_size=3)
         assert canonical_json(run_units(units, policy)) == expected
+
+    def test_worker_loop_lets_signals_propagate(self, reference, monkeypatch):
+        """KeyboardInterrupt/SystemExit during a chunk stop the worker instead
+        of being swallowed as a chunk error."""
+        import io
+
+        from repro.exec.remote import worker as worker_mod
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(worker_mod, "execute_unit", boom)
+        units, _ = reference
+        request = build_chunks(units[:1], 1)[0].to_wire() + "\n"
+        with pytest.raises(KeyboardInterrupt):
+            worker_mod.main(io.StringIO(request), io.StringIO())
+
+    def test_idle_wedged_worker_is_reaped_on_missed_pong(self):
+        """A ping leaves a pong deadline; a worker that never answers (and
+        sends nothing else) is reaped instead of being pinged forever."""
+        from repro.exec.remote.dispatcher import _WorkerState
+
+        class _WedgedLink:
+            worker_id, name, slots = 0, "wedged", 1
+
+            def __init__(self):
+                self.sent = []
+
+            def alive(self):
+                return True
+
+            def send(self, text):
+                self.sent.append(text)
+
+            def kill(self):
+                pass
+
+        backend = RemoteBackend(1, heartbeat_interval=0.0)
+        link = _WedgedLink()
+        state = _WorkerState(link)
+        state.ready = True
+        backend._workers = {0: state}
+        backend._heartbeat({}, [])  # idle past the interval: ping goes out
+        assert link.sent and state.pong_deadline is not None
+        state.pong_deadline = 0.0  # the grace lapsed with no line at all
+        backend._heartbeat({}, [])
+        assert 0 not in backend._workers
+        assert backend.stats["workers_lost"] == 1
 
     def test_worker_side_unit_error_reaches_the_caller(self, reference):
         """A genuine unit failure (unknown component in the worker) is a
@@ -207,6 +271,17 @@ class TestPolicyPlumbing:
     def test_extras_are_dropped_by_local_backends(self):
         backend = make_backend("serial", 1, None, extras={"cost_estimator": RateEstimator()})
         assert backend is not None
+
+    def test_single_unit_downgrade_drops_transport_options(self):
+        """A one-unit batch under a remote policy downgrades to serial inside
+        run_units; the policy's transport/hosts must not reach
+        make_backend('serial') (regression: ConfigurationError crash)."""
+        units = units_for_spec(tiny_spec(seeds=(0,)))
+        expected = canonical_json(run_units(units, ExecutionPolicy(backend="serial")))
+        policy = ExecutionPolicy(
+            backend="remote", transport="loopback", hosts=("a", "b=2")
+        )
+        assert canonical_json(run_units(units, policy)) == expected
 
     def test_serial_gate_drops_transport_options(self):
         # An ambient remote policy gated to serial (parallel=False) must not
