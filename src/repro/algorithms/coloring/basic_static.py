@@ -97,6 +97,13 @@ class BasicColoring(DistributedAlgorithm):
     def output(self, v: NodeId) -> Value:
         return self._color.get(v)
 
+    def as_kernel(self):
+        if type(self) is not BasicColoring:
+            return None
+        from repro.kernel.coloring import ColoringKernel
+
+        return lambda: ColoringKernel(self, uncolor_enabled=False, track_uncolor_events=False)
+
     # -- helpers ---------------------------------------------------------------------
 
     def _pick_uniform(self, v: NodeId, palette: Set[Color]) -> Optional[Color]:

@@ -106,6 +106,17 @@ class SColor(NetworkStaticAlgorithm):
     def output(self, v: NodeId) -> Value:
         return self._color.get(v)
 
+    def as_kernel(self):
+        if type(self) is not SColor:
+            return None
+        from repro.kernel.coloring import ColoringKernel
+
+        return lambda: ColoringKernel(
+            self,
+            uncolor_enabled=self._uncolor_enabled,
+            track_uncolor_events=True,
+        )
+
     # -- helpers ---------------------------------------------------------------------
 
     def _pick_uniform(self, v: NodeId, palette: Set[Color]) -> Optional[Color]:

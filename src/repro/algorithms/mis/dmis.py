@@ -169,6 +169,15 @@ class DMis(DynamicAlgorithm):
             return None
         return mis_state_to_value(state)
 
+    def as_kernel(self):
+        # The revalidation extension's first-round special case is not
+        # vectorised; such instances stay on the classic engine.
+        if type(self) is not DMis or self._revalidate_dominated:
+            return None
+        from repro.kernel.mis import DMisKernel
+
+        return lambda: DMisKernel(self, restrict_to_intersection=self._restrict)
+
     # -- introspection --------------------------------------------------------------
 
     def state_of(self, v: NodeId) -> MisState:

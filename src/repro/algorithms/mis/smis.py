@@ -105,7 +105,11 @@ class SMis(NetworkStaticAlgorithm):
         mark_received = False
         candidate_note = False
         effective_degree = 0.0
-        for message in inbox.values():
+        # Ascending-neighbour order pins the floating-point accumulation order
+        # of the effective degree, making it independent of inbox dict history
+        # (and equal to the array kernel's segmented sum).
+        for u in sorted(inbox):
+            message = inbox[u]
             if not isinstance(message, tuple):
                 continue
             if message[0] == MARK:
@@ -150,6 +154,13 @@ class SMis(NetworkStaticAlgorithm):
         if state is None:
             return None
         return mis_state_to_value(state)
+
+    def as_kernel(self):
+        if type(self) is not SMis:
+            return None
+        from repro.kernel.mis import SMisKernel
+
+        return lambda: SMisKernel(self, undecide_enabled=self._undecide_enabled)
 
     # -- introspection -----------------------------------------------------------------
 

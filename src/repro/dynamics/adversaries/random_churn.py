@@ -121,6 +121,32 @@ class ChurnAdversary(IncrementalAdversary):
             removed_edges=removed_emitted,
         )
 
+    def kernel_plan(self):
+        """Array-engine plan when the churn process supports mask advance.
+
+        Only churn processes exposing ``kernel_universe``/``kernel_advance``
+        (currently :class:`~repro.dynamics.churn.MarkovEdgeChurn` and
+        :class:`~repro.dynamics.churn.StaticChurn`, hence also
+        :class:`~repro.dynamics.churn.FlipChurn`) qualify; those hooks consume
+        the adversary RNG identically to :func:`advance_churn`, which keeps
+        kernel and classic runs on a shared seed byte-identical.
+        """
+        churn = self._churn
+        universe_of = getattr(churn, "kernel_universe", None)
+        advance = getattr(churn, "kernel_advance", None)
+        if universe_of is None or advance is None:
+            return None
+        from repro.kernel.plan import KernelPlan
+
+        rng = self._rng
+        return KernelPlan(
+            nodes=self._all_nodes,
+            universe_edges=universe_of(),
+            advance=lambda round_index: advance(round_index, rng),
+            wakeup=self._wakeup,
+            cumulative_awake=True,
+        )
+
     def describe(self) -> str:
         return f"ChurnAdversary(n={self._n}, churn={type(self._churn).__name__})"
 

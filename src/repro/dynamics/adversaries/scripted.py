@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.errors import AdversaryError
 from repro.dynamics.adversary import Adversary, AdversaryView, FULLY_OBLIVIOUS
 from repro.dynamics.topology import Topology
@@ -74,6 +76,26 @@ class StaticAdversary(Adversary):
             return self._base
         awake = self._wakeup.awake_at(view.round_index) & self._base.nodes
         return self._base.subgraph(awake)
+
+    def kernel_plan(self):
+        """Array-engine plan: fixed universe, constant all-present mask.
+
+        The same mask object is returned every round so the engine's identity
+        short-circuit recognises fully-static rounds; wake-up filtering is the
+        engine's job (``cumulative_awake=False`` reproduces the exact
+        ``awake_at(r) & base.nodes`` induced-subgraph semantics of
+        :meth:`step`).
+        """
+        from repro.kernel.plan import KernelPlan
+
+        mask = np.ones(self._base.num_edges, dtype=bool)
+        return KernelPlan(
+            nodes=self._base.nodes,
+            universe_edges=tuple(sorted(self._base.edges)),
+            advance=lambda round_index: mask,
+            wakeup=self._wakeup if self._use_wakeup else None,
+            cumulative_awake=False,
+        )
 
     def describe(self) -> str:
         return f"StaticAdversary(n={self._base.num_nodes}, m={self._base.num_edges})"

@@ -33,7 +33,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle / optional-dep guard
+    from repro.kernel.plan import KernelPlan
 
 from repro.errors import AdversaryError
 from repro.types import Assignment, Round
@@ -195,6 +198,18 @@ class Adversary(ABC):
 
     def reset(self) -> None:
         """Reset internal state so the adversary can be reused across runs."""
+        return None
+
+    def kernel_plan(self) -> Optional["KernelPlan"]:
+        """An array-engine execution plan, or ``None`` (the default).
+
+        Adversaries whose behaviour fits a static edge universe plus
+        per-round presence masks (see :class:`repro.kernel.plan.KernelPlan`)
+        may return a plan here; the simulator's ``delivery="kernel"`` path
+        then bypasses :meth:`step` entirely while consuming identical
+        randomness.  Returning ``None`` keeps the adversary on the classic
+        step path (a kernel-mode run then uses the generic CSR engine).
+        """
         return None
 
     # -- description helpers (used by the experiment harness / reports) ------

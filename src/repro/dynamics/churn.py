@@ -24,7 +24,8 @@ adversary layer).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -37,6 +38,7 @@ __all__ = [
     "ChurnProcess",
     "EdgeDelta",
     "advance_churn",
+    "quiescence_skip",
     "StaticChurn",
     "MarkovEdgeChurn",
     "FlipChurn",
@@ -44,6 +46,28 @@ __all__ = [
     "EdgeInsertionChurn",
     "CompositeChurn",
 ]
+
+#: Whether provably-inert churn rounds may skip their RNG draw (see
+#: :func:`quiescence_skip` and :meth:`ChurnProcess.quiescent`).
+_QUIESCENCE_SKIP = True
+
+
+@contextmanager
+def quiescence_skip(enabled: bool) -> Iterator[None]:
+    """Toggle the quiescent-round RNG-draw skip (equivalence-test hook).
+
+    Skipping is *provably unobservable* — a process only reports quiescent
+    from an absorbing state, where the skipped draws could never change any
+    future delta — but the equivalence tests still run both settings on
+    shared seeds and byte-compare the traces.  Default: enabled.
+    """
+    global _QUIESCENCE_SKIP
+    previous = _QUIESCENCE_SKIP
+    _QUIESCENCE_SKIP = bool(enabled)
+    try:
+        yield
+    finally:
+        _QUIESCENCE_SKIP = previous
 
 
 #: The ``(added, removed)`` edge change of one churn round.
@@ -84,6 +108,18 @@ class ChurnProcess(ABC):
     def reset(self) -> None:
         """Return the process to its initial state (for replication)."""
 
+    def quiescent(self) -> bool:
+        """``True`` iff the process is in an *absorbing* state.
+
+        Quiescent means: every future step provably returns an empty delta
+        regardless of the RNG values drawn, so :func:`advance_churn` may skip
+        the draw entirely without observable effect (the skipped values could
+        only have reached this same process, whose behaviour no longer depends
+        on them).  Processes that cannot prove this return ``False`` (the
+        default) and are always stepped.
+        """
+        return False
+
 
 def advance_churn(
     churn: "ChurnProcess",
@@ -98,7 +134,14 @@ def advance_churn(
     otherwise; ``present`` is the caller-maintained edge set from the previous
     round.  Shared by every delta-emitting adversary that drives a churn
     process, so the delta contract lives in one place.
+
+    When the process reports itself :meth:`ChurnProcess.quiescent` (and the
+    skip is enabled — see :func:`quiescence_skip`), the RNG draw is skipped
+    and the empty delta returned directly; byte-identical by the absorbing
+    argument in :meth:`ChurnProcess.quiescent`.
     """
+    if _QUIESCENCE_SKIP and churn.quiescent():
+        return frozenset(), frozenset(), present
     native = churn.step_delta(round_index, rng)
     if native is None:
         edges = churn.step(round_index, rng)
@@ -117,6 +160,7 @@ class StaticChurn(ChurnProcess):
     def __init__(self, base: Topology) -> None:
         self._edges = base.edges
         self._primed = False
+        self._all_present: Optional[np.ndarray] = None
 
     def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
         return self._edges
@@ -129,6 +173,25 @@ class StaticChurn(ChurnProcess):
 
     def reset(self) -> None:
         self._primed = False
+
+    def quiescent(self) -> bool:
+        # After the priming delta there is nothing left to change.
+        return self._primed
+
+    def kernel_universe(self) -> Tuple[Edge, ...]:
+        """The fixed edge universe, canonically sorted (array-kernel hook)."""
+        return tuple(sorted(self._edges))
+
+    def kernel_advance(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        """Presence mask over :meth:`kernel_universe` for this round.
+
+        Returns the *same* all-true array every call so the kernel engine's
+        identity short-circuit recognises the unchanged round.
+        """
+        if self._all_present is None:
+            self._all_present = np.ones(len(self._edges), dtype=bool)
+        self._primed = True
+        return self._all_present
 
 
 class MarkovEdgeChurn(ChurnProcess):
@@ -164,6 +227,7 @@ class MarkovEdgeChurn(ChurnProcess):
         self._p_on = float(p_on)
         self._start_present = bool(start_present)
         self._present = np.full(len(self._base_edges), self._start_present, dtype=bool)
+        self._num_present = len(self._base_edges) if self._start_present else 0
         self._primed = False
 
     @property
@@ -176,7 +240,21 @@ class MarkovEdgeChurn(ChurnProcess):
 
     def reset(self) -> None:
         self._present = np.full(len(self._base_edges), self._start_present, dtype=bool)
+        self._num_present = len(self._base_edges) if self._start_present else 0
         self._primed = False
+
+    def quiescent(self) -> bool:
+        # Absorbing iff no transition can ever fire again: both probabilities
+        # zero, or the only live transition has no edges left to act on.  The
+        # priming delta (which reports the initial present set) must still be
+        # emitted, hence the ``_primed`` guard.
+        if not self._primed:
+            return False
+        if self._p_off == 0.0 and self._p_on == 0.0:
+            return True
+        if self._p_on == 0.0 and self._num_present == 0:
+            return True
+        return self._p_off == 0.0 and self._num_present == len(self._base_edges)
 
     def _advance(self, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
         """One Markov transition; returns the (turned-on, turned-off) masks."""
@@ -184,7 +262,31 @@ class MarkovEdgeChurn(ChurnProcess):
         turn_off = self._present & (u < self._p_off)
         turn_on = (~self._present) & (u < self._p_on)
         self._present = (self._present & ~turn_off) | turn_on
+        self._num_present += int(turn_on.sum()) - int(turn_off.sum())
         return turn_on, turn_off
+
+    def kernel_universe(self) -> Tuple[Edge, ...]:
+        """The base edge universe, canonically sorted (array-kernel hook)."""
+        return tuple(self._base_edges)
+
+    def kernel_advance(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        """Presence mask over :meth:`kernel_universe` for this round.
+
+        Consumes exactly the randomness :meth:`step_delta` would (one draw of
+        ``len(base_edges)`` uniforms per non-skipped round), keeping kernel
+        and classic runs on a shared seed byte-identical.  The returned mask
+        is a fresh array after a real transition and the *same* array object
+        when the round was skipped as quiescent, matching the engine's
+        identity short-circuit.
+        """
+        if len(self._base_edges) == 0:
+            # Mirror step_delta's early return: no draw, no priming.
+            return self._present
+        if _QUIESCENCE_SKIP and self.quiescent():
+            return self._present
+        self._advance(rng)
+        self._primed = True
+        return self._present
 
     def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
         if len(self._base_edges) == 0:
@@ -330,6 +432,12 @@ class CompositeChurn(ChurnProcess):
     def reset(self) -> None:
         for proc in self._processes:
             proc.reset()
+
+    def quiescent(self) -> bool:
+        # Only the composite as a whole may be skipped: skipping a single
+        # quiescent sub-process would shift the shared RNG stream consumed by
+        # its non-quiescent siblings.
+        return all(proc.quiescent() for proc in self._processes)
 
     def step(self, round_index: int, rng: np.random.Generator) -> FrozenSet[Edge]:
         edges: Set[Edge] = set()

@@ -113,8 +113,9 @@ class DynamicGraph:
         for v in topology.nodes:
             if not 0 <= v < self._n:
                 raise TopologyError(f"node id {v} outside potential node set [0, {self._n})")
-        if self._latest is not None and not self._latest.nodes <= topology.nodes:
-            missing = self._latest.nodes - topology.nodes
+        latest = self._ensure_latest()
+        if latest is not None and not latest.nodes <= topology.nodes:
+            missing = latest.nodes - topology.nodes
             raise TopologyError(
                 "awake node set must be non-decreasing; nodes disappeared: "
                 f"{sorted(missing)[:10]}"
@@ -143,7 +144,9 @@ class DynamicGraph:
                 "awake node set must be non-decreasing; nodes disappeared: "
                 f"{sorted(delta.removed_nodes)[:10]}"
             )
-        previous = self._latest if self._latest is not None else empty_topology()
+        previous = self._ensure_latest()
+        if previous is None:
+            previous = empty_topology()
         if topology is None:
             topology = previous.apply(delta)
         if len(self._entries) % self._checkpoint_interval == 0:
@@ -152,6 +155,37 @@ class DynamicGraph:
             self._entries.append(delta)
         self._latest = topology
         return self._push_windows(topology, delta)
+
+    def append_lazy(self, delta: TopologyDelta) -> Dict[int, WindowSnapshot]:
+        """Record the next round as a delta *without* materialising it.
+
+        The array kernel's recording path: validation stays O(#changes) but
+        no Topology object is built and no checkpoint snapshots are stored —
+        the round graph is only materialised when someone asks for it
+        (``topology(r)`` walks the delta chain; sequential scans are O(1)
+        per round thanks to the cursor, cold random access is O(r)).  When
+        windows are attached the round must be materialised anyway to feed
+        them, so this degrades gracefully to ``append_delta`` behaviour.
+        """
+        for v in delta.added_nodes:
+            if not 0 <= v < self._n:
+                raise TopologyError(f"node id {v} outside potential node set [0, {self._n})")
+        if delta.removed_nodes:
+            raise TopologyError(
+                "awake node set must be non-decreasing; nodes disappeared: "
+                f"{sorted(delta.removed_nodes)[:10]}"
+            )
+        if self._windows:
+            previous = self._ensure_latest()
+            if previous is None:
+                previous = empty_topology()
+            topology = previous.apply(delta)
+            self._entries.append(delta)
+            self._latest = topology
+            return self._push_windows(topology, delta)
+        self._entries.append(delta)
+        self._latest = None
+        return {}
 
     def attach_window(self, T: int) -> SlidingWindow:
         """Attach (or return the existing) incremental window of size ``T``.
@@ -199,9 +233,19 @@ class DynamicGraph:
             raise TopologyError(f"round {r} has not been recorded (last = {self.last_round})")
         return self._materialise(r)
 
-    def latest_topology(self) -> Optional[Topology]:
-        """The most recently recorded topology (``None`` before round 1), O(1)."""
+    def _ensure_latest(self) -> Optional[Topology]:
+        """``self._latest``, materialising it after lazy (kernel) appends."""
+        if self._latest is None and self._entries:
+            self._latest = self._materialise(len(self._entries))
         return self._latest
+
+    def latest_topology(self) -> Optional[Topology]:
+        """The most recently recorded topology (``None`` before round 1).
+
+        O(1) on the eager recording paths; after lazy kernel appends the
+        first call materialises the pending delta chain.
+        """
+        return self._ensure_latest()
 
     def iter_topologies(self) -> Iterator[Topology]:
         """Materialise all recorded topologies in round order, one delta apply per step."""

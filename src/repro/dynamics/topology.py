@@ -29,6 +29,7 @@ from repro.errors import TopologyError
 from repro.types import Edge, NodeId, canonical_edge
 
 __all__ = [
+    "ArrayDelta",
     "Topology",
     "TopologyDelta",
     "EMPTY_DELTA",
@@ -164,6 +165,81 @@ class TopologyDelta:
 
 #: The delta that changes nothing (``topology.apply(EMPTY_DELTA) is topology``).
 EMPTY_DELTA = TopologyDelta()
+
+
+class ArrayDelta(TopologyDelta):
+    """A :class:`TopologyDelta` backed by universe index arrays.
+
+    The array kernel's round loop produces topology changes as indices into
+    a static canonical edge universe (``eu[i] < ev[i]``, see
+    :class:`repro.kernel.csr.EdgeUniverse`).  Materialising python frozensets
+    for every round would negate the vectorisation win, so this subclass
+    keeps the arrays and builds the edge frozensets *lazily* — only trace
+    consumers that actually materialise topologies (window probes, the
+    verification gates, analysis code) ever pay for them.
+
+    The parent's ``__init__`` is deliberately not called: its slots are
+    shadowed by properties, node removal is impossible by construction
+    (``removed_nodes`` is always empty — the dynamic-graph model never
+    removes awake nodes), and exactness of the added/removed split is
+    guaranteed by the engine's presence-mask diff.
+    """
+
+    __slots__ = (
+        "_array_added_nodes",
+        "_array_eu",
+        "_array_ev",
+        "_array_added_idx",
+        "_array_removed_idx",
+        "_array_added_cache",
+        "_array_removed_cache",
+    )
+
+    def __init__(
+        self,
+        added_nodes: FrozenSet[NodeId],
+        eu: "object",
+        ev: "object",
+        added_idx: "object",
+        removed_idx: "object",
+    ) -> None:
+        set_ = object.__setattr__
+        set_(self, "_array_added_nodes", added_nodes)
+        set_(self, "_array_eu", eu)
+        set_(self, "_array_ev", ev)
+        set_(self, "_array_added_idx", added_idx)
+        set_(self, "_array_removed_idx", removed_idx)
+        set_(self, "_array_added_cache", None)
+        set_(self, "_array_removed_cache", None)
+
+    def _edges_at(self, idx: "object") -> FrozenSet[Edge]:
+        return frozenset(
+            zip(self._array_eu[idx].tolist(), self._array_ev[idx].tolist())
+        )
+
+    @property
+    def added_nodes(self) -> FrozenSet[NodeId]:
+        return self._array_added_nodes
+
+    @property
+    def removed_nodes(self) -> FrozenSet[NodeId]:
+        return _EMPTY_NODES
+
+    @property
+    def added_edges(self) -> FrozenSet[Edge]:
+        cache = self._array_added_cache
+        if cache is None:
+            cache = self._edges_at(self._array_added_idx)
+            object.__setattr__(self, "_array_added_cache", cache)
+        return cache
+
+    @property
+    def removed_edges(self) -> FrozenSet[Edge]:
+        cache = self._array_removed_cache
+        if cache is None:
+            cache = self._edges_at(self._array_removed_idx)
+            object.__setattr__(self, "_array_removed_cache", cache)
+        return cache
 
 
 class Topology:

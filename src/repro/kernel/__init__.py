@@ -1,0 +1,51 @@
+"""Array-native round kernel for pure algorithms.
+
+``repro.kernel`` executes algorithms that declare
+``message_stability = "pure"`` over dense numpy state arrays and a CSR
+adjacency, byte-identical to the classic per-node loops (see
+``delivery="kernel"`` on :class:`repro.runtime.simulator.Simulator` and the
+``REPRO_VERIFY_KERNEL=1`` runtime gate).
+
+The package requires numpy >= 1.26 (vectorised ufunc paths the kernels
+rely on); the import fails fast with a clear message otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+
+_REQUIRED_NUMPY = (1, 26)
+
+
+def _check_numpy_version() -> None:
+    parts = []
+    for token in _np.__version__.split(".")[:2]:
+        digits = ""
+        for ch in token:
+            if ch.isdigit():
+                digits += ch
+            else:
+                break
+        parts.append(int(digits or 0))
+    if tuple(parts) < _REQUIRED_NUMPY:
+        floor = ".".join(str(p) for p in _REQUIRED_NUMPY)
+        raise ImportError(
+            f"repro.kernel requires numpy>={floor} but found {_np.__version__}; "
+            f"upgrade with `pip install 'numpy>={floor}'` or run with "
+            "delivery='incremental' to stay on the classic engine"
+        )
+
+
+_check_numpy_version()
+
+from .base import AlgorithmKernel, DeliverContext  # noqa: E402
+from .csr import CSRAdjacency, EdgeUniverse  # noqa: E402
+from .plan import KernelPlan  # noqa: E402
+
+__all__ = [
+    "AlgorithmKernel",
+    "CSRAdjacency",
+    "DeliverContext",
+    "EdgeUniverse",
+    "KernelPlan",
+]

@@ -1,0 +1,152 @@
+"""Shared machinery for per-algorithm array kernels.
+
+An :class:`AlgorithmKernel` mirrors one ``DistributedAlgorithm`` instance
+with dense numpy state arrays.  The engine owns the round structure
+(wake-ups, deltas, dirty sets, metrics); the kernel owns the algorithm
+semantics (compose / deliver / fingerprints / outputs) and must be
+*byte-identical* to the classic per-node path: identical RNG consumption,
+identical float arithmetic, identical counters.
+
+Message caching uses a ``(tag, value)`` encoding that is injective over the
+algorithm's message alphabet, so "did the composed message change?" reduces
+to integer/float compares.  Fingerprints reuse the same idea: a node is
+either volatile (``fset`` cleared) or carries an integer fingerprint token
+whose change schedules a recompose — exactly the classic
+``compose_fingerprint`` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["AlgorithmKernel", "DeliverContext"]
+
+_EMPTY_I8 = np.empty(0, dtype=np.int64)
+
+
+class DeliverContext:
+    """Array-mode extras handed to :meth:`AlgorithmKernel.deliver`.
+
+    ``None`` is passed on the generic (dict-adjacency) path; kernels that
+    keep per-edge state (DMis) use the universe layout carried here and
+    fall back to python structures otherwise.
+    """
+
+    __slots__ = ("universe", "eff_d", "slots")
+
+    def __init__(self, universe, eff_d: np.ndarray, slots: np.ndarray) -> None:
+        self.universe = universe
+        #: effective-existence mask over *doubled* universe slots this round
+        self.eff_d = eff_d
+        #: the kept (effective) slots backing the ``seg``/``nbrs`` arguments
+        self.slots = slots
+
+
+class AlgorithmKernel:
+    """Base class: dense state arrays + the fingerprint/output post-pass."""
+
+    def __init__(self, algorithm) -> None:
+        self._algorithm = algorithm
+        n = algorithm.n
+        self.n = n
+        #: nodes that have ever woken (guards re-wake, mirrors ``_awake``)
+        self.woken = np.zeros(n, dtype=bool)
+        #: classic ``_volatile`` — recompose every round
+        self.volatile = np.zeros(n, dtype=bool)
+        #: classic ``_recompose`` — recompose next round only (consumed)
+        self.recompose_next = np.zeros(n, dtype=bool)
+        #: bit size of each node's cached message (0 = no cached message)
+        self.bits = np.zeros(n, dtype=np.int64)
+        self._has_msg = np.zeros(n, dtype=bool)
+        # fingerprint state: fset[v] <-> v in classic ``_fingerprints``
+        self._fset = np.zeros(n, dtype=bool)
+        self._fval = np.zeros(n, dtype=np.int64)
+        # output cache: has_out[v] <-> v in classic ``_running`` outputs
+        self._has_out = np.zeros(n, dtype=bool)
+        self._out_code = np.zeros(n, dtype=np.int64)
+
+    # -- hooks implemented per algorithm -------------------------------------
+
+    def wake(self, ids: np.ndarray) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def compose(self, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:  # pragma: no cover
+        """Compose messages for ``ids`` (ascending); returns changed ids + old bits."""
+        raise NotImplementedError
+
+    def deliver(
+        self,
+        ids: np.ndarray,
+        seg: np.ndarray,
+        nbrs: np.ndarray,
+        ctx: Optional[DeliverContext],
+    ) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def counters(self) -> Dict[str, float]:  # pragma: no cover - abstract
+        """Fresh ``algorithm_counters`` dict, classic key order."""
+        raise NotImplementedError
+
+    def post_round(self, ids: np.ndarray) -> Tuple[np.ndarray, List[object]]:  # pragma: no cover
+        """Fingerprint + output pass over the delivered ids."""
+        raise NotImplementedError
+
+    def finalize(self) -> None:  # pragma: no cover - abstract
+        """Write kernel state back into the algorithm instance."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    def drop(self, ids: np.ndarray) -> np.ndarray:
+        """Forget removed nodes' caches (generic mode); returns their old bit sizes.
+
+        Mirrors the classic ``_drop_node``: only the engine-side caches are
+        cleared — the algorithm state (and ``woken``) survives, because a
+        re-added node resumes from its old state (``wake`` is guarded).
+        """
+
+        old_bits = self.bits[ids].copy()
+        self.volatile[ids] = False
+        self.recompose_next[ids] = False
+        self.bits[ids] = 0
+        self._has_msg[ids] = False
+        self._fset[ids] = False
+        self._has_out[ids] = False
+        return old_bits
+
+    def _post_fingerprints(self, ids: np.ndarray, vol_rows: np.ndarray, fval_rows: np.ndarray) -> None:
+        """Classic post-deliver fingerprint pass, vectorised.
+
+        ``vol_rows`` marks rows whose fingerprint is VOLATILE; ``fval_rows``
+        carries the integer fingerprint token for the remaining rows.
+        """
+
+        vol_ids = ids[vol_rows]
+        if vol_ids.size:
+            self.volatile[vol_ids] = True
+            self._fset[vol_ids] = False
+        stable = ~vol_rows
+        st_ids = ids[stable]
+        if st_ids.size:
+            st_val = fval_rows[stable]
+            self.volatile[st_ids] = False
+            changed = ~self._fset[st_ids] | (self._fval[st_ids] != st_val)
+            self.recompose_next[st_ids[changed]] = True
+            self._fset[st_ids] = True
+            self._fval[st_ids] = st_val
+
+    def _post_outputs(self, ids: np.ndarray, code_rows: np.ndarray) -> Tuple[np.ndarray, List[object]]:
+        """Diff output codes against the running cache; ``-1`` encodes ``None``."""
+
+        prev = self._out_code[ids]
+        diff = ~self._has_out[ids] | (prev != code_rows)
+        changed_ids = ids[diff]
+        if changed_ids.size == 0:
+            return _EMPTY_I8, []
+        new_codes = code_rows[diff]
+        self._out_code[changed_ids] = new_codes
+        self._has_out[changed_ids] = True
+        values = [None if c < 0 else int(c) for c in new_codes.tolist()]
+        return changed_ids, values

@@ -1,0 +1,379 @@
+"""Round engines executing pure algorithms over numpy state arrays.
+
+Two engines share the per-algorithm kernels:
+
+* :class:`ArrayKernelEngine` — the fast path.  Requires a
+  :class:`~repro.kernel.plan.KernelPlan` from the adversary: the round loop
+  never materialises python topologies, never calls ``Adversary.step`` and
+  records the trace lazily (deltas only).  Topology evolution is a boolean
+  presence mask over a static edge universe; the engine diffs successive
+  masks to recover the exact deltas the classic path would have stored.
+
+* :class:`GenericKernelEngine` — the compatibility path.  Runs inside the
+  classic ``Simulator._run_round`` structure (real ``Adversary.step``,
+  real topologies, eager trace recording) but replaces the per-node
+  compose/deliver/output loops with the vectorised kernels over a
+  :class:`~repro.kernel.csr.CSRAdjacency` maintained from deltas.  Any
+  adversary works here, including ones that remove nodes.
+
+Both paths are byte-identical to the classic full/incremental loops —
+``REPRO_VERIFY_KERNEL=1`` asserts it at runtime, and the equivalence tests
+cover the full algorithm × adversary × wakeup matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.dynamics.topology import (
+    EMPTY_DELTA,
+    ArrayDelta,
+    Topology,
+    TopologyDelta,
+)
+from repro.runtime.metrics import RoundMetrics
+from repro.runtime.simulator import RoundActivity
+
+from .base import AlgorithmKernel, DeliverContext
+from .csr import CSRAdjacency, EdgeUniverse
+from .plan import KernelPlan
+
+__all__ = ["ArrayKernelEngine", "GenericKernelEngine"]
+
+_EMPTY_I8 = np.empty(0, dtype=np.int64)
+_EMPTY_BOOL = np.empty(0, dtype=bool)
+_EMPTY_FROZEN: FrozenSet[int] = frozenset()
+
+
+class _BitsAccounting:
+    """The classic ``_record_bits`` histogram logic over array aggregates."""
+
+    __slots__ = ("total", "max")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.max = 0
+
+    def account(self, kernel: AlgorithmKernel, changed: np.ndarray, old_bits: np.ndarray) -> None:
+        if changed.size == 0:
+            return
+        new_bits = kernel.bits[changed]
+        self.total += int(new_bits.sum()) - int(old_bits.sum())
+        mx = int(new_bits.max())
+        if mx >= self.max:
+            self.max = mx
+        elif bool((old_bits == self.max).any()):
+            # a node that held the maximum shrank: recompute (bits is 0 for
+            # nodes without a cached message, and real messages are >= 1 bit)
+            self.max = int(kernel.bits.max())
+
+    def drop(self, kernel: AlgorithmKernel, old_bits: np.ndarray) -> None:
+        if old_bits.size == 0:
+            return
+        self.total -= int(old_bits.sum())
+        if bool((old_bits == self.max).any()):
+            self.max = int(kernel.bits.max()) if kernel.bits.size else 0
+
+
+class ArrayKernelEngine:
+    """Plan-driven array execution: no python topologies in the round loop."""
+
+    is_array = True
+
+    def __init__(self, simulator, kernel: AlgorithmKernel, plan: KernelPlan) -> None:
+        self._sim = simulator
+        self._kernel = kernel
+        self._plan = plan
+        n = simulator._n
+        self._n = n
+        self._universe = EdgeUniverse(n, plan.universe_edges)
+        self._unodes = frozenset(plan.nodes)
+        self._unodes_arr = np.fromiter(sorted(self._unodes), dtype=np.int64, count=len(self._unodes))
+        k = self._unodes_arr.size
+        # the all-rows gather fast path needs node id == dirty row index
+        self._ids_arange = bool(k) and int(self._unodes_arr[0]) == 0 and int(self._unodes_arr[-1]) == k - 1
+        self._awake_mask = np.zeros(n, dtype=bool)
+        self._awake_set: FrozenSet[int] = frozenset()
+        self._awake_ids = _EMPTY_I8
+        self._awake_count = 0
+        self._fully_awake = False
+        m = self._universe.m
+        self._edge_awake = np.zeros(m, dtype=bool)
+        self._eff = np.zeros(m, dtype=bool)
+        self._num_edges = 0
+        self._scratch = np.zeros(n, dtype=bool)
+        self._bits = _BitsAccounting()
+        self._running: Dict[int, Optional[int]] = {}
+        self._outputs_obj: Dict[int, Optional[int]] = {}
+        if hasattr(kernel, "set_array_mode"):
+            kernel.set_array_mode(self._universe)
+
+    # -- wake-ups ----------------------------------------------------------------
+
+    def _advance_wakeup(self, round_index: int) -> np.ndarray:
+        if self._fully_awake:
+            return _EMPTY_I8
+        wakeup = self._plan.wakeup
+        if wakeup is None:
+            current = self._unodes
+        else:
+            current = frozenset(wakeup.awake_at(round_index)) & self._unodes
+        newly = current - self._awake_set
+        if not self._plan.cumulative_awake and not self._awake_set <= current:
+            raise SimulationError(
+                "kernel delivery requires a non-decreasing wake-up schedule; "
+                f"round {round_index} lost awake nodes"
+            )
+        if not newly:
+            return _EMPTY_I8
+        arr = np.fromiter(sorted(newly), dtype=np.int64, count=len(newly))
+        self._awake_set |= newly
+        self._awake_mask[arr] = True
+        self._awake_count += arr.size
+        self._awake_ids = np.flatnonzero(self._awake_mask)
+        if self._universe.m:
+            np.logical_and(
+                self._awake_mask[self._universe.eu],
+                self._awake_mask[self._universe.ev],
+                out=self._edge_awake,
+            )
+        if self._awake_set == self._unodes:
+            self._fully_awake = True
+        return arr
+
+    # -- the round ---------------------------------------------------------------
+
+    def run_round(self) -> None:
+        sim = self._sim
+        trace = sim._trace
+        round_index = trace.num_rounds + 1
+        kernel = self._kernel
+        uni = self._universe
+
+        newly = self._advance_wakeup(round_index)
+        present = self._plan.advance(round_index)
+        if self._fully_awake:
+            eff = present
+        else:
+            eff = present & self._edge_awake
+        prev_eff = self._eff
+        if eff is prev_eff:
+            added_idx = removed_idx = _EMPTY_I8
+        else:
+            diff = eff != prev_eff
+            if diff.any():
+                added_idx = np.flatnonzero(diff & eff)
+                removed_idx = np.flatnonzero(diff & prev_eff)
+            else:
+                added_idx = removed_idx = _EMPTY_I8
+            self._eff = eff
+        self._num_edges += int(added_idx.size) - int(removed_idx.size)
+
+        if newly.size or added_idx.size or removed_idx.size:
+            delta: TopologyDelta = ArrayDelta(
+                frozenset(newly.tolist()), uni.eu, uni.ev, added_idx, removed_idx
+            )
+        else:
+            delta = EMPTY_DELTA
+
+        if newly.size:
+            kernel.wake(newly)
+
+        # compose (classic: volatile | scheduled recompose | newly awake)
+        recompose_mask = kernel.volatile | kernel.recompose_next
+        kernel.recompose_next[:] = False
+        recompose_ids = np.flatnonzero(recompose_mask)
+        changed_ids, old_bits = kernel.compose(recompose_ids)
+        self._bits.account(kernel, changed_ids, old_bits)
+
+        # dirty frontier (classic dense fallback included): the frontier is
+        # roughly ``changed × (1 + avg degree) + #volatile`` nodes, so once
+        # that estimate saturates the awake set, delivering to everyone is
+        # cheaper than computing a frontier that covers everyone anyway
+        frontier_mult = max(4, 1 + (2 * self._num_edges) // max(self._awake_count, 1))
+        frontier_est = frontier_mult * changed_ids.size + int(
+            np.count_nonzero(kernel.volatile)
+        )
+        if frontier_est >= self._awake_count:
+            dirty_ids = self._awake_ids
+        else:
+            scratch = self._scratch
+            scratch[:] = False
+            if added_idx.size:
+                scratch[uni.eu[added_idx]] = True
+                scratch[uni.ev[added_idx]] = True
+            if removed_idx.size:
+                scratch[uni.eu[removed_idx]] = True
+                scratch[uni.ev[removed_idx]] = True
+            if newly.size:
+                scratch[newly] = True
+            np.logical_or(scratch, kernel.volatile, out=scratch)
+            if changed_ids.size:
+                scratch[changed_ids] = True
+                slots, _ = uni.row_slots(changed_ids)
+                if slots.size:
+                    kept = slots[eff[uni.uedge[slots]]]
+                    scratch[uni.udst[kept]] = True
+            np.logical_and(scratch, self._awake_mask, out=scratch)
+            dirty_ids = np.flatnonzero(scratch)
+            # a near-saturated frontier costs more to gather row-by-row than
+            # the all-rows fast path; widening dirty to the awake set is
+            # byte-identical (skipped nodes have unchanged inboxes)
+            if 10 * dirty_ids.size >= 9 * self._awake_count:
+                dirty_ids = self._awake_ids
+
+        # deliver
+        eff_d = eff[uni.uedge] if uni.m else _EMPTY_BOOL
+        if self._ids_arange and self._fully_awake and dirty_ids.size == self._unodes_arr.size:
+            slots = np.flatnonzero(eff_d)
+            seg = uni.usrc[slots]
+        else:
+            slots, seg = uni.row_slots(dirty_ids)
+            if slots.size:
+                kept_mask = eff_d[slots]
+                slots = slots[kept_mask]
+                seg = seg[kept_mask]
+        nbrs = uni.udst[slots]
+        ctx = DeliverContext(uni, eff_d, slots)
+        kernel.deliver(dirty_ids, seg, nbrs, ctx)
+
+        # fingerprints + outputs
+        changed_out, values = kernel.post_round(dirty_ids)
+        if changed_out.size:
+            running = self._running
+            for v, value in zip(changed_out.tolist(), values):
+                running[v] = value
+            outputs = dict(running)
+        else:
+            outputs = self._outputs_obj
+        self._outputs_obj = outputs
+
+        changed_frozen = frozenset(changed_out.tolist()) if changed_out.size else _EMPTY_FROZEN
+        metrics = RoundMetrics(
+            round_index=round_index,
+            num_awake=self._awake_count,
+            num_edges=self._num_edges,
+            messages_sent=self._awake_count,
+            messages_delivered=2 * self._num_edges,
+            max_message_bits=self._bits.max,
+            total_message_bits=self._bits.total,
+            outputs_changed=len(changed_frozen),
+            algorithm_counters=kernel.counters(),
+        )
+        trace.record_lazy(delta, outputs, metrics, changed_frozen)
+        sim._output_history.append(outputs)
+        sim._previous_outputs = outputs
+        # activity is built on demand: ``recompose_ids``/``dirty_ids`` are
+        # freshly allocated every round (flatnonzero), so capturing them is
+        # safe, and rounds nobody inspects skip the frozenset conversions
+        sim._last_activity = None
+        sim._last_activity_builder = lambda: RoundActivity(
+            round_index=round_index,
+            mode="kernel",
+            delta=delta,
+            composed=frozenset(recompose_ids.tolist()),
+            delivered=frozenset(dirty_ids.tolist()),
+            changed_outputs=changed_frozen,
+        )
+
+    def finalize(self) -> None:
+        self._kernel.finalize()
+
+
+class GenericKernelEngine:
+    """Kernel compose/deliver over a delta-maintained CSR, classic round shell."""
+
+    is_array = False
+
+    def __init__(self, simulator, kernel: AlgorithmKernel) -> None:
+        self._sim = simulator
+        self._kernel = kernel
+        self._adj = CSRAdjacency(simulator._n)
+        self._bits = _BitsAccounting()
+        self._running: Dict[int, Optional[int]] = {}
+        self._outputs_obj: Dict[int, Optional[int]] = {}
+
+    def round(
+        self,
+        round_index: int,
+        previous: Topology,
+        topology: Topology,
+        delta: Optional[TopologyDelta],
+        newly_awake: FrozenSet[int],
+    ) -> Tuple[Dict[int, Optional[int]], RoundMetrics, FrozenSet[int], object]:
+        kernel = self._kernel
+        effective_delta = (
+            delta if delta is not None else TopologyDelta.between(previous, topology)
+        )
+        removed = effective_delta.removed_nodes
+        if removed:
+            removed_arr = np.fromiter(sorted(removed), dtype=np.int64, count=len(removed))
+            old = kernel.drop(removed_arr)
+            self._bits.drop(kernel, old)
+            running = self._running
+            for v in removed:
+                running.pop(v, None)
+        self._adj.apply_delta(effective_delta)
+
+        if newly_awake:
+            kernel.wake(np.fromiter(sorted(newly_awake), dtype=np.int64, count=len(newly_awake)))
+
+        recompose_mask = kernel.volatile | kernel.recompose_next
+        kernel.recompose_next[:] = False
+        recompose_ids = np.flatnonzero(recompose_mask)
+        changed_ids, old_bits = kernel.compose(recompose_ids)
+        self._bits.account(kernel, changed_ids, old_bits)
+
+        nodes = topology.nodes
+        if 4 * changed_ids.size >= len(nodes):
+            dirty = set(nodes)
+        else:
+            dirty = set(effective_delta.touched_nodes())
+            dirty.update(np.flatnonzero(kernel.volatile).tolist())
+            changed_list = changed_ids.tolist()
+            dirty.update(changed_list)
+            for v in changed_list:
+                dirty.update(topology.neighbors(v))
+            dirty &= nodes
+        dirty_ids = np.fromiter(sorted(dirty), dtype=np.int64, count=len(dirty))
+
+        seg, nbrs = self._adj.gather(dirty_ids)
+        kernel.deliver(dirty_ids, seg, nbrs, None)
+
+        changed_out, values = kernel.post_round(dirty_ids)
+        if changed_out.size or removed:
+            running = self._running
+            for v, value in zip(changed_out.tolist(), values):
+                running[v] = value
+            outputs = dict(running)
+        else:
+            outputs = self._outputs_obj
+        self._outputs_obj = outputs
+
+        changed_frozen = frozenset(changed_out.tolist()) if changed_out.size else _EMPTY_FROZEN
+        metrics = RoundMetrics(
+            round_index=round_index,
+            num_awake=topology.num_nodes,
+            num_edges=topology.num_edges,
+            messages_sent=topology.num_nodes,
+            messages_delivered=2 * topology.num_edges,
+            max_message_bits=self._bits.max,
+            total_message_bits=self._bits.total,
+            outputs_changed=len(changed_frozen),
+            algorithm_counters=kernel.counters(),
+        )
+        activity = RoundActivity(
+            round_index=round_index,
+            mode="kernel",
+            delta=delta,
+            composed=frozenset(recompose_ids.tolist()),
+            delivered=frozenset(dirty_ids.tolist()),
+            changed_outputs=changed_frozen,
+        )
+        return outputs, metrics, changed_frozen, activity
+
+    def finalize(self) -> None:
+        self._kernel.finalize()

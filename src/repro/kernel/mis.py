@@ -1,0 +1,453 @@
+"""Array kernels for the MIS algorithms (SMis and DMis).
+
+State codes: ``0`` undecided, ``1`` MIS, ``2`` dominated — chosen so the
+code doubles as the fingerprint token (MIS ``(MARK,)`` vs dominated
+``None`` vs VOLATILE undecided) and maps to the paper's output encoding
+via ``[-1, 1, 0]``.
+
+SMis accumulates neighbor desire levels in *ascending neighbor id* order
+(``np.bincount`` is a sequential pass over slots, which the universe
+lexsort orders by neighbor) — the classic ``deliver`` iterates its inbox
+in sorted key order for exactly this reason.
+
+DMis keeps the per-instance intersection graph ("live" sets) as a boolean
+mask over doubled universe slots in array mode, or python frozensets on
+the generic path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.types import MisState
+
+from .base import AlgorithmKernel, DeliverContext
+
+__all__ = ["SMisKernel", "DMisKernel"]
+
+_EMPTY_I8 = np.empty(0, dtype=np.int64)
+
+_S_UND = 0
+_S_MIS = 1
+_S_DOM = 2
+_STATE_ENUMS = (MisState.UNDECIDED, MisState.MIS, MisState.DOMINATED)
+_OUT_LOOKUP = np.array([-1, 1, 0], dtype=np.int64)
+
+_T_NONE = 0
+_T_MARK = 1
+_T_UND = 2  # SMis ``(UNDECIDED_MSG, p, candidate)``
+_T_RAND = 2  # DMis ``(RAND, value)``
+
+
+class SMisKernel(AlgorithmKernel):
+    def __init__(self, algorithm, *, undecide_enabled: bool) -> None:
+        super().__init__(algorithm)
+        n = self.n
+        self._undecide_enabled = bool(undecide_enabled)
+        self._state = np.zeros(n, dtype=np.int64)
+        self._desire = np.zeros(n, dtype=np.float64)
+        self._cand = np.zeros(n, dtype=bool)
+        self._mtag = np.zeros(n, dtype=np.int64)
+        self._mp = np.zeros(n, dtype=np.float64)
+        self._mcand = np.zeros(n, dtype=bool)
+        self._floor = 1.0 / (5.0 * n)
+        self._undecided = 0
+        self._undecide_events = 0
+        #: cached bound ``rng(v).random`` per node (the compose hot loop)
+        self._rand: List[Optional[object]] = [None] * n
+
+    def wake(self, ids: np.ndarray) -> None:
+        self.recompose_next[ids] = True
+        fresh = ids[~self.woken[ids]]
+        if fresh.size == 0:
+            return
+        self.woken[fresh] = True
+        self._state[fresh] = _S_UND
+        self._desire[fresh] = 0.5
+        self._cand[fresh] = False
+        self._undecided += int(fresh.size)
+
+    def compose(self, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        # Decided nodes carry a deterministic message — handled vectorised.
+        # Only undecided nodes draw from their per-node stream, in a python
+        # loop over pre-gathered rows with the bound ``rng(v).random``
+        # cached; the draw order per node is untouched (streams are
+        # independent, so the node order never matters).
+        alg = self._algorithm
+        state_rows = self._state[ids]
+        und_sel = state_rows == _S_UND
+        rest_ids = ids[~und_sel]
+        chg_parts: List[np.ndarray] = []
+        old_parts: List[np.ndarray] = []
+        if rest_ids.size:
+            mis_rows = state_rows[~und_sel] == _S_MIS
+            tag = np.where(mis_rows, _T_MARK, _T_NONE)
+            b = np.where(mis_rows, 34, 1)
+            unchanged = (
+                self._has_msg[rest_ids]
+                & (self._mtag[rest_ids] == tag)
+                & (self._mp[rest_ids] == 0.0)
+                & ~self._mcand[rest_ids]
+            )
+            chg = rest_ids[~unchanged]
+            if chg.size:
+                chg_parts.append(chg)
+                old_parts.append(self.bits[chg])
+                self._has_msg[chg] = True
+                self._mtag[chg] = tag[~unchanged]
+                self._mp[chg] = 0.0
+                self._mcand[chg] = False
+                self.bits[chg] = b[~unchanged]
+
+        und_ids_arr = ids[und_sel]
+        if und_ids_arr.size:
+            rand = self._rand
+            id_list = und_ids_arr.tolist()
+            d_rows = self._desire[und_ids_arr].tolist()
+            has_rows = self._has_msg[und_ids_arr].tolist()
+            tag_rows = self._mtag[und_ids_arr].tolist()
+            mp_rows = self._mp[und_ids_arr].tolist()
+            mcand_rows = self._mcand[und_ids_arr].tolist()
+            bits_rows = self.bits[und_ids_arr].tolist()
+            cand_rows: List[bool] = []
+            changed: List[int] = []
+            old_bits: List[int] = []
+            new_p: List[float] = []
+            new_cand: List[bool] = []
+            for i, v in enumerate(id_list):
+                p = d_rows[i]
+                draw = rand[v]
+                if draw is None:
+                    draw = rand[v] = alg.rng(v).random
+                cnd = draw() < p
+                cand_rows.append(cnd)
+                if has_rows[i] and tag_rows[i] == _T_UND and mp_rows[i] == p and mcand_rows[i] == cnd:
+                    continue
+                changed.append(v)
+                old_bits.append(bits_rows[i])
+                new_p.append(p)
+                new_cand.append(cnd)
+            self._cand[und_ids_arr] = cand_rows
+            if changed:
+                chg = np.asarray(changed, dtype=np.int64)
+                chg_parts.append(chg)
+                old_parts.append(np.asarray(old_bits, dtype=np.int64))
+                self._has_msg[chg] = True
+                self._mtag[chg] = _T_UND
+                self._mp[chg] = new_p
+                self._mcand[chg] = new_cand
+                self.bits[chg] = 91
+
+        if not chg_parts:
+            return _EMPTY_I8, _EMPTY_I8
+        if len(chg_parts) == 1:
+            return chg_parts[0], old_parts[0]
+        return np.concatenate(chg_parts), np.concatenate(old_parts)
+
+    def deliver(
+        self,
+        ids: np.ndarray,
+        seg: np.ndarray,
+        nbrs: np.ndarray,
+        ctx: Optional[DeliverContext],
+    ) -> None:
+        k = ids.size
+        if k == 0:
+            return
+        ntag = self._mtag[nbrs]
+        mark = np.zeros(k, dtype=bool)
+        mark[seg[ntag == _T_MARK]] = True
+        und_slots = ntag == _T_UND
+        if und_slots.any():
+            eff_deg = np.bincount(
+                seg[und_slots], weights=self._mp[nbrs[und_slots]], minlength=k
+            )
+            note = np.zeros(k, dtype=bool)
+            note[seg[und_slots & self._mcand[nbrs]]] = True
+        else:
+            eff_deg = np.zeros(k, dtype=np.float64)
+            note = np.zeros(k, dtype=bool)
+
+        s = self._state[ids]
+        undm = s == _S_UND
+        if undm.any():
+            uids = ids[undm]
+            d = self._desire[uids]
+            self._desire[uids] = np.where(
+                eff_deg[undm] >= 2.0,
+                np.maximum(d / 2.0, self._floor),
+                np.minimum(2.0 * d, 0.5),
+            )
+
+        to_dom = undm & mark
+        to_mis = undm & ~mark & self._cand[ids] & ~note
+        if self._undecide_enabled:
+            to_und = ((s == _S_MIS) & mark) | ((s == _S_DOM) & ~mark)
+        else:
+            to_und = np.zeros(k, dtype=bool)
+
+        state = self._state
+        dom_ids = ids[to_dom]
+        mis_ids = ids[to_mis]
+        und_ids = ids[to_und]
+        state[dom_ids] = _S_DOM
+        state[mis_ids] = _S_MIS
+        state[und_ids] = _S_UND
+        self._undecided += int(und_ids.size) - int(dom_ids.size) - int(mis_ids.size)
+        self._undecide_events += int(und_ids.size)
+
+    def post_round(self, ids: np.ndarray) -> Tuple[np.ndarray, List[object]]:
+        s = self._state[ids]
+        self._post_fingerprints(ids, s == _S_UND, s)
+        return self._post_outputs(ids, _OUT_LOOKUP[s])
+
+    def counters(self) -> Dict[str, float]:
+        return {
+            "undecided": float(self._undecided),
+            "undecide_events": float(self._undecide_events),
+        }
+
+    def finalize(self) -> None:
+        alg = self._algorithm
+        woken = np.flatnonzero(self.woken).tolist()
+        alg._awake = set(woken)
+        alg._state = {v: _STATE_ENUMS[int(self._state[v])] for v in woken}
+        alg._desire = {v: float(self._desire[v]) for v in woken}
+        alg._candidate = {v: bool(self._cand[v]) for v in woken}
+        alg._undecided_n = int(self._undecided)
+        alg._undecide_events = int(self._undecide_events)
+
+
+class DMisKernel(AlgorithmKernel):
+    def __init__(self, algorithm, *, restrict_to_intersection: bool) -> None:
+        super().__init__(algorithm)
+        n = self.n
+        self._restrict = bool(restrict_to_intersection)
+        self._state = np.zeros(n, dtype=np.int64)
+        self._drawn = np.zeros(n, dtype=np.float64)
+        self._mtag = np.zeros(n, dtype=np.int64)
+        self._mp = np.zeros(n, dtype=np.float64)
+        self._undecided = 0
+        #: cached bound ``rng(v).random`` per node (the compose hot loop)
+        self._rand: List[Optional[object]] = [None] * n
+        # live-set storage: doubled-slot mask in array mode, frozensets otherwise
+        self._live_dir: Optional[np.ndarray] = None
+        self._live_init = np.zeros(n, dtype=bool)
+        self._live_py: Dict[int, Optional[frozenset]] = {}
+
+    def set_array_mode(self, universe) -> None:
+        """Switch live-set bookkeeping to a doubled-universe slot mask."""
+
+        self._universe = universe
+        self._live_dir = np.zeros(universe.usrc.size, dtype=bool)
+
+    def wake(self, ids: np.ndarray) -> None:
+        self.recompose_next[ids] = True
+        fresh = ids[~self.woken[ids]]
+        if fresh.size == 0:
+            return
+        self.woken[fresh] = True
+        self._state[fresh] = _S_UND
+        self._drawn[fresh] = np.inf
+        self._live_init[fresh] = False
+        self._undecided += int(fresh.size)
+
+    def compose(self, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        # Same split as SMisKernel.compose: decided rows vectorised,
+        # undecided rows draw per node with the bound method cached.
+        alg = self._algorithm
+        state_rows = self._state[ids]
+        und_sel = state_rows == _S_UND
+        rest_ids = ids[~und_sel]
+        chg_parts: List[np.ndarray] = []
+        old_parts: List[np.ndarray] = []
+        if rest_ids.size:
+            mis_rows = state_rows[~und_sel] == _S_MIS
+            tag = np.where(mis_rows, _T_MARK, _T_NONE)
+            b = np.where(mis_rows, 34, 1)
+            unchanged = (
+                self._has_msg[rest_ids]
+                & (self._mtag[rest_ids] == tag)
+                & (self._mp[rest_ids] == 0.0)
+            )
+            chg = rest_ids[~unchanged]
+            if chg.size:
+                chg_parts.append(chg)
+                old_parts.append(self.bits[chg])
+                self._has_msg[chg] = True
+                self._mtag[chg] = tag[~unchanged]
+                self._mp[chg] = 0.0
+                self.bits[chg] = b[~unchanged]
+
+        und_ids_arr = ids[und_sel]
+        if und_ids_arr.size:
+            rand = self._rand
+            id_list = und_ids_arr.tolist()
+            has_rows = self._has_msg[und_ids_arr].tolist()
+            tag_rows = self._mtag[und_ids_arr].tolist()
+            mp_rows = self._mp[und_ids_arr].tolist()
+            bits_rows = self.bits[und_ids_arr].tolist()
+            drawn_rows: List[float] = []
+            changed: List[int] = []
+            old_bits: List[int] = []
+            new_val: List[float] = []
+            for i, v in enumerate(id_list):
+                draw = rand[v]
+                if draw is None:
+                    draw = rand[v] = alg.rng(v).random
+                val = draw()
+                drawn_rows.append(val)
+                if has_rows[i] and tag_rows[i] == _T_RAND and mp_rows[i] == val:
+                    continue
+                changed.append(v)
+                old_bits.append(bits_rows[i])
+                new_val.append(val)
+            self._drawn[und_ids_arr] = drawn_rows
+            if changed:
+                chg = np.asarray(changed, dtype=np.int64)
+                chg_parts.append(chg)
+                old_parts.append(np.asarray(old_bits, dtype=np.int64))
+                self._has_msg[chg] = True
+                self._mtag[chg] = _T_RAND
+                self._mp[chg] = new_val
+                self.bits[chg] = 98
+
+        if not chg_parts:
+            return _EMPTY_I8, _EMPTY_I8
+        if len(chg_parts) == 1:
+            return chg_parts[0], old_parts[0]
+        return np.concatenate(chg_parts), np.concatenate(old_parts)
+
+    def deliver(
+        self,
+        ids: np.ndarray,
+        seg: np.ndarray,
+        nbrs: np.ndarray,
+        ctx: Optional[DeliverContext],
+    ) -> None:
+        if ctx is not None:
+            self._deliver_array(ids, seg, nbrs, ctx)
+        else:
+            self._deliver_generic(ids, seg, nbrs)
+
+    def _deliver_array(
+        self, ids: np.ndarray, seg: np.ndarray, nbrs: np.ndarray, ctx: DeliverContext
+    ) -> None:
+        k = ids.size
+        if k == 0:
+            return
+        live = self._live_dir
+        eff_d = ctx.eff_d
+        if self._restrict:
+            # Global restrict: a no-op for untouched rows (their effective
+            # slots did not change this round), exact for delivered rows.
+            np.logical_and(live, eff_d, out=live)
+            uninit = ids[~self._live_init[ids]]
+            if uninit.size:
+                slots, _ = ctx.universe.row_slots(uninit)
+                live[slots] = eff_d[slots]
+                self._live_init[uninit] = True
+        else:
+            slots, _ = ctx.universe.row_slots(ids)
+            live[slots] = eff_d[slots]
+            self._live_init[ids] = True
+
+        s = self._state[ids]
+        undm = s == _S_UND
+        if not undm.any():
+            return
+        lv = live[ctx.slots]
+        ntag = self._mtag[nbrs]
+        mark = np.zeros(k, dtype=bool)
+        mark[seg[lv & (ntag == _T_MARK)]] = True
+        rsel = lv & (ntag == _T_RAND)
+        minr = np.full(k, np.inf)
+        np.minimum.at(minr, seg[rsel], self._mp[nbrs[rsel]])
+
+        to_dom = undm & mark
+        to_mis = undm & ~mark & (self._drawn[ids] < minr)
+        self._apply_transitions(ids[to_dom], ids[to_mis])
+
+    def _deliver_generic(self, ids: np.ndarray, seg: np.ndarray, nbrs: np.ndarray) -> None:
+        k = ids.size
+        if k == 0:
+            return
+        bounds = np.searchsorted(seg, np.arange(k + 1))
+        state = self._state
+        mtag = self._mtag
+        mp = self._mp
+        drawn = self._drawn
+        live_py = self._live_py
+        restrict = self._restrict
+        dom: List[int] = []
+        mis: List[int] = []
+        for i, v in enumerate(ids.tolist()):
+            keys = frozenset(nbrs[bounds[i] : bounds[i + 1]].tolist())
+            previous = live_py.get(v)
+            if previous is None:
+                live = keys
+            elif restrict:
+                live = previous & keys
+            else:
+                live = keys
+            live_py[v] = live
+            if state[v] != _S_UND:
+                continue
+            mark = False
+            minr = float("inf")
+            for u in live:
+                tag = mtag[u]
+                if tag == _T_MARK:
+                    mark = True
+                elif tag == _T_RAND:
+                    val = float(mp[u])
+                    if val < minr:
+                        minr = val
+            if mark:
+                dom.append(v)
+            elif float(drawn[v]) < minr:
+                mis.append(v)
+        self._apply_transitions(
+            np.asarray(dom, dtype=np.int64), np.asarray(mis, dtype=np.int64)
+        )
+
+    def _apply_transitions(self, dom_ids: np.ndarray, mis_ids: np.ndarray) -> None:
+        self._state[dom_ids] = _S_DOM
+        self._state[mis_ids] = _S_MIS
+        self._undecided -= int(dom_ids.size) + int(mis_ids.size)
+
+    def post_round(self, ids: np.ndarray) -> Tuple[np.ndarray, List[object]]:
+        s = self._state[ids]
+        self._post_fingerprints(ids, s == _S_UND, s)
+        return self._post_outputs(ids, _OUT_LOOKUP[s])
+
+    def counters(self) -> Dict[str, float]:
+        return {"undecided": float(self._undecided)}
+
+    def finalize(self) -> None:
+        alg = self._algorithm
+        woken = np.flatnonzero(self.woken).tolist()
+        alg._awake = set(woken)
+        alg._state = {v: _STATE_ENUMS[int(self._state[v])] for v in woken}
+        alg._drawn = {v: float(self._drawn[v]) for v in woken}
+        live: Dict[int, Optional[frozenset]] = {v: None for v in woken}
+        if self._live_dir is not None:
+            init_ids = np.asarray(
+                [v for v in woken if self._live_init[v]], dtype=np.int64
+            )
+            if init_ids.size:
+                uni = self._universe
+                slots, seg = uni.row_slots(init_ids)
+                kept = self._live_dir[slots]
+                kept_seg = seg[kept]
+                kept_dst = uni.udst[slots[kept]]
+                bounds = np.searchsorted(kept_seg, np.arange(init_ids.size + 1))
+                for i, v in enumerate(init_ids.tolist()):
+                    live[v] = frozenset(kept_dst[bounds[i] : bounds[i + 1]].tolist())
+        else:
+            for v in woken:
+                live[v] = self._live_py.get(v)
+        alg._live = live
+        alg._undecided_n = int(self._undecided)

@@ -235,6 +235,24 @@ class DistributedAlgorithm(ABC):
     def output(self, v: NodeId) -> Value:
         """The output of node ``v`` at the end of the current round (``None`` = ⊥)."""
 
+    # -- optional acceleration ----------------------------------------------------
+
+    def as_kernel(self) -> Optional[Any]:
+        """A factory for this algorithm's array kernel, or ``None`` (default).
+
+        Algorithms with a hand-vectorised implementation in
+        :mod:`repro.kernel` return a zero-argument callable producing an
+        ``AlgorithmKernel`` bound to this instance; the simulator calls the
+        factory after :meth:`setup` (kernels need ``n``) when resolving
+        ``delivery="kernel"``.  The kernel must be byte-identical to the
+        per-node methods — verified by the equivalence matrix and the
+        ``REPRO_VERIFY_KERNEL=1`` runtime gate.  Subclasses of an accelerated
+        algorithm are *not* accelerated automatically: overrides must check
+        ``type(self)`` so that a subclass with changed round logic silently
+        falls back to the classic engine instead of being mis-executed.
+        """
+        return None
+
     # -- optional introspection ---------------------------------------------------
 
     def outputs(self) -> Dict[NodeId, Value]:

@@ -33,11 +33,26 @@ Two delivery paths implement that structure:
     byte-identical to the full path (hard-gated by the test matrix and the
     ``--smoke`` delivery benchmark).
 
-The default mode ``"auto"`` selects incremental delivery exactly when the
-algorithm declares it safe.  ``REPRO_DELIVERY=full|incremental|auto`` (or the
-:func:`delivery_mode` context manager) overrides the automatic choice, and
-``REPRO_VERIFY_INCREMENTAL=1`` makes the scenario executor run both paths and
-assert row equality (see :func:`repro.scenarios.executor.run_scenario_seed`).
+``kernel``
+    The array-native path (see :mod:`repro.kernel`): dense numpy state
+    arrays, CSR adjacency over a static edge universe, vectorised
+    compose/deliver/output.  Requires the ``"pure"`` contract plus a
+    hand-vectorised kernel for the algorithm
+    (:meth:`~repro.runtime.algorithm.DistributedAlgorithm.as_kernel`).
+    When the adversary also offers a
+    :class:`~repro.kernel.plan.KernelPlan`, the round loop never
+    materialises python topologies at all and the trace is recorded lazily
+    (deltas only); otherwise a generic CSR engine runs inside the classic
+    round shell.  Byte-identical to both classic paths.
+
+The default mode ``"auto"`` selects the kernel path when algorithm,
+adversary and wake-up schedule are all kernel-eligible, incremental delivery
+when only the algorithm's ``"pure"`` contract holds, and the full path
+otherwise.  ``REPRO_DELIVERY=full|incremental|kernel|auto`` (or the
+:func:`delivery_mode` context manager) overrides the automatic choice;
+``REPRO_VERIFY_INCREMENTAL=1`` / ``REPRO_VERIFY_KERNEL=1`` make the scenario
+executor run the chosen path against the full path and assert row equality
+(see :func:`repro.scenarios.executor.run_scenario_seed`).
 """
 
 from __future__ import annotations
@@ -73,10 +88,11 @@ _UNSET: Any = object()
 #: Sentinel for "no cached message yet" (``None`` is a valid message).
 _NO_MESSAGE: Any = object()
 
-#: Environment override for the delivery path (``full`` / ``incremental`` / ``auto``).
+#: Environment override for the delivery path
+#: (``full`` / ``incremental`` / ``kernel`` / ``auto``).
 DELIVERY_ENV = "REPRO_DELIVERY"
 
-_DELIVERY_MODES = ("auto", "full", "incremental")
+_DELIVERY_MODES = ("auto", "full", "incremental", "kernel")
 
 #: Ambient override installed by :func:`delivery_mode` (beats the env var).
 _DELIVERY_OVERRIDE: Optional[str] = None
@@ -86,7 +102,8 @@ _DELIVERY_OVERRIDE: Optional[str] = None
 def delivery_mode(mode: str) -> Iterator[None]:
     """Force the delivery path of every :class:`Simulator` built in the block.
 
-    ``mode`` is ``"full"``, ``"incremental"`` or ``"auto"``.  Used by the
+    ``mode`` is ``"full"``, ``"incremental"``, ``"kernel"`` or ``"auto"``.
+    Used by the
     equivalence tests and benchmarks to time both paths on identical seeds::
 
         with delivery_mode("full"):
@@ -200,11 +217,18 @@ class Simulator:
         Optional predicate over the :class:`~repro.runtime.trace.ExecutionTrace`
         evaluated after every round; the run stops early when it returns true.
     delivery:
-        ``"auto"`` (default) uses incremental delivery when the algorithm
-        declares the ``"pure"`` contract, the full path otherwise;
-        ``"full"``/``"incremental"`` force a path.  Forcing ``"incremental"``
-        on an algorithm without the contract falls back to ``"full"`` (the
-        engine cannot skip work the algorithm has not declared skippable).
+        ``"auto"`` (default) uses the array kernel when algorithm and
+        adversary are kernel-eligible, incremental delivery when the
+        algorithm declares the ``"pure"`` contract, and the full path
+        otherwise; ``"full"``/``"incremental"``/``"kernel"`` force a path.
+        Forcing a path the algorithm has not declared safe falls back to the
+        strongest available one (the engine cannot skip work the algorithm
+        has not declared skippable).
+    allow_kernel:
+        Set to false to exclude the kernel path from ``"auto"``/``"kernel"``
+        resolution (used e.g. when per-round probes will read live
+        algorithm state, which array kernels only write back at the end of
+        a run).
     """
 
     def __init__(
@@ -221,6 +245,7 @@ class Simulator:
         stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
         delivery: str = "auto",
+        allow_kernel: bool = True,
     ) -> None:
         if not isinstance(n, int) or n < 1:
             raise ConfigurationError(f"n must be a positive integer, got {n!r}")
@@ -240,10 +265,50 @@ class Simulator:
         self._expose_state = expose_state_to_adversary
         self._stop_when = stop_when
         requested = _requested_delivery(delivery)
+        pure = algorithm.message_stability == "pure"
+        # Kernel eligibility: the pure contract, a hand-vectorised kernel for
+        # the exact algorithm type, no input vector (kernels initialise wake
+        # state vectorised for the ⊥-input case only), and no adaptive state
+        # exposure (state_summary would read stale instance state mid-run —
+        # kernels write back only at the end of a run).
+        kernel_ok = (
+            allow_kernel
+            and pure
+            and self._input is None
+            and not (expose_state_to_adversary and adversary.obliviousness == ADAPTIVE_OFFLINE)
+        )
+        kernel_factory = None
+        kernel_plan = None
+        if kernel_ok:
+            try:
+                kernel_factory = algorithm.as_kernel()
+            except ImportError:
+                # numpy below the kernel floor: an explicit request should
+                # surface the clear version error, auto falls back silently.
+                if requested == "kernel":
+                    raise
+                kernel_factory = None
+            if kernel_factory is not None:
+                try:
+                    plan = adversary.kernel_plan()
+                except ImportError:
+                    plan = None
+                if plan is not None and plan.validate(n):
+                    kernel_plan = plan
         if requested == "full":
             self._delivery = "full"
-        else:  # "incremental" and "auto" both require the declared contract
-            self._delivery = "incremental" if algorithm.message_stability == "pure" else "full"
+        elif requested == "kernel" and kernel_factory is not None:
+            self._delivery = "kernel"
+        elif requested == "auto" and kernel_factory is not None and kernel_plan is not None:
+            # auto only picks the kernel when the fast array path is
+            # available end-to-end; a plan-less adversary stays on the
+            # incremental loop (the generic kernel engine is opt-in).
+            self._delivery = "kernel"
+        else:  # remaining "incremental"/"auto"/"kernel" need the contract
+            self._delivery = "incremental" if pure else "full"
+        self._kernel_factory = kernel_factory
+        self._kernel_plan = kernel_plan if self._delivery == "kernel" else None
+        self._kernel_engine: Optional[Any] = None
         self._trace = ExecutionTrace(
             n,
             algorithm.name,
@@ -255,6 +320,9 @@ class Simulator:
         self._current_topology: Topology = empty_topology()
         self._started = False
         self._last_activity: Optional[RoundActivity] = None
+        #: deferred activity constructor (set by the array kernel engine so
+        #: rounds that nobody inspects never pay the frozenset conversions)
+        self._last_activity_builder: Optional[Callable[[], RoundActivity]] = None
         # -- incremental-delivery caches (unused on the full path) ----------
         #: node -> last composed message / its estimated bit size.
         self._messages: Dict[NodeId, Message] = {}
@@ -285,12 +353,16 @@ class Simulator:
 
     @property
     def delivery(self) -> str:
-        """The effective delivery path of this run (``"full"``/``"incremental"``)."""
+        """The effective delivery path (``"full"``/``"incremental"``/``"kernel"``)."""
         return self._delivery
 
     @property
     def last_round_activity(self) -> Optional[RoundActivity]:
         """The :class:`RoundActivity` of the most recent round (``None`` before round 1)."""
+        builder = self._last_activity_builder
+        if builder is not None:
+            self._last_activity = builder()
+            self._last_activity_builder = None
         return self._last_activity
 
     def run(self, rounds: int) -> ExecutionTrace:
@@ -306,10 +378,31 @@ class Simulator:
                 )
             )
             self._started = True
-        for _ in range(rounds):
-            self._run_round()
-            if self._stop_when is not None and self._stop_when(self._trace):
-                break
+        if self._delivery == "kernel" and self._kernel_engine is None:
+            # Built after setup: kernels size their arrays from algorithm.n.
+            from repro.kernel.engine import ArrayKernelEngine, GenericKernelEngine
+
+            kernel = self._kernel_factory()
+            if self._kernel_plan is not None:
+                self._kernel_engine = ArrayKernelEngine(self, kernel, self._kernel_plan)
+            else:
+                self._kernel_engine = GenericKernelEngine(self, kernel)
+        engine = self._kernel_engine
+        if engine is not None and engine.is_array:
+            # Plan-driven fast path: the engine owns the whole round.
+            for _ in range(rounds):
+                engine.run_round()
+                if self._stop_when is not None and self._stop_when(self._trace):
+                    break
+        else:
+            for _ in range(rounds):
+                self._run_round()
+                if self._stop_when is not None and self._stop_when(self._trace):
+                    break
+        if engine is not None:
+            # Write the kernel state back so post-run introspection of the
+            # algorithm instance (outputs(), state_of(), …) works as usual.
+            engine.finalize()
         return self._trace
 
     # -- internals -----------------------------------------------------------------
@@ -358,14 +451,20 @@ class Simulator:
             )
 
         # (2) Wake-ups — nodes awake for the first time initialise their state.
-        #     On the delta path only the newly added nodes are visited.
+        #     On the delta path only the newly added nodes are visited.  The
+        #     kernel engine wakes nodes itself (vectorised state init); its
+        #     algorithms never override the begin/end_round no-op hooks.
         newly_awake = delta.added_nodes if delta is not None else topology.nodes - previous.nodes
-        for v in sorted(newly_awake):
-            self._algorithm.wake(v)
+        if self._delivery != "kernel":
+            for v in sorted(newly_awake):
+                self._algorithm.wake(v)
+            self._algorithm.begin_round(round_index)
 
-        self._algorithm.begin_round(round_index)
-
-        if self._delivery == "incremental":
+        if self._delivery == "kernel":
+            outputs, metrics, changed, activity = self._kernel_engine.round(
+                round_index, previous, topology, delta, newly_awake
+            )
+        elif self._delivery == "incremental":
             outputs, metrics, changed, activity = self._incremental_round(
                 round_index, previous, topology, delta, newly_awake
             )
@@ -379,6 +478,7 @@ class Simulator:
         self._previous_outputs = outputs
         self._current_topology = topology
         self._last_activity = activity
+        self._last_activity_builder = None
 
     # -- the legacy O(n + m) path ------------------------------------------------
 
@@ -608,6 +708,7 @@ def run_simulation(
     expose_state_to_adversary: bool = False,
     stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
     delivery: str = "auto",
+    allow_kernel: bool = True,
 ) -> ExecutionTrace:
     """One-shot convenience wrapper around :class:`Simulator`.
 
@@ -636,5 +737,6 @@ def run_simulation(
         expose_state_to_adversary=expose_state_to_adversary,
         stop_when=stop_when,
         delivery=delivery,
+        allow_kernel=allow_kernel,
     )
     return sim.run(rounds)

@@ -116,6 +116,31 @@ class ExecutionTrace:
         )
         self._records.append(record)
 
+    def record_lazy(
+        self,
+        delta: TopologyDelta,
+        outputs: Mapping[NodeId, Value],
+        metrics: RoundMetrics,
+        changed_nodes: Optional[frozenset] = None,
+    ) -> None:
+        """Append one round from the array kernel without materialising it.
+
+        ``delta`` is stored as-is (see :meth:`DynamicGraph.append_lazy`) and
+        ``outputs`` is stored *by reference*: the kernel engine transfers
+        ownership of a dict it never mutates afterwards (it builds a fresh
+        one whenever any output changes), so the per-round defensive copy of
+        :meth:`record` would be pure overhead at kernel scale.
+        """
+        self._graph.append_lazy(delta)
+        record = RoundRecord(
+            round_index=self._graph.last_round,
+            outputs=outputs,
+            metrics=metrics,
+            graph=self._graph,
+            changed=changed_nodes,
+        )
+        self._records.append(record)
+
     # -- identification ----------------------------------------------------------
 
     @property

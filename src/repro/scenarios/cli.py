@@ -402,7 +402,69 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _diff_bench(reference: Path, candidate: Path) -> int:
+    """Compare two benchmark JSON files (``BENCH_*.json``) per workload.
+
+    Rows are matched on their ``workload`` key and every ``*_rps`` field is
+    compared as a new/old throughput ratio.  A workload that vanished from
+    the candidate is a failure — a silently dropped row must not read as
+    clean — and so is any throughput ratio below 0.9 (a >10% regression).
+    """
+    payloads = []
+    for role, path in (("reference", reference), ("candidate", candidate)):
+        if not path.is_file():
+            return _fail(f"{role} benchmark file {path} does not exist")
+        try:
+            payloads.append(json.loads(path.read_text(encoding="utf-8")))
+        except json.JSONDecodeError as exc:
+            return _fail(f"{role} benchmark file {path} is not valid JSON: {exc}")
+    ref_rows = {row["workload"]: row for row in payloads[0].get("rows", [])}
+    cand_rows = {row["workload"]: row for row in payloads[1].get("rows", [])}
+    if not ref_rows:
+        return _fail(f"reference benchmark file {reference} has no rows")
+
+    failures: List[str] = []
+    header = f"{'workload':<28} {'field':<18} {'old':>10} {'new':>10} {'ratio':>7}"
+    _print(header)
+    _print("-" * len(header))
+    for workload, ref_row in ref_rows.items():
+        cand_row = cand_rows.get(workload)
+        if cand_row is None:
+            failures.append(f"workload {workload} missing from candidate")
+            _print(f"{workload:<28} {'(all)':<18} {'-':>10} {'MISSING':>10} {'-':>7}")
+            continue
+        for field in sorted(ref_row):
+            if not field.endswith("_rps"):
+                continue
+            old = ref_row.get(field)
+            new = cand_row.get(field)
+            if not isinstance(old, (int, float)) or not old:
+                continue
+            if not isinstance(new, (int, float)):
+                failures.append(f"{workload}: {field} missing from candidate row")
+                _print(f"{workload:<28} {field:<18} {old:>10.1f} {'MISSING':>10} {'-':>7}")
+                continue
+            ratio = new / old
+            _print(f"{workload:<28} {field:<18} {old:>10.1f} {new:>10.1f} {ratio:>6.2f}x")
+            if ratio < 0.9:
+                failures.append(
+                    f"{workload}: {field} regressed {old:.1f} -> {new:.1f} "
+                    f"({ratio:.2f}x < 0.90x)"
+                )
+    for workload in cand_rows:
+        if workload not in ref_rows:
+            _print(f"{workload:<28} {'(new row)':<18} {'-':>10} {'-':>10} {'-':>7}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return _fail(f"{len(failures)} benchmark regression(s)")
+    _print(f"bench diff clean: {len(ref_rows)} workloads within 10% of reference")
+    return 0
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
+    if args.bench:
+        return _diff_bench(Path(args.reference), Path(args.candidate))
     for role, root in (("reference", args.reference), ("candidate", args.candidate)):
         # A missing store must not read as "no drift" — that would turn a
         # mispointed CI gate into a silent pass.
@@ -767,6 +829,15 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("reference", help="reference store directory (e.g. the committed results/)")
     diff.add_argument("candidate", help="candidate store directory (e.g. a fresh regeneration)")
     diff.add_argument("--kind", help="restrict to one store kind (e.g. smoke)")
+    diff.add_argument(
+        "--bench",
+        action="store_true",
+        help=(
+            "treat the two paths as benchmark JSON files (BENCH_*.json): "
+            "compare *_rps fields per workload, exit 1 on a >10%% regression "
+            "or a vanished workload"
+        ),
+    )
     diff.set_defaults(fn=_cmd_diff)
 
     audit = sub.add_parser(

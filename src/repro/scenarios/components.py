@@ -509,9 +509,14 @@ _ALGORITHM_CLASSES = {
 for _algo_name in ALGORITHMS:
     _algo_cls = _ALGORITHM_CLASSES.get(_algo_name)
     if _algo_cls is not None:
+        # ``as_kernel`` defined on the exact class (not inherited) marks the
+        # algorithms with an array kernel: subclass ablations inherit the
+        # method but its ``type(self)`` guard declines them at runtime.
+        _kernel_tag = " [kernel: array]" if "as_kernel" in _algo_cls.__dict__ else ""
         ALGORITHMS.set_doc(
             _algo_name,
-            f"{ALGORITHMS.doc(_algo_name)} [delivery: {_algo_cls.message_stability}]",
+            f"{ALGORITHMS.doc(_algo_name)} "
+            f"[delivery: {_algo_cls.message_stability}]{_kernel_tag}",
         )
 
 

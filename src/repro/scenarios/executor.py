@@ -51,6 +51,7 @@ __all__ = [
     "ScenarioContext",
     "ScenarioResult",
     "VERIFY_INCREMENTAL_ENV",
+    "VERIFY_KERNEL_ENV",
     "expand_sweep",
     "run_scenario",
     "run_scenario_seed",
@@ -65,6 +66,13 @@ Row = Dict[str, float]
 #: contract is wrong is caught with a :class:`SimulationError` instead of
 #: silently producing a divergent trace.
 VERIFY_INCREMENTAL_ENV = "REPRO_VERIFY_INCREMENTAL"
+
+#: Same debug harness for the array-kernel path: a seed that ran on the
+#: kernel delivery path is re-executed on the full per-node path and the two
+#: traces must be byte-identical — the gate that catches a vectorised kernel
+#: drifting from its reference algorithm (RNG order, float accumulation,
+#: counters, anything).
+VERIFY_KERNEL_ENV = "REPRO_VERIFY_KERNEL"
 
 
 @dataclass
@@ -145,6 +153,7 @@ def _execute_seed(spec: ScenarioSpec, seed: int) -> Tuple[Row, Simulator]:
             algorithm=ctx.algorithm,
             adversary=ctx.adversary,
             seed=ctx.seed,
+            delivery=spec.delivery or "auto",
             expose_state_to_adversary=spec.expose_state_to_adversary,
             # With a probe, the round loop below owns the stop check — passing
             # the predicate to the simulator too would evaluate it twice a round.
@@ -188,6 +197,52 @@ def _comparable_trace_rows(trace) -> List[tuple]:
     ]
 
 
+def _verify_against_full(spec: ScenarioSpec, seed: int, row: Row, sim: Simulator) -> None:
+    """Re-run ``(spec, seed)`` on the full path and demand identical traces."""
+    from repro.exec.stats import collect_stats
+
+    path = sim.delivery
+    blame = (
+        "the algorithm's message_stability='pure' declaration is wrong"
+        if path == "incremental"
+        else "the array kernel diverges from its reference algorithm"
+    )
+    # The throwaway collector keeps the verification re-run's phase
+    # timings out of the caller's stats — `repro bench` splits must
+    # reflect one execution per seed, not the debug double-run.  The spec's
+    # own delivery override is dropped: an explicit ``delivery="kernel"``
+    # would beat the ambient delivery_mode() and verify against itself.
+    with delivery_mode("full"), collect_stats():
+        full_row, full_sim = _execute_seed(spec.replace(delivery=None), seed)
+    fast_rows = _comparable_trace_rows(sim.trace)
+    full_rows = _comparable_trace_rows(full_sim.trace)
+    # Metric rows are compared only for probe-less runs: a probe may
+    # legitimately report the *engine's* per-round activity (e.g. the
+    # "activity" probe reads the dirty set), which differs between
+    # delivery paths by design.  The model-level record — every round's
+    # topology, outputs and metrics — must always match.
+    rows_comparable = spec.probe is None
+    if fast_rows != full_rows or (rows_comparable and row != full_row):
+        if len(fast_rows) != len(full_rows):
+            raise SimulationError(
+                f"{path} delivery simulated {len(fast_rows)} rounds but "
+                f"the full path {len(full_rows)} for algorithm {spec.algorithm.name!r} "
+                f"(seed {seed}): {blame}"
+            )
+        for fast, full in zip(fast_rows, full_rows):
+            if fast != full:
+                raise SimulationError(
+                    f"{path} delivery diverged from the full path at round "
+                    f"{fast[0]} for algorithm {spec.algorithm.name!r} (seed {seed}): "
+                    f"{blame}"
+                )
+        raise SimulationError(
+            f"{path} delivery produced a different metric row than the "
+            f"full path for algorithm {spec.algorithm.name!r} (seed {seed}): "
+            f"{blame}"
+        )
+
+
 def run_scenario_seed(spec: ScenarioSpec, seed: int) -> Row:
     """Run one seed-replication of ``spec`` and return its metric row.
 
@@ -198,44 +253,17 @@ def run_scenario_seed(spec: ScenarioSpec, seed: int) -> Row:
     on the incremental delivery path is re-executed on the full path and the
     two traces must match row for row — the debug harness that catches an
     algorithm declaring the ``"pure"`` contract it does not honour.
+    ``REPRO_VERIFY_KERNEL=1`` is the same gate for the array-kernel path.
     """
     row, sim = _execute_seed(spec, seed)
-    verify = os.environ.get(VERIFY_INCREMENTAL_ENV, "").strip() not in ("", "0")
-    if verify and sim.delivery == "incremental":
-        from repro.exec.stats import collect_stats
 
-        # The throwaway collector keeps the verification re-run's phase
-        # timings out of the caller's stats — `repro bench` splits must
-        # reflect one execution per seed, not the debug double-run.
-        with delivery_mode("full"), collect_stats():
-            full_row, full_sim = _execute_seed(spec, seed)
-        incremental_rows = _comparable_trace_rows(sim.trace)
-        full_rows = _comparable_trace_rows(full_sim.trace)
-        # Metric rows are compared only for probe-less runs: a probe may
-        # legitimately report the *engine's* per-round activity (e.g. the
-        # "activity" probe reads the dirty set), which differs between
-        # delivery paths by design.  The model-level record — every round's
-        # topology, outputs and metrics — must always match.
-        rows_comparable = spec.probe is None
-        if incremental_rows != full_rows or (rows_comparable and row != full_row):
-            if len(incremental_rows) != len(full_rows):
-                raise SimulationError(
-                    f"incremental delivery simulated {len(incremental_rows)} rounds but "
-                    f"the full path {len(full_rows)} for algorithm {spec.algorithm.name!r} "
-                    f"(seed {seed}): the message_stability='pure' declaration is wrong"
-                )
-            for inc, full in zip(incremental_rows, full_rows):
-                if inc != full:
-                    raise SimulationError(
-                        f"incremental delivery diverged from the full path at round "
-                        f"{inc[0]} for algorithm {spec.algorithm.name!r} (seed {seed}): "
-                        f"the algorithm's message_stability='pure' declaration is wrong"
-                    )
-            raise SimulationError(
-                f"incremental delivery produced a different metric row than the "
-                f"full path for algorithm {spec.algorithm.name!r} (seed {seed}): "
-                f"the algorithm's message_stability='pure' declaration is wrong"
-            )
+    def _flag(env: str) -> bool:
+        return os.environ.get(env, "").strip() not in ("", "0")
+
+    if (sim.delivery == "incremental" and _flag(VERIFY_INCREMENTAL_ENV)) or (
+        sim.delivery == "kernel" and _flag(VERIFY_KERNEL_ENV)
+    ):
+        _verify_against_full(spec, seed, row, sim)
     return row
 
 

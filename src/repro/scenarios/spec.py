@@ -162,6 +162,11 @@ class ScenarioSpec:
         ``2.0`` for extra slack).  Mutually exclusive with ``window``.
     expose_state_to_adversary:
         Forwarded to the simulator (adaptive adversaries may inspect state).
+    delivery:
+        Optional delivery-path override forwarded to the simulator:
+        ``"auto"`` (the default when ``None``), ``"full"``,
+        ``"incremental"`` or ``"kernel"``.  ``"kernel"`` raises at
+        simulator construction when the algorithm has no array kernel.
     name:
         Free-form label copied into results.
     """
@@ -179,6 +184,7 @@ class ScenarioSpec:
     window: Optional[int] = None
     window_scale: Optional[float] = None
     expose_state_to_adversary: bool = False
+    delivery: Optional[str] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -218,6 +224,18 @@ class ScenarioSpec:
             object.__setattr__(self, "window_scale", float(self.window_scale))
             if self.window is not None:
                 raise ConfigurationError("pass either 'window' or 'window_scale', not both")
+        # Kept in sync with repro.runtime.simulator._DELIVERY_MODES (specs
+        # must stay importable without pulling in the runtime).
+        if self.delivery is not None and self.delivery not in (
+            "auto",
+            "full",
+            "incremental",
+            "kernel",
+        ):
+            raise ConfigurationError(
+                "delivery must be one of ('auto', 'full', 'incremental', 'kernel'), "
+                f"got {self.delivery!r}"
+            )
 
     # -- labels & derived values -------------------------------------------------
 
@@ -266,6 +284,7 @@ class ScenarioSpec:
             "window": self.window,
             "window_scale": self.window_scale,
             "expose_state_to_adversary": self.expose_state_to_adversary,
+            "delivery": self.delivery,
             "name": self.name,
         }
 

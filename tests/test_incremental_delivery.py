@@ -115,21 +115,30 @@ class TestEquivalenceMatrix:
             assert incremental_rows == full_rows
 
     def test_every_pure_algorithm_actually_runs_incrementally(self):
-        """The matrix must exercise the new path, not silently degrade."""
+        """The matrix must exercise the new paths, not silently degrade."""
         pure = []
+        kernel = []
         for name in available("algorithms"):
             spec = ScenarioSpec(n=8, algorithm=name, rounds=2)
             ctx = _build_context(spec, 0)
             sim = Simulator(n=ctx.n, algorithm=ctx.algorithm, adversary=ctx.adversary)
             if ctx.algorithm.message_stability == "pure":
-                assert sim.delivery == "incremental"
+                # Auto picks the array kernel when the algorithm provides one
+                # and the adversary has a kernel plan, else incremental.
+                assert sim.delivery in ("incremental", "kernel")
                 pure.append(name)
+                if sim.delivery == "kernel":
+                    kernel.append(name)
             else:
                 assert sim.delivery == "full"
         # The paper's standalone algorithms are all pure; the Concat
         # combiners and the restart baselines are audited "none".
         assert "dcolor" in pure and "smis" in pure and "dmatch" in pure
         assert len(pure) >= 12
+        # The four array-kernel algorithms must actually select the kernel
+        # under the default (static) adversary.
+        for name in ("basic-coloring", "scolor", "smis", "dmis"):
+            assert name in kernel, f"{name} did not auto-select the kernel path"
 
 
 # ---------------------------------------------------------------------------
@@ -386,6 +395,14 @@ class TestActivitySurface:
         assert "[delivery: none]" in docs["restart-mis"]
         for name, doc in docs.items():
             assert "[delivery: " in doc, f"{name} doc lacks its contract annotation"
+        # Array-kernel eligibility is surfaced per algorithm; the subclass
+        # ablations inherit the method but decline at runtime, so only the
+        # four exact kernel classes carry the tag.
+        for name in ("basic-coloring", "scolor", "smis", "dmis"):
+            assert "[kernel: array]" in docs[name], f"{name} lacks its kernel tag"
+        for name, doc in docs.items():
+            if name not in ("basic-coloring", "scolor", "smis", "dmis"):
+                assert "[kernel: array]" not in doc, f"{name} wrongly tagged kernel"
 
 
 # ---------------------------------------------------------------------------

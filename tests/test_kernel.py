@@ -1,0 +1,427 @@
+"""The array-native round kernel (vectorized compose/deliver/output).
+
+Hard gates of the kernel PR:
+
+* the kernel delivery path produces **byte-identical trace rows** to the
+  authoritative full path for every kernel-capable algorithm × every
+  registered adversary (both the array engine, when the adversary ships a
+  :class:`KernelPlan`, and the generic CSR engine when it does not);
+* ``REPRO_VERIFY_KERNEL=1`` catches a kernel whose semantics drift from
+  the python algorithm it claims to mirror;
+* kernel selection honours the eligibility rules (pure contract, no input
+  vector, explicit requests degrade — never silently corrupt);
+* the satellites: quiescence-aware churn skipping is observationally
+  invisible, CSR build + delta round-trips match a from-scratch rebuild
+  for every topology family × adversary stream, and the numpy floor is
+  enforced at import time and consistent with ``pyproject.toml``.
+"""
+
+import pathlib
+import tomllib
+
+import numpy as np
+import pytest
+
+import repro.kernel as kernel_pkg
+from repro.errors import ConfigurationError, SimulationError
+from repro.dynamics import generators
+from repro.dynamics.adversaries.scripted import StaticAdversary
+from repro.dynamics.churn import MarkovEdgeChurn, StaticChurn, quiescence_skip
+from repro.dynamics.topology import TopologyDelta
+from repro.kernel import CSRAdjacency, EdgeUniverse
+from repro.kernel.engine import ArrayKernelEngine, GenericKernelEngine
+from repro.kernel.mis import SMisKernel
+from repro.runtime.algorithm import DistributedAlgorithm
+from repro.runtime.simulator import Simulator, delivery_mode
+from repro.scenarios import ScenarioSpec, component
+from repro.scenarios.executor import (
+    VERIFY_KERNEL_ENV,
+    _build_context,
+    run_scenario_seed,
+)
+
+from test_incremental_delivery import _ADVERSARY_SPECS, _trace_rows
+
+#: the four algorithms that ship a hand-vectorised kernel (``as_kernel()``).
+KERNEL_ALGORITHMS = ("basic-coloring", "scolor", "smis", "dmis")
+
+
+# ---------------------------------------------------------------------------
+# kernel × adversary equivalence matrix
+# ---------------------------------------------------------------------------
+
+
+class TestKernelEquivalenceMatrix:
+    @pytest.mark.parametrize("algorithm", KERNEL_ALGORITHMS)
+    def test_kernel_and_full_rows_identical(self, algorithm):
+        """Every kernel algorithm × every registered adversary: byte-identical.
+
+        Forcing ``delivery="kernel"`` exercises the array engine for
+        plan-capable adversaries and the generic CSR engine for the rest,
+        so the whole matrix covers both engines.
+        """
+        for adversary in sorted(_ADVERSARY_SPECS):
+            spec = ScenarioSpec(
+                n=16,
+                algorithm=algorithm,
+                adversary=_ADVERSARY_SPECS[adversary],
+                topology="gnp",
+                rounds=12,
+            )
+            full_rows, _ = _trace_rows(spec, seed=7, mode="full")
+            kernel_rows, sim = _trace_rows(spec, seed=7, mode="kernel")
+            assert sim.delivery == "kernel", f"{algorithm} × {adversary} degraded"
+            assert kernel_rows == full_rows, (
+                f"kernel delivery diverged for {algorithm} × {adversary}"
+            )
+
+    def test_matrix_exercises_both_engines(self):
+        """The matrix above must cover the array AND the generic engine."""
+        engines = {}
+        for adversary in ("markov-churn", "mobility"):
+            spec = ScenarioSpec(
+                n=16,
+                algorithm="smis",
+                adversary=_ADVERSARY_SPECS[adversary],
+                topology="gnp",
+                rounds=4,
+            )
+            _, sim = _trace_rows(spec, seed=7, mode="kernel")
+            engines[adversary] = type(sim._kernel_engine)
+        assert engines["markov-churn"] is ArrayKernelEngine
+        assert engines["mobility"] is GenericKernelEngine
+
+    @pytest.mark.parametrize("wakeup", ["staggered", "uniform-random"])
+    def test_equivalence_under_async_wakeup(self, wakeup):
+        for algorithm in KERNEL_ALGORITHMS:
+            spec = ScenarioSpec(
+                n=24,
+                algorithm=algorithm,
+                adversary=component("flip-churn", flip_prob=0.08),
+                topology="gnp",
+                rounds=20,
+                wakeup=wakeup,
+            )
+            full_rows, _ = _trace_rows(spec, seed=2, mode="full")
+            kernel_rows, _ = _trace_rows(spec, seed=2, mode="kernel")
+            assert kernel_rows == full_rows
+
+    def test_chunked_runs_match_single_run(self):
+        """``run(1)`` in a loop must equal one ``run(12)`` on the kernel path."""
+        spec = ScenarioSpec(
+            n=16,
+            algorithm="scolor",
+            adversary=component("markov-churn", p_off=0.05, p_on=0.05),
+            topology="gnp",
+            rounds=12,
+        )
+        whole_rows, _ = _trace_rows(spec, seed=3, mode="kernel")
+        with delivery_mode("kernel"):
+            ctx = _build_context(spec, 3)
+            sim = Simulator(
+                n=ctx.n, algorithm=ctx.algorithm, adversary=ctx.adversary, seed=ctx.seed
+            )
+            for _ in range(ctx.rounds):
+                sim.run(1)
+        chunk_rows = [
+            (
+                record.round_index,
+                record.topology.nodes,
+                record.topology.edges,
+                dict(record.outputs),
+                record.metrics.as_dict(),
+            )
+            for record in sim.trace
+        ]
+        assert chunk_rows == whole_rows
+
+
+# ---------------------------------------------------------------------------
+# kernel selection + spec knob
+# ---------------------------------------------------------------------------
+
+
+class _PureNoKernel(DistributedAlgorithm):
+    """Pure contract but no ``as_kernel`` — must stay on incremental."""
+
+    name = "pure-no-kernel"
+    message_stability = "pure"
+
+    def on_wake(self, v):
+        pass
+
+    def compose(self, v):
+        return None
+
+    def compose_fingerprint(self, v):
+        return None
+
+    def deliver(self, v, inbox):
+        pass
+
+    def output(self, v):
+        return 0
+
+
+class TestKernelSelection:
+    def _sim(self, algorithm, **kwargs):
+        return Simulator(
+            n=4, algorithm=algorithm, adversary=StaticAdversary(generators.ring(4)), **kwargs
+        )
+
+    def test_explicit_kernel_degrades_without_a_kernel(self):
+        # Pure algorithm without as_kernel: incremental, not an error.
+        assert self._sim(_PureNoKernel(), delivery="kernel").delivery == "incremental"
+
+        class Legacy(_PureNoKernel):
+            message_stability = "none"
+
+        # No purity contract: the kernel may not skip anything — full path.
+        assert self._sim(Legacy(), delivery="kernel").delivery == "full"
+
+    def test_input_vector_disables_the_kernel(self):
+        from repro.algorithms.mis.smis import SMis
+
+        assert self._sim(SMis(), delivery="kernel").delivery == "kernel"
+        # Kernels initialise wake state vectorised for the ⊥-input case only.
+        sim = self._sim(SMis(), delivery="kernel", input_assignment={0: 1})
+        assert sim.delivery == "incremental"
+
+    def test_spec_rejects_bogus_delivery(self):
+        with pytest.raises(ConfigurationError, match="delivery"):
+            ScenarioSpec(n=8, algorithm="smis", delivery="vectorized")
+
+    def test_spec_delivery_round_trips_and_reaches_the_simulator(self):
+        from repro.scenarios.executor import _execute_seed
+
+        base = ScenarioSpec(
+            n=12,
+            algorithm="smis",
+            adversary=component("markov-churn", p_off=0.05, p_on=0.05),
+            rounds=3,
+        )
+        assert base.to_dict()["delivery"] is None
+        assert base.replace(delivery="kernel").to_dict()["delivery"] == "kernel"
+        for requested, expected in (
+            (None, "kernel"),  # auto: markov-churn ships a KernelPlan
+            ("full", "full"),
+            ("incremental", "incremental"),
+            ("kernel", "kernel"),
+        ):
+            _, sim = _execute_seed(base.replace(delivery=requested), 0)
+            assert sim.delivery == expected, f"delivery={requested!r}"
+
+
+# ---------------------------------------------------------------------------
+# REPRO_VERIFY_KERNEL catches drifting kernels
+# ---------------------------------------------------------------------------
+
+
+class TestKernelVerificationHarness:
+    def _spec(self):
+        return ScenarioSpec(
+            n=12,
+            algorithm="smis",
+            adversary=component("markov-churn", p_off=0.05, p_on=0.05),
+            rounds=10,
+            delivery="kernel",
+            metrics=("trace-summary",),
+        )
+
+    def test_verify_flag_catches_a_broken_kernel(self, monkeypatch):
+        monkeypatch.setenv(VERIFY_KERNEL_ENV, "1")
+        # A kernel that silently drops every delivery drifts from the python
+        # SMis semantics; the harness must blame the kernel path.
+        monkeypatch.setattr(SMisKernel, "deliver", lambda *args, **kwargs: None)
+        with pytest.raises(SimulationError, match="kernel"):
+            run_scenario_seed(self._spec(), 0)
+
+    def test_verify_flag_passes_the_honest_kernels(self, monkeypatch):
+        monkeypatch.setenv(VERIFY_KERNEL_ENV, "1")
+        verified = run_scenario_seed(self._spec(), 1)
+        monkeypatch.delenv(VERIFY_KERNEL_ENV)
+        assert verified == run_scenario_seed(self._spec(), 1)
+
+
+# ---------------------------------------------------------------------------
+# quiescence-aware churn skipping is observationally invisible
+# ---------------------------------------------------------------------------
+
+
+class TestQuiescence:
+    def test_static_churn_quiescent_after_priming(self):
+        churn = StaticChurn(generators.ring(6))
+        assert not churn.quiescent()
+        churn.step_delta(1, np.random.default_rng(0))
+        assert churn.quiescent()
+        churn.reset()
+        assert not churn.quiescent()
+
+    def test_markov_churn_quiescent_only_when_absorbing(self):
+        base = generators.ring(6)
+        rng = np.random.default_rng(0)
+        frozen = MarkovEdgeChurn(base, p_off=0.0, p_on=0.0)
+        assert not frozen.quiescent()  # the priming delta is still owed
+        frozen.step_delta(1, rng)
+        assert frozen.quiescent()
+        live = MarkovEdgeChurn(base, p_off=0.2, p_on=0.2)
+        live.step_delta(1, rng)
+        assert not live.quiescent()
+
+    @pytest.mark.parametrize("mode", ["full", "incremental", "kernel"])
+    def test_skip_is_invisible_in_the_trace(self, mode):
+        """Skipping the RNG draw of an absorbed process must not change rows."""
+        for adversary in (
+            component("static"),
+            component("markov-churn", p_off=0.0, p_on=0.0),
+            component("markov-churn", p_off=0.05, p_on=0.05),
+        ):
+            spec = ScenarioSpec(
+                n=16, algorithm="smis", adversary=adversary, topology="gnp", rounds=10
+            )
+            with quiescence_skip(True):
+                skipped_rows, _ = _trace_rows(spec, seed=5, mode=mode)
+            with quiescence_skip(False):
+                stepped_rows, _ = _trace_rows(spec, seed=5, mode=mode)
+            assert skipped_rows == stepped_rows
+
+
+# ---------------------------------------------------------------------------
+# CSR structures: build + incremental delta round-trip
+# ---------------------------------------------------------------------------
+
+
+def _assert_same_adjacency(maintained: CSRAdjacency, rebuilt: CSRAdjacency):
+    m_rows, m_ptr, m_idx = maintained.to_indptr_indices()
+    r_rows, r_ptr, r_idx = rebuilt.to_indptr_indices()
+    assert np.array_equal(m_rows, r_rows)
+    assert np.array_equal(m_ptr, r_ptr)
+    assert np.array_equal(m_idx, r_idx)
+
+
+class TestCSRProperties:
+    @pytest.mark.parametrize("topology", ["gnp", "ring", "geometric"])
+    @pytest.mark.parametrize(
+        "adversary", ["flip-churn", "edge-insertion", "burst-churn", "mobility"]
+    )
+    def test_delta_maintenance_matches_rebuild(self, topology, adversary):
+        """``apply_delta`` over a real adversary stream == from-scratch build."""
+        spec = ScenarioSpec(
+            n=20,
+            algorithm="smis",
+            adversary=_ADVERSARY_SPECS[adversary],
+            topology=topology,
+            rounds=10,
+        )
+        _, sim = _trace_rows(spec, seed=11, mode="full")
+        records = list(sim.trace)
+        maintained = CSRAdjacency.from_topology(20, records[0].topology)
+        previous = records[0].topology
+        for record in records[1:]:
+            maintained.apply_delta(TopologyDelta.between(previous, record.topology))
+            previous = record.topology
+            _assert_same_adjacency(
+                maintained, CSRAdjacency.from_topology(20, record.topology)
+            )
+        # the final adjacency answers the same neighbor queries as the topology
+        assert set(maintained.nodes) == set(previous.nodes)
+        for v in previous.nodes:
+            assert set(maintained.neighbors(v).tolist()) == set(previous.neighbors(v))
+
+    def test_gather_concatenates_sorted_rows(self):
+        topo = generators.gnp(12, 0.4, np.random.default_rng(3))
+        adj = CSRAdjacency.from_topology(12, topo)
+        ids = np.asarray(sorted(topo.nodes), dtype=np.int64)
+        seg, nbrs = adj.gather(ids)
+        for j, v in enumerate(ids.tolist()):
+            row = nbrs[seg == j]
+            assert row.tolist() == sorted(topo.neighbors(v))
+
+    def test_empty_and_node_only_deltas(self):
+        adj = CSRAdjacency(4)
+        assert list(adj.nodes) == []
+        seg, nbrs = adj.gather(np.asarray([0, 1], dtype=np.int64))
+        assert seg.size == 0 and nbrs.size == 0
+        adj.apply_delta(TopologyDelta(added_nodes=(0, 1, 2)))
+        adj.apply_delta(TopologyDelta(added_edges=((0, 1), (1, 2))))
+        assert adj.neighbors(1).tolist() == [0, 2]
+        adj.apply_delta(TopologyDelta(removed_nodes=(2,), removed_edges=((1, 2),)))
+        assert adj.neighbors(1).tolist() == [0]
+        assert adj.neighbors(2).size == 0
+
+    def test_edge_universe_row_slots(self):
+        topo = generators.gnp(16, 0.3, np.random.default_rng(9))
+        edges = tuple(sorted(topo.edges))
+        universe = EdgeUniverse(16, edges)
+        assert universe.m == len(edges)
+        ids = np.asarray([0, 3, 7, 15], dtype=np.int64)
+        slots, seg = universe.row_slots(ids)
+        # every slot belongs to the row it is segmented into...
+        assert np.array_equal(universe.usrc[slots], ids[seg])
+        # ...rows enumerate neighbors ascending, matching the topology...
+        for j, v in enumerate(ids.tolist()):
+            row = universe.udst[slots[seg == j]]
+            assert row.tolist() == sorted(topo.neighbors(v))
+        # ...and uedge maps each slot back to its canonical universe edge.
+        for s in slots.tolist():
+            u, w = int(universe.usrc[s]), int(universe.udst[s])
+            assert edges[int(universe.uedge[s])] == (min(u, w), max(u, w))
+
+    def test_edge_universe_degenerate(self):
+        universe = EdgeUniverse(5, ())
+        slots, seg = universe.row_slots(np.asarray([0, 4], dtype=np.int64))
+        assert slots.size == 0 and seg.size == 0
+        assert universe.indptr.tolist() == [0] * 6
+
+
+# ---------------------------------------------------------------------------
+# numpy floor
+# ---------------------------------------------------------------------------
+
+
+class TestNumpyFloor:
+    def test_current_numpy_passes(self):
+        kernel_pkg._check_numpy_version()
+
+    def test_old_numpy_is_rejected(self, monkeypatch):
+        monkeypatch.setattr(np, "__version__", "1.24.3")
+        with pytest.raises(ImportError, match="numpy>="):
+            kernel_pkg._check_numpy_version()
+
+    def test_floor_matches_pyproject(self):
+        pyproject = pathlib.Path(__file__).resolve().parent.parent / "pyproject.toml"
+        deps = tomllib.loads(pyproject.read_text())["project"]["dependencies"]
+        floor = ".".join(str(part) for part in kernel_pkg._REQUIRED_NUMPY)
+        assert f"numpy>={floor}" in deps
+
+
+# ---------------------------------------------------------------------------
+# the activity surface on the kernel path
+# ---------------------------------------------------------------------------
+
+
+class TestKernelActivity:
+    def test_lazy_activity_reports_the_kernel_round(self):
+        spec = ScenarioSpec(
+            n=16,
+            algorithm="smis",
+            adversary=component("markov-churn", p_off=0.05, p_on=0.05),
+            topology="gnp",
+            rounds=5,
+        )
+        with delivery_mode("kernel"):
+            ctx = _build_context(spec, 4)
+            sim = Simulator(
+                n=ctx.n, algorithm=ctx.algorithm, adversary=ctx.adversary, seed=ctx.seed
+            )
+        sim.run(3)
+        activity = sim.last_round_activity
+        assert activity.mode == "kernel"
+        assert activity.round_index == 3
+        # the builder is consumed once; repeated reads return the same object
+        assert sim.last_round_activity is activity
+        # outputs can only change for nodes that were delivered to
+        assert activity.changed_outputs <= activity.delivered
+        assert sim.trace.metrics(3).outputs_changed == len(activity.changed_outputs)
+        sim.run(1)
+        assert sim.last_round_activity.round_index == 4
