@@ -50,7 +50,12 @@ def run_combined(
     input_assignment: Optional[Assignment] = None,
     input=_UNSET,
 ) -> CombinedRunResult:
-    """Run ``Concat(SAlg, DAlg)`` against ``adversary`` and summarise validity."""
+    """Run ``Concat(SAlg, DAlg)`` against ``adversary`` and summarise validity.
+
+    The removed ``input`` keyword (superseded by ``input_assignment``) is
+    still declared so stale call sites get the loud
+    :class:`~repro.errors.ConfigurationError` instead of a ``TypeError``.
+    """
     T1 = window if window is not None else default_window(n)
     algorithm = Concat(static_factory, dynamic_factory, T1)
     trace = run_simulation(

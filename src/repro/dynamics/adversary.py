@@ -248,8 +248,10 @@ def delta_emission(enabled: bool):
 
     Only affects :class:`IncrementalAdversary` instances *constructed* inside
     the context that did not pass ``emit_deltas`` explicitly.  Used by the
-    equivalence tests and the engine benchmark to run the same scenario on
-    both paths.
+    equivalence tests, the engine benchmark and the ``delta-vs-snapshot``
+    contract of ``repro verify`` (:mod:`repro.verify.contracts`), which runs
+    every registered adversary on both paths and gates on byte-identical
+    traces.
     """
     previous = set_default_delta_emission(enabled)
     try:

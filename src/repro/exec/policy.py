@@ -15,6 +15,11 @@ region.  ``run_scenario(..., parallel=True)`` deep inside an experiment
 function then picks it up without every call site growing new parameters —
 that is how ``repro experiments --backend local-cluster`` reaches the
 scenario runs of the E1–E13 implementations unchanged.
+
+:class:`repro.verify.policy.VerificationPolicy` is the verification sibling
+of this module: same defaults < config block < CLI flags precedence, same
+ambient-context installation (``use_verification``), applied to the in-run
+equivalence gates instead of the execution backend.
 """
 
 from __future__ import annotations

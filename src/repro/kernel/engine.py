@@ -17,8 +17,8 @@ Two engines share the per-algorithm kernels:
   adversary works here, including ones that remove nodes.
 
 Both paths are byte-identical to the classic full/incremental loops —
-``REPRO_VERIFY_KERNEL=1`` asserts it at runtime, and the equivalence tests
-cover the full algorithm × adversary × wakeup matrix.
+``--verify kernel`` (:mod:`repro.verify.policy`) asserts it at runtime, and
+the equivalence tests cover the full algorithm × adversary × wakeup matrix.
 """
 
 from __future__ import annotations

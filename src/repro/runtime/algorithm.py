@@ -143,7 +143,7 @@ class DistributedAlgorithm(ABC):
     #:     — per-round cost O(#active nodes + #topology changes) instead of
     #:     O(n + m) — while producing byte-identical traces.  Declarations
     #:     are verified empirically by the equivalence test matrix and, per
-    #:     run, by setting ``REPRO_VERIFY_INCREMENTAL=1``.
+    #:     run, by ``--verify incremental`` (see :mod:`repro.verify.policy`).
     message_stability: str = "none"
 
     def __init__(self) -> None:
@@ -246,7 +246,8 @@ class DistributedAlgorithm(ABC):
         factory after :meth:`setup` (kernels need ``n``) when resolving
         ``delivery="kernel"``.  The kernel must be byte-identical to the
         per-node methods — verified by the equivalence matrix and the
-        ``REPRO_VERIFY_KERNEL=1`` runtime gate.  Subclasses of an accelerated
+        ``--verify kernel`` runtime gate (:mod:`repro.verify.policy`).
+        Subclasses of an accelerated
         algorithm are *not* accelerated automatically: overrides must check
         ``type(self)`` so that a subclass with changed round logic silently
         falls back to the classic engine instead of being mis-executed.

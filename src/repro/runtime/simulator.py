@@ -49,16 +49,17 @@ The default mode ``"auto"`` selects the kernel path when algorithm,
 adversary and wake-up schedule are all kernel-eligible, incremental delivery
 when only the algorithm's ``"pure"`` contract holds, and the full path
 otherwise.  ``REPRO_DELIVERY=full|incremental|kernel|auto`` (or the
-:func:`delivery_mode` context manager) overrides the automatic choice;
-``REPRO_VERIFY_INCREMENTAL=1`` / ``REPRO_VERIFY_KERNEL=1`` make the scenario
-executor run the chosen path against the full path and assert row equality
-(see :func:`repro.scenarios.executor.run_scenario_seed`).
+:func:`delivery_mode` context manager) overrides the automatic choice; a
+:class:`~repro.verify.policy.VerificationPolicy` (``--verify
+incremental,kernel``, a config ``"verification"`` block, or the deprecated
+``REPRO_VERIFY_INCREMENTAL=1`` / ``REPRO_VERIFY_KERNEL=1`` aliases) makes
+the scenario executor run the chosen path against the full path and assert
+row equality (see :func:`repro.scenarios.executor.run_scenario_seed`).
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Iterator, Mapping, Optional
@@ -175,18 +176,18 @@ class RoundActivity:
 def _merge_deprecated_input(
     input_assignment: Optional[Assignment], input: Any
 ) -> Optional[Assignment]:
-    """Fold the deprecated ``input`` keyword into ``input_assignment``."""
+    """Reject the removed ``input`` keyword (deprecation cycle completed).
+
+    ``input`` shadowed the builtin and spent a release emitting
+    :class:`DeprecationWarning`; it now fails loudly so stale call sites
+    surface instead of silently diverging from the documented API.
+    """
     if input is _UNSET:
         return input_assignment
-    warnings.warn(
-        "the 'input' parameter shadows the builtin and is deprecated; "
-        "use 'input_assignment' instead",
-        DeprecationWarning,
-        stacklevel=3,
+    raise ConfigurationError(
+        "the 'input' parameter was removed after its deprecation cycle; "
+        "pass 'input_assignment' instead"
     )
-    if input_assignment is not None:
-        raise ConfigurationError("pass either 'input_assignment' or the deprecated 'input', not both")
-    return input
 
 
 class Simulator:
@@ -208,8 +209,9 @@ class Simulator:
         same experiment seed via ``RngFactory.stream("adversary", …)``.)
     input_assignment:
         Optional input vector ``φ`` forwarded to the algorithm's setup.
-        (The former name ``input`` shadowed the builtin and is still accepted
-        with a :class:`DeprecationWarning`.)
+        (The former name ``input`` shadowed the builtin and was removed
+        after its deprecation cycle; passing it raises
+        :class:`ConfigurationError`.)
     expose_state_to_adversary:
         If true, adaptive adversaries (obliviousness 0) may inspect
         ``algorithm.state_summary()`` when choosing the next graph.

@@ -16,6 +16,7 @@ Subcommands::
     repro experiments e01 e07 --smoke  # CI-sized parameter sets
     repro bench --all                  # benchmark-scale runs with timings
     repro validate                     # check every committed config
+    repro verify --suite smoke         # run the validation-contract suite
     repro diff results /tmp/fresh      # exit 1 on any row drift
     repro audit                        # exit 1 on interrupted/torn/drifted state
     repro repair                       # finish interrupted batches, clean torn writes
@@ -37,6 +38,12 @@ local-cluster / remote), ``--chunk-size``, ``--workers``, ``--progress`` and
 ``remote`` backend — or per config by an ``"execution"`` block (CLI flags
 win); see :mod:`repro.exec`.  Store-backed runs keep a sweep journal under
 ``<store>/.journals`` so a killed sweep resumes exactly where it stopped.
+
+In-run verification — re-checking every seed executed on the incremental or
+kernel delivery path against the authoritative full engine — is controlled
+the same way: ``--verify incremental,kernel`` per invocation or a
+``"verification"`` block per config (CLI flag wins); see
+:mod:`repro.verify`.  ``repro verify`` runs the offline contract suite.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ import json
 import os
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
@@ -76,6 +84,12 @@ from repro.scenarios.configs import (
 from repro.scenarios.executor import expand_sweep, run_scenario, sweep
 from repro.scenarios.registry import available
 from repro.scenarios.store import ResultsStore, StoreEntry, diff_stores
+from repro.verify.policy import (
+    VerificationPolicy,
+    parse_verify_spec,
+    use_verification,
+    verification_from_mapping,
+)
 
 __all__ = ["main"]
 
@@ -161,6 +175,31 @@ def _build_policy(
     return policy
 
 
+def _build_verification(
+    args: argparse.Namespace,
+    config_verification: Optional[Mapping[str, Any]] = None,
+) -> Optional[VerificationPolicy]:
+    """The effective verification policy, or ``None`` for "no explicit choice".
+
+    Precedence mirrors :func:`_build_policy`: the config's ``"verification"``
+    block sets the baseline and ``--verify`` wins wholesale.  ``None`` (no
+    flag, no block) leaves the ambient policy untouched, so the deprecated
+    ``REPRO_VERIFY_*`` environment aliases keep working for callers that
+    still rely on them.
+    """
+    flag = getattr(args, "verify", None)
+    if flag is not None:
+        return parse_verify_spec(flag, where="--verify")
+    if config_verification is not None:
+        return verification_from_mapping(config_verification, where="'verification' block")
+    return None
+
+
+def _verification_scope(policy: Optional[VerificationPolicy]):
+    """Context manager installing ``policy`` for the run (no-op for ``None``)."""
+    return nullcontext() if policy is None else use_verification(policy)
+
+
 # ---------------------------------------------------------------------------
 # run / sweep
 # ---------------------------------------------------------------------------
@@ -222,7 +261,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if code:
         return code
     policy = _build_policy(args, config.execution, parallel=args.parallel)
-    rows = _rows_for_config(config, policy)
+    with _verification_scope(_build_verification(args, config.verification)):
+        rows = _rows_for_config(config, policy)
     kind, label, key = _store_target(config)
     return _store_and_emit(args, kind, label, key, rows, title=config.label)
 
@@ -238,7 +278,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if code:
         return code
     policy = _build_policy(args, config.execution, parallel=args.parallel)
-    rows = _rows_for_config(config, policy)
+    with _verification_scope(_build_verification(args, config.verification)):
+        rows = _rows_for_config(config, policy)
     kind, label, key = _store_target(config)
     return _store_and_emit(args, kind, label, key, rows, title=config.label)
 
@@ -303,8 +344,9 @@ def _run_experiments(args: argparse.Namespace, *, scale: str, timings: bool) -> 
     for experiment_id, config in sorted(configs.items()):
         params = config.params_for(scale)
         policy = _build_policy(args, config.execution, parallel=not args.serial)
+        verification = _build_verification(args, config.verification)
         started = time.perf_counter()
-        with collect_stats() as stats, use_policy(policy):
+        with collect_stats() as stats, use_policy(policy), _verification_scope(verification):
             rows = run_experiment(experiment_id, params, parallel=not args.serial)
         elapsed = time.perf_counter() - started
         kind, label, key = _store_target(config, scale=scale)
@@ -570,7 +612,8 @@ def _cmd_repair(args: argparse.Namespace) -> int:
             continue
         _print(f"repairing {config_path}: {done}/{total} units journalled, resuming")
         policy = _build_policy(args, config.execution).replace(resume=True)
-        rows = _rows_for_config(config, policy)
+        with _verification_scope(_build_verification(args, config.verification)):
+            rows = _rows_for_config(config, policy)
         kind, label, key = _store_target(config)
         entry, put_status = ResultsStore(args.store).put(kind, label, key, rows)
         # "unchanged" is the byte-identity verification: the reassembled rows
@@ -584,6 +627,59 @@ def _cmd_components(_args: argparse.Namespace) -> int:
         rows = [{"name": name, "description": doc} for name, doc in docs.items()]
         _print(format_table(rows, title=family).rstrip())
         _print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# verify (observational-equivalence contracts + metamorphic properties)
+# ---------------------------------------------------------------------------
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    # Imported lazily: the contract suite pulls in every registered component
+    # plus numpy, which no other subcommand should pay for at import time.
+    from repro.verify.contracts import CONTRACTS
+    from repro.verify.harness import run_verify, verify_store_target
+
+    if args.list:
+        listing = [
+            {"contract": name, "description": doc} for name, doc in CONTRACTS.describe().items()
+        ]
+        _print(format_table(listing, title="validation contracts").rstrip())
+        return 0
+
+    contracts: Optional[List[str]] = None
+    if args.contracts:
+        contracts = [token.strip() for token in args.contracts.split(",") if token.strip()]
+    verdicts = run_verify(suite=args.suite, contracts=contracts, configs_dir=args.configs)
+    rows = [verdict.as_row() for verdict in verdicts]
+
+    if args.no_store:
+        _print(format_table(rows, title=f"repro verify [{args.suite}]").rstrip())
+        _print()
+    else:
+        store = ResultsStore(args.store)
+        kind, label, key = verify_store_target(args.suite, contracts)
+        entry, status = store.put(kind, label, key, rows)
+        # Same stance as run/sweep: render from what was persisted.
+        _emit_entry(store.load(entry.path), title=f"repro verify [{args.suite}]", status=status)
+
+    failures = [verdict for verdict in verdicts if verdict.status == "fail"]
+    passed = sum(1 for verdict in verdicts if verdict.status == "pass")
+    skipped = sum(1 for verdict in verdicts if verdict.status == "skip")
+    for verdict in failures:
+        print(
+            f"FAIL: contract {verdict.contract!r} case {verdict.case!r}: {verdict.detail}",
+            file=sys.stderr,
+        )
+    contracts_run = len({verdict.contract for verdict in verdicts})
+    summary = (
+        f"{passed} passed, {len(failures)} failed, {skipped} skipped "
+        f"across {contracts_run} contract{'' if contracts_run == 1 else 's'}"
+    )
+    if failures:
+        return _fail(summary)
+    _print(summary)
     return 0
 
 
@@ -619,6 +715,13 @@ def _reachable_entry_paths(store: ResultsStore, configs_dir: Path) -> set:
         else:
             kind, label, key = _store_target(config)
             reachable.add(store.entry_path(kind, label, key))
+    # Full-suite verify runs are regenerable from the committed tree, so they
+    # are gc roots too (contract-subset runs are scratch work and prunable).
+    from repro.verify.harness import verify_store_target
+
+    for suite in ("smoke", "full"):
+        kind, label, key = verify_store_target(suite)
+        reachable.add(store.entry_path(kind, label, key))
     return reachable
 
 
@@ -753,6 +856,17 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_verification_options(parser: argparse.ArgumentParser) -> None:
+    """The in-run verification flag shared by every executing subcommand."""
+    parser.add_argument(
+        "--verify",
+        metavar="MODES",
+        help="delivery paths to re-check against the full engine per seed: "
+        "comma-separated from incremental,kernel, or 'none' to disable "
+        "(default: from the config's 'verification' block, else off)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -767,6 +881,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-store", action="store_true", help="print only, skip the results store")
     _add_store_options(run)
     _add_execution_options(run)
+    _add_verification_options(run)
     run.set_defaults(fn=_cmd_run)
 
     sweep_cmd = sub.add_parser("sweep", help="run a committed spec + override-grid config")
@@ -777,6 +892,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_options(sweep_cmd)
     _add_execution_options(sweep_cmd)
+    _add_verification_options(sweep_cmd)
     sweep_cmd.set_defaults(fn=_cmd_sweep)
 
     experiments = sub.add_parser(
@@ -797,6 +913,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_options(experiments)
     _add_execution_options(experiments)
+    _add_verification_options(experiments)
     experiments.set_defaults(fn=_cmd_experiments)
 
     bench = sub.add_parser("bench", help="benchmark-scale experiment runs with wall times")
@@ -812,6 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_options(bench)
     _add_execution_options(bench)
+    _add_verification_options(bench)
     bench.set_defaults(fn=_cmd_bench)
 
     validate = sub.add_parser("validate", help="validate committed configs without running them")
@@ -863,10 +981,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_options(repair)
     _add_execution_options(repair)
+    _add_verification_options(repair)
     repair.set_defaults(fn=_cmd_repair)
 
     components = sub.add_parser("components", help="list every registered scenario component")
     components.set_defaults(fn=_cmd_components)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the observational-equivalence contract suite; exit 1 on any failure",
+    )
+    verify.add_argument(
+        "--suite",
+        choices=["smoke", "full"],
+        default="smoke",
+        help="case sizes: smoke is CI-sized, full widens n/rounds/seeds (default: smoke)",
+    )
+    verify.add_argument(
+        "--contracts",
+        metavar="C1,C2",
+        help="run only these contracts (comma-separated; default: all registered)",
+    )
+    verify.add_argument(
+        "--configs",
+        default=str(DEFAULT_CONFIGS_DIR),
+        help=f"config tree the manipulation-exists contract scans (default: {DEFAULT_CONFIGS_DIR})",
+    )
+    verify.add_argument(
+        "--no-store", action="store_true", help="print only, skip the results store"
+    )
+    verify.add_argument(
+        "--list", action="store_true", help="list registered contracts without running them"
+    )
+    _add_store_options(verify)
+    verify.set_defaults(fn=_cmd_verify)
 
     gc = sub.add_parser(
         "gc", help="prune store entries unreachable from the committed configs"

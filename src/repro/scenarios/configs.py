@@ -62,6 +62,7 @@ class ScenarioConfig:
     spec: ScenarioSpec
     path: Optional[Path] = None
     execution: Optional[Mapping[str, Any]] = None
+    verification: Optional[Mapping[str, Any]] = None
 
     kind = "scenario"
 
@@ -78,6 +79,7 @@ class SweepConfig:
     over: Mapping[str, Sequence[Any]]
     path: Optional[Path] = None
     execution: Optional[Mapping[str, Any]] = None
+    verification: Optional[Mapping[str, Any]] = None
 
     kind = "sweep"
 
@@ -98,6 +100,7 @@ class ExperimentConfig:
     columns: Optional[Tuple[str, ...]] = None
     path: Optional[Path] = None
     execution: Optional[Mapping[str, Any]] = None
+    verification: Optional[Mapping[str, Any]] = None
 
     kind = "experiment"
 
@@ -150,18 +153,27 @@ def load_config(path: Union[str, Path]) -> Config:
             f"config {path}: 'execution' must be a JSON object, got {execution!r}"
         )
     execution = None if execution is None else dict(execution)
+    verification = data.get("verification")
+    if verification is not None and not isinstance(verification, Mapping):
+        raise ConfigurationError(
+            f"config {path}: 'verification' must be a JSON object, got {verification!r}"
+        )
+    verification = None if verification is None else dict(verification)
     if kind == "scenario":
         if "spec" not in data:
             raise ConfigurationError(f"scenario config {path} is missing its 'spec'")
-        _reject_unknown(path, data, {"kind", "spec", "execution"})
+        _reject_unknown(path, data, {"kind", "spec", "execution", "verification"})
         return ScenarioConfig(
-            spec=ScenarioSpec.from_dict(data["spec"]), path=path, execution=execution
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            path=path,
+            execution=execution,
+            verification=verification,
         )
     if kind == "sweep":
         for required in ("spec", "over"):
             if required not in data:
                 raise ConfigurationError(f"sweep config {path} is missing its {required!r}")
-        _reject_unknown(path, data, {"kind", "spec", "over", "execution"})
+        _reject_unknown(path, data, {"kind", "spec", "over", "execution", "verification"})
         over = data["over"]
         if not isinstance(over, Mapping) or not over:
             raise ConfigurationError(f"sweep config {path}: 'over' must be a non-empty object")
@@ -178,6 +190,7 @@ def load_config(path: Union[str, Path]) -> Config:
             over={str(k): list(v) for k, v in over.items()},
             path=path,
             execution=execution,
+            verification=verification,
         )
     if kind == "experiment":
         for required in ("experiment", "title"):
@@ -195,6 +208,7 @@ def load_config(path: Union[str, Path]) -> Config:
                 "smoke_params",
                 "columns",
                 "execution",
+                "verification",
             },
         )
         columns = data.get("columns")
@@ -207,6 +221,7 @@ def load_config(path: Union[str, Path]) -> Config:
             columns=None if columns is None else tuple(columns),
             path=path,
             execution=execution,
+            verification=verification,
         )
     raise ConfigurationError(
         f"config {path} has unknown kind {kind!r} (expected scenario, sweep or experiment)"
@@ -292,16 +307,31 @@ def _validate_execution(config: Config, where: str) -> List[str]:
     return []
 
 
+def _validate_verification(config: Config, where: str) -> List[str]:
+    """Problems with a config's optional ``"verification"`` block."""
+    if config.verification is None:
+        return []
+    from repro.verify.policy import verification_from_mapping
+
+    try:
+        verification_from_mapping(config.verification, where="'verification' block")
+    except ConfigurationError as exc:
+        return [f"{where}{exc}"]
+    return []
+
+
 def validate_config(config: Config) -> List[str]:
     """Validate one loaded config; returns problem messages ([] when clean)."""
     where = f"{config.path}: " if config.path is not None else ""
     if isinstance(config, ScenarioConfig):
         problems = [where + problem for problem in validate_spec(config.spec)]
         problems.extend(_validate_execution(config, where))
+        problems.extend(_validate_verification(config, where))
         return problems
     if isinstance(config, SweepConfig):
         problems = [where + problem for problem in validate_spec(config.spec)]
         problems.extend(_validate_execution(config, where))
+        problems.extend(_validate_verification(config, where))
         for axis, values in config.over.items():
             if not values:
                 problems.append(f"{where}sweep axis {axis!r} has no values")
@@ -320,6 +350,7 @@ def validate_config(config: Config) -> List[str]:
         from repro.analysis.experiments.catalog import EXPERIMENTS, experiment_defaults
 
         problems = _validate_execution(config, where)
+        problems.extend(_validate_verification(config, where))
         if config.experiment not in EXPERIMENTS:
             hint = suggestion_hint(config.experiment, EXPERIMENTS)
             problems.append(

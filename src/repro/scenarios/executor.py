@@ -26,9 +26,9 @@ third-party components).
 from __future__ import annotations
 
 import itertools
-import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -36,6 +36,12 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.utils.rng import RngFactory
 from repro.analysis.sweep import Replication, aggregate_rows
 from repro.runtime.simulator import Simulator, delivery_mode
+from repro.verify.policy import (
+    VERIFY_INCREMENTAL_ENV,
+    VERIFY_KERNEL_ENV,
+    VerificationPolicy,
+    active_verification,
+)
 from repro.scenarios.registry import (
     ADVERSARIES,
     ALGORITHMS,
@@ -60,19 +66,12 @@ __all__ = [
 
 Row = Dict[str, float]
 
-#: Debug flag: when set (to anything but ``0``/empty), every seed that ran on
-#: the incremental delivery path is re-run on the full path and the two
-#: traces are compared row by row — an algorithm whose declared ``"pure"``
-#: contract is wrong is caught with a :class:`SimulationError` instead of
-#: silently producing a divergent trace.
-VERIFY_INCREMENTAL_ENV = "REPRO_VERIFY_INCREMENTAL"
-
-#: Same debug harness for the array-kernel path: a seed that ran on the
-#: kernel delivery path is re-executed on the full per-node path and the two
-#: traces must be byte-identical — the gate that catches a vectorised kernel
-#: drifting from its reference algorithm (RNG order, float accumulation,
-#: counters, anything).
-VERIFY_KERNEL_ENV = "REPRO_VERIFY_KERNEL"
+# VERIFY_INCREMENTAL_ENV / VERIFY_KERNEL_ENV are re-exported for backward
+# compatibility: the in-run verification gate is now configured through
+# :class:`repro.verify.policy.VerificationPolicy` (the ``--verify`` CLI flag,
+# a config's ``"verification"`` block, or ``REPRO_VERIFY``); the two historic
+# env vars keep working as deprecated aliases resolved by
+# :func:`repro.verify.policy.active_verification`.
 
 
 @dataclass
@@ -243,27 +242,51 @@ def _verify_against_full(spec: ScenarioSpec, seed: int, row: Row, sim: Simulator
         )
 
 
+#: (modes, delivery, algorithm) triples already warned about — the loud
+#: degradation warning fires once per distinct situation, not once per seed.
+_DEGRADED_WARNED: Set[Tuple[Tuple[str, ...], str, str]] = set()
+
+
+def _warn_degraded(policy: VerificationPolicy, spec: ScenarioSpec, sim: Simulator) -> None:
+    """A verified path was requested but the seed ran elsewhere — say so loudly."""
+    key = (policy.modes(), sim.delivery, spec.algorithm.name)
+    if key in _DEGRADED_WARNED:
+        return
+    _DEGRADED_WARNED.add(key)
+    wanted = " and ".join(repr(mode) for mode in policy.modes())
+    warnings.warn(
+        f"verification of the {wanted} delivery path was requested, but this "
+        f"seed of algorithm {spec.algorithm.name!r} executed on the "
+        f"{sim.delivery!r} path (not kernel-eligible, or delivery pinned "
+        f"elsewhere) — the requested gate did not run",
+        UserWarning,
+        stacklevel=3,
+    )
+
+
 def run_scenario_seed(spec: ScenarioSpec, seed: int) -> Row:
     """Run one seed-replication of ``spec`` and return its metric row.
 
     This is the deterministic work unit of the batch executor: the same
     ``(spec, seed)`` pair always yields the same row, in any process.
 
-    With ``REPRO_VERIFY_INCREMENTAL=1`` in the environment, a seed that ran
-    on the incremental delivery path is re-executed on the full path and the
-    two traces must match row for row — the debug harness that catches an
-    algorithm declaring the ``"pure"`` contract it does not honour.
-    ``REPRO_VERIFY_KERNEL=1`` is the same gate for the array-kernel path.
+    When the active :class:`~repro.verify.policy.VerificationPolicy` (the
+    ``--verify`` CLI flag, a config's ``"verification"`` block, the
+    ``REPRO_VERIFY`` environment variable, or the deprecated
+    ``REPRO_VERIFY_INCREMENTAL``/``REPRO_VERIFY_KERNEL`` aliases) covers the
+    delivery path this seed ran on, the seed is re-executed on the full path
+    and the two traces must match row for row — the gate that catches an
+    algorithm declaring a ``"pure"`` contract it does not honour, or a
+    vectorised kernel drifting from its reference.  Requesting a path the
+    seed did not run on warns loudly instead of silently passing.
     """
     row, sim = _execute_seed(spec, seed)
-
-    def _flag(env: str) -> bool:
-        return os.environ.get(env, "").strip() not in ("", "0")
-
-    if (sim.delivery == "incremental" and _flag(VERIFY_INCREMENTAL_ENV)) or (
-        sim.delivery == "kernel" and _flag(VERIFY_KERNEL_ENV)
-    ):
-        _verify_against_full(spec, seed, row, sim)
+    policy = active_verification()
+    if policy.enabled:
+        if policy.wants(sim.delivery):
+            _verify_against_full(spec, seed, row, sim)
+        else:
+            _warn_degraded(policy, spec, sim)
     return row
 
 

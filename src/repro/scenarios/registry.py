@@ -224,6 +224,21 @@ REGISTRIES: Dict[str, Registry] = {
 }
 
 
+def _ensure_contracts() -> None:
+    """Pull the validation-contract family into ``REGISTRIES`` on demand.
+
+    :mod:`repro.verify.contracts` registers itself under ``"contracts"`` at
+    import time; importing it lazily here keeps the discovery surface
+    complete without making every scenario import pay for the harness.
+    """
+    if "contracts" in REGISTRIES:
+        return
+    try:
+        import repro.verify.contracts  # noqa: F401 - imported for its registration side effect
+    except ImportError:  # pragma: no cover - harness genuinely unavailable
+        pass
+
+
 def available(kind: Optional[str] = None, *, docs: bool = False):
     """List the registered component names.
 
@@ -232,6 +247,7 @@ def available(kind: Optional[str] = None, *, docs: bool = False):
     ``docs=True`` every name comes with its one-line description instead:
     ``{family: {name: doc}}`` / ``{name: doc}``.
     """
+    _ensure_contracts()
     if kind is None:
         if docs:
             return {family: registry.describe() for family, registry in REGISTRIES.items()}

@@ -1,0 +1,753 @@
+"""The confound-matrix contract suite behind ``repro verify``.
+
+Two families of checks, both declared through the ``CONTRACTS`` registry
+(mirroring the :mod:`repro.scenarios` registry idiom — ``repro components``
+and :func:`repro.scenarios.registry.available` list them alongside the other
+component families):
+
+**Observational-equivalence contracts** run *paired* configurations on shared
+base seeds and gate on byte-identical trace rows.  Sharing the seeds removes
+seed variance from the comparison entirely, so any divergence is the
+manipulation under test, not replication noise — the confound the
+paired-run design exists to kill.
+
+* ``delta-vs-snapshot`` — every registered adversary, delta emission on vs off;
+* ``delivery-equivalence`` — full vs incremental vs kernel delivery;
+* ``backend-equivalence`` — the serial loop vs every execution backend;
+* ``scale-equivalence`` — halved churn rate vs doubled ``window_scale``
+  (statistical: per-window exposure must be indistinguishable).
+
+**Metamorphic properties** check invariances the simulator must honour
+without a second implementation to compare against:
+
+* ``relabel-isomorphism`` — permuting node labels permutes the trace and
+  nothing else;
+* ``time-scaling`` — ``window_scale`` reaches the engine proportionally;
+* ``manipulation-exists`` — every spec override in the committed configs
+  lands on a parameter a registered component actually accepts (the
+  "manipulated knob silently doesn't exist" bug class).
+
+Each contract is a callable ``(ctx: VerifyContext) -> Iterable[Verdict]``;
+the harness (:mod:`repro.verify.harness`) drives them and stores the verdict
+rows through the content-addressed results store.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId, canonical_edge
+from repro.core.windows import default_window, window_for
+from repro.dynamics.adversary import FULLY_OBLIVIOUS, Adversary, AdversaryView, delta_emission
+from repro.dynamics.topology import Topology
+from repro.runtime.algorithm import DistributedAlgorithm
+from repro.runtime.messages import Message
+from repro.runtime.simulator import Simulator, delivery_mode
+from repro.scenarios.configs import load_config, validate_config
+from repro.scenarios.executor import (
+    _build_context,
+    _comparable_trace_rows,
+    _execute_seed,
+    run_scenario,
+)
+from repro.scenarios.registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    METRICS,
+    PROBES,
+    REGISTRIES,
+    STOP_CONDITIONS,
+    TOPOLOGIES,
+    WAKEUPS,
+    Registry,
+    suggestion_hint,
+)
+from repro.scenarios.spec import ComponentSpec, ScenarioSpec, component
+
+__all__ = ["CONTRACTS", "Verdict", "VerifyContext"]
+
+#: Validation contracts: ``(ctx: VerifyContext) -> Iterable[Verdict]``.
+CONTRACTS = Registry("contract")
+
+# The contract family joins the scenario discovery surface: `repro
+# components` and available() list contracts next to adversaries etc.
+REGISTRIES["contracts"] = CONTRACTS
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One structured contract outcome (the row ``repro verify`` stores)."""
+
+    contract: str
+    case: str
+    status: str  # "pass" | "fail" | "skip"
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in ("pass", "fail", "skip"):
+            raise ConfigurationError(f"verdict status must be pass/fail/skip, got {self.status!r}")
+
+    def as_row(self) -> Dict[str, Any]:
+        """JSON-safe row for the results store."""
+        return {
+            "contract": self.contract,
+            "case": self.case,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class VerifyContext:
+    """Everything a contract sees: which suite runs, and where configs live."""
+
+    suite: str = "smoke"
+    configs_dir: Path = Path("configs")
+
+    @property
+    def smoke(self) -> bool:
+        """Whether the fast CI subset is running (``full`` unlocks more cases)."""
+        return self.suite != "full"
+
+
+def _passed(contract: str, case: str, detail: str = "") -> Verdict:
+    return Verdict(contract=contract, case=case, status="pass", detail=detail)
+
+
+def _failed(contract: str, case: str, detail: str) -> Verdict:
+    return Verdict(contract=contract, case=case, status="fail", detail=detail)
+
+
+def _skipped(contract: str, case: str, detail: str) -> Verdict:
+    return Verdict(contract=contract, case=case, status="skip", detail=detail)
+
+
+# ---------------------------------------------------------------------------
+# shared pairing helpers
+# ---------------------------------------------------------------------------
+
+
+def _trace_fingerprint(sim: Simulator) -> List[tuple]:
+    return _comparable_trace_rows(sim.trace)
+
+
+def _first_divergence(rows_a: List[tuple], rows_b: List[tuple]) -> str:
+    """Describe where two comparable-trace-row lists part ways."""
+    if len(rows_a) != len(rows_b):
+        return f"trace lengths differ ({len(rows_a)} vs {len(rows_b)} rounds)"
+    for a, b in zip(rows_a, rows_b):
+        if a != b:
+            parts = []
+            if a[1] != b[1]:
+                parts.append("nodes")
+            if a[2] != b[2]:
+                parts.append("edges")
+            if a[3] != b[3]:
+                parts.append("outputs")
+            if a[4] != b[4]:
+                parts.append("metrics")
+            return f"round {a[0]} differs in {', '.join(parts) or 'unknown fields'}"
+    return "metric rows differ"
+
+
+# ---------------------------------------------------------------------------
+# delta-vs-snapshot: every registered adversary
+# ---------------------------------------------------------------------------
+
+# Default parameter sets for the built-in adversaries (mirrors the
+# equivalence test matrix).  Adversaries registered later — plugins, test
+# doubles — fall back to parameter-less construction and are skipped when
+# that fails, so the contract always covers the *current* registry.
+_ADVERSARY_DEFAULTS: Dict[str, ComponentSpec] = {
+    "static": component("static"),
+    "flip-churn": component("flip-churn", flip_prob=0.1),
+    "markov-churn": component("markov-churn", p_off=0.05, p_on=0.05),
+    "burst-churn": component("burst-churn", burst_prob=0.3, drop_fraction=0.5),
+    "edge-insertion": component("edge-insertion", insertions_per_round=2, lifetime=2),
+    "targeted-coloring": component("targeted-coloring", attacks_per_round=2, lifetime=4),
+    "targeted-mis": component("targeted-mis", mode="cut_notification", attacks_per_round=3),
+    "locally-static": component("locally-static", flip_prob=0.1, protected_radius=2),
+    "freeze-after": component(
+        "freeze-after",
+        inner={"name": "flip-churn", "params": {"flip_prob": 0.2}},
+        freeze_round=12,
+    ),
+    "mobility": component("mobility", radius=0.3, speed=0.05),
+    "phase": component(
+        "phase",
+        phases=[
+            [6, {"name": "flip-churn", "params": {"flip_prob": 0.2}}],
+            [6, {"name": "edge-insertion", "params": {"insertions_per_round": 2, "lifetime": 2}}],
+            [None, "static"],
+        ],
+    ),
+    "composite-churn": component(
+        "composite-churn",
+        processes=[
+            {"kind": "flip", "flip_prob": 0.1},
+            {"kind": "edge-insertion", "insertions_per_round": 1, "lifetime": 3},
+        ],
+    ),
+}
+
+#: Adversaries that only make sense against a specific problem.
+_ALGORITHM_FOR: Dict[str, str] = {
+    "targeted-coloring": "dcolor",
+    "targeted-mis": "smis",
+}
+
+
+@CONTRACTS.register("delta-vs-snapshot")
+def _contract_delta_vs_snapshot(ctx: VerifyContext) -> Iterator[Verdict]:
+    """Every registered adversary's delta path is byte-identical to its snapshot path."""
+    name = "delta-vs-snapshot"
+    n = 24 if ctx.smoke else 40
+    rounds = 12 if ctx.smoke else 30
+    seeds = (0, 1) if ctx.smoke else (0, 1, 2)
+    for adversary_name in ADVERSARIES.available():
+        adversary = _ADVERSARY_DEFAULTS.get(adversary_name, component(adversary_name))
+        spec = ScenarioSpec(
+            n=n,
+            algorithm=_ALGORITHM_FOR.get(adversary_name, "dynamic-coloring"),
+            adversary=adversary,
+            rounds=rounds,
+            seeds=seeds,
+            # The classic full engine: the comparison isolates the
+            # adversary's emission path from delivery-path effects.
+            delivery="full",
+        )
+        try:
+            verdict = _compare_emission_paths(name, adversary_name, spec)
+        except TypeError as exc:
+            verdict = _skipped(name, adversary_name, f"needs parameters ({exc})")
+        yield verdict
+
+
+def _compare_emission_paths(contract: str, case: str, spec: ScenarioSpec) -> Verdict:
+    for seed in spec.seeds:
+        with delta_emission(True):
+            row_delta, sim_delta = _execute_seed(spec, seed)
+        with delta_emission(False):
+            row_snapshot, sim_snapshot = _execute_seed(spec, seed)
+        rows_delta = _trace_fingerprint(sim_delta)
+        rows_snapshot = _trace_fingerprint(sim_snapshot)
+        if rows_delta != rows_snapshot or row_delta != row_snapshot:
+            return _failed(
+                contract,
+                case,
+                f"delta path diverges from snapshot path (seed {seed}): "
+                + _first_divergence(rows_delta, rows_snapshot),
+            )
+    return _passed(contract, case, f"{len(spec.seeds)} shared seeds byte-identical")
+
+
+# ---------------------------------------------------------------------------
+# delivery-equivalence: full vs incremental vs kernel
+# ---------------------------------------------------------------------------
+
+
+@CONTRACTS.register("delivery-equivalence")
+def _contract_delivery_equivalence(ctx: VerifyContext) -> Iterator[Verdict]:
+    """Full, incremental and kernel delivery produce byte-identical traces."""
+    name = "delivery-equivalence"
+    n = 24 if ctx.smoke else 48
+    rounds = 10 if ctx.smoke else 24
+    seeds = (0, 1) if ctx.smoke else (0, 1, 2)
+    cases: List[Tuple[str, ComponentSpec]] = [
+        ("scolor", component("markov-churn", p_off=0.05, p_on=0.05)),
+        ("smis", component("flip-churn", flip_prob=0.1)),
+    ]
+    for algorithm, adversary in cases:
+        spec = ScenarioSpec(
+            n=n, algorithm=algorithm, adversary=adversary, rounds=rounds, seeds=seeds
+        )
+        for path in ("incremental", "kernel"):
+            case = f"{algorithm}/{adversary.name}:{path}"
+            yield _compare_delivery(name, case, spec, path)
+
+
+def _compare_delivery(contract: str, case: str, spec: ScenarioSpec, path: str) -> Verdict:
+    for seed in spec.seeds:
+        with delivery_mode("full"):
+            row_full, sim_full = _execute_seed(spec, seed)
+        with delivery_mode(path):
+            row_fast, sim_fast = _execute_seed(spec, seed)
+        if sim_fast.delivery != path:
+            # Loud, not silent: the candidate path was refused (no pure
+            # contract / no kernel) and the comparison would be vacuous.
+            return _skipped(
+                contract,
+                case,
+                f"{path!r} delivery unavailable for {spec.algorithm.name!r} "
+                f"— engine degraded to {sim_fast.delivery!r}",
+            )
+        rows_full = _trace_fingerprint(sim_full)
+        rows_fast = _trace_fingerprint(sim_fast)
+        if rows_full != rows_fast or row_full != row_fast:
+            return _failed(
+                contract,
+                case,
+                f"{path} delivery diverges from the full path (seed {seed}): "
+                + _first_divergence(rows_fast, rows_full),
+            )
+    return _passed(contract, case, f"{len(spec.seeds)} shared seeds byte-identical")
+
+
+# ---------------------------------------------------------------------------
+# backend-equivalence: serial vs every exec backend
+# ---------------------------------------------------------------------------
+
+
+@CONTRACTS.register("backend-equivalence")
+def _contract_backend_equivalence(ctx: VerifyContext) -> Iterator[Verdict]:
+    """Every execution backend reproduces the serial loop's rows byte for byte."""
+    name = "backend-equivalence"
+    spec = ScenarioSpec(
+        n=20 if ctx.smoke else 32,
+        algorithm="dynamic-coloring",
+        adversary=component("flip-churn", flip_prob=0.1),
+        rounds=10 if ctx.smoke else 20,
+        seeds=(0, 1) if ctx.smoke else (0, 1, 2, 3),
+        metrics=(component("stability"),),
+    )
+    reference = run_scenario(spec, execution="serial").rows
+    backends = ["thread", "process"] if ctx.smoke else ["thread", "process", "local-cluster"]
+    for backend in backends:
+        rows = run_scenario(spec, execution=backend).rows
+        if rows != reference:
+            yield _failed(name, backend, f"{backend!r} rows differ from the serial loop")
+        else:
+            yield _passed(name, backend, f"{len(rows)} rows byte-identical to serial")
+    # No silent caps: the remote backend needs transport endpoints this
+    # harness does not own; the fabric-smoke CI job covers it end to end.
+    yield _skipped(name, "remote", "needs transport endpoints — covered by the fabric-smoke job")
+
+
+# ---------------------------------------------------------------------------
+# relabel-isomorphism (metamorphic)
+# ---------------------------------------------------------------------------
+
+
+class _ReplayAdversary(Adversary):
+    """Replays a prerecorded topology sequence (already relabeled)."""
+
+    obliviousness = FULLY_OBLIVIOUS
+
+    def __init__(self, topologies: Sequence[Topology]) -> None:
+        self._topologies = list(topologies)
+
+    def step(self, view: AdversaryView) -> Topology:
+        return self._topologies[view.round_index - 1]
+
+    def describe(self) -> str:
+        return f"ReplayAdversary({len(self._topologies)} rounds)"
+
+
+class _RelabeledAlgorithm(DistributedAlgorithm):
+    """Runs ``inner`` under a node relabeling, translating at the API boundary.
+
+    The simulator speaks permuted labels; the inner algorithm keeps the
+    original ones (so its per-node random streams are untouched).  A
+    conforming algorithm's behaviour may depend on node identity only through
+    the opaque ids in its inboxes — never on the simulator's iteration order
+    over the (now differently-hashed) awake sets — which is exactly the
+    invariance this wrapper makes observable.
+    """
+
+    message_stability = "none"  # pin the classic full engine
+
+    def __init__(self, inner: DistributedAlgorithm, to_original: Mapping[NodeId, NodeId]) -> None:
+        super().__init__()
+        self._inner = inner
+        self._to_original = dict(to_original)
+
+    def setup(self, setup) -> None:
+        super().setup(setup)
+        self._inner.setup(setup)
+
+    def on_wake(self, v: NodeId) -> None:
+        self._inner.wake(self._to_original[v])
+
+    def begin_round(self, round_index: int) -> None:
+        self._inner.begin_round(round_index)
+
+    def compose(self, v: NodeId) -> Message:
+        return self._inner.compose(self._to_original[v])
+
+    def deliver(self, v: NodeId, inbox: Mapping[NodeId, Message]) -> None:
+        translated = {self._to_original[u]: message for u, message in inbox.items()}
+        self._inner.deliver(self._to_original[v], translated)
+
+    def end_round(self, round_index: int) -> None:
+        self._inner.end_round(round_index)
+
+    def output(self, v: NodeId):
+        return self._inner.output(self._to_original[v])
+
+    def metrics(self) -> Mapping[str, float]:
+        return self._inner.metrics()
+
+    def state_summary(self) -> Any:
+        return self._inner.state_summary()
+
+
+def _permute_rows(rows: List[tuple], mapping: Mapping[NodeId, NodeId]) -> List[tuple]:
+    """Map comparable trace rows through a node relabeling."""
+    permuted = []
+    for round_index, nodes, edges, outputs, metrics in rows:
+        permuted.append(
+            (
+                round_index,
+                frozenset(mapping[v] for v in nodes),
+                frozenset(canonical_edge(mapping[u], mapping[v]) for u, v in edges),
+                {mapping[v]: value for v, value in outputs.items()},
+                metrics,
+            )
+        )
+    return permuted
+
+
+@CONTRACTS.register("relabel-isomorphism")
+def _contract_relabel_isomorphism(ctx: VerifyContext) -> Iterator[Verdict]:
+    """Permuting node labels permutes the trace rows exactly — and nothing else."""
+    name = "relabel-isomorphism"
+    n = 20 if ctx.smoke else 32
+    rounds = 10 if ctx.smoke else 20
+    seeds = (0, 1) if ctx.smoke else (0, 1, 2)
+    cases: List[Tuple[str, ComponentSpec]] = [
+        ("dynamic-coloring", component("flip-churn", flip_prob=0.1)),
+        ("smis", component("markov-churn", p_off=0.05, p_on=0.05)),
+    ]
+    for algorithm, adversary in cases:
+        spec = ScenarioSpec(
+            n=n, algorithm=algorithm, adversary=adversary, rounds=rounds, seeds=seeds
+        )
+        yield _compare_relabeled(name, f"{algorithm}/{adversary.name}", spec)
+
+
+def _compare_relabeled(contract: str, case: str, spec: ScenarioSpec) -> Verdict:
+    for seed in spec.seeds:
+        base_ctx = _build_context(spec, seed)
+        base_sim = Simulator(
+            n=base_ctx.n,
+            algorithm=base_ctx.algorithm,
+            adversary=base_ctx.adversary,
+            seed=base_ctx.seed,
+            delivery="full",
+        )
+        base_sim.run(base_ctx.rounds)
+        base_rows = _trace_fingerprint(base_sim)
+
+        permutation = base_ctx.stream("verify", "relabel").permutation(spec.n)
+        to_permuted = {v: int(permutation[v]) for v in range(spec.n)}
+        to_original = {pv: v for v, pv in to_permuted.items()}
+
+        relabeled_topologies = [
+            Topology(
+                (to_permuted[v] for v in record.topology.nodes),
+                ((to_permuted[u], to_permuted[v]) for u, v in record.topology.edges),
+            )
+            for record in base_sim.trace
+        ]
+        # A second context from the same seed: the inner algorithm draws the
+        # byte-identical per-node streams the base run consumed.
+        replay_ctx = _build_context(spec, seed)
+        relabeled_sim = Simulator(
+            n=spec.n,
+            algorithm=_RelabeledAlgorithm(replay_ctx.algorithm, to_original),
+            adversary=_ReplayAdversary(relabeled_topologies),
+            seed=seed,
+            delivery="full",
+        )
+        relabeled_sim.run(len(relabeled_topologies))
+
+        expected = _permute_rows(base_rows, to_permuted)
+        actual = _trace_fingerprint(relabeled_sim)
+        if actual != expected:
+            return _failed(
+                contract,
+                case,
+                f"relabeled trace is not the permuted base trace (seed {seed}): "
+                + _first_divergence(actual, expected),
+            )
+    return _passed(contract, case, f"{len(spec.seeds)} seeds map back exactly")
+
+
+# ---------------------------------------------------------------------------
+# scale-equivalence: churn rate vs window scale (statistical)
+# ---------------------------------------------------------------------------
+
+
+def _per_window_exposure(sim: Simulator, T1: int) -> Tuple[float, float]:
+    """(edge churn, output changes) per stability window, averaged over rounds.
+
+    Round 1 is excluded: it wakes the whole graph at once, which is start-up,
+    not churn.
+    """
+    records = list(sim.trace)
+    churn_total = 0
+    changes_total = 0
+    previous_edges = records[0].topology.edges
+    for record in records[1:]:
+        churn_total += len(record.topology.edges ^ previous_edges)
+        previous_edges = record.topology.edges
+        changes_total += record.metrics.outputs_changed
+    steady_rounds = max(1, len(records) - 1)
+    return (
+        churn_total / steady_rounds * T1,
+        changes_total / steady_rounds * T1,
+    )
+
+
+@CONTRACTS.register("scale-equivalence")
+def _contract_scale_equivalence(ctx: VerifyContext) -> Iterator[Verdict]:
+    """Halving the churn rate while doubling ``window_scale`` preserves per-window exposure."""
+    name = "scale-equivalence"
+    n = 32
+    flip = 0.08
+    seeds = (0, 1, 2) if ctx.smoke else (0, 1, 2, 3, 4, 5)
+
+    def build(flip_prob: float, scale: float) -> ScenarioSpec:
+        return ScenarioSpec(
+            n=n,
+            algorithm="dynamic-coloring",
+            adversary=component("flip-churn", flip_prob=flip_prob),
+            rounds="4*T1",
+            seeds=seeds,
+            window_scale=scale,
+        )
+
+    spec_fast = build(flip, 1.0)
+    spec_slow = build(flip / 2.0, 2.0)
+    churn: Dict[str, List[float]] = {"fast": [], "slow": []}
+    changes: Dict[str, List[float]] = {"fast": [], "slow": []}
+    for label, spec in (("fast", spec_fast), ("slow", spec_slow)):
+        T1 = spec.resolved_window()
+        for seed in seeds:
+            _, sim = _execute_seed(spec, seed)
+            per_window_churn, per_window_changes = _per_window_exposure(sim, T1)
+            churn[label].append(per_window_churn)
+            changes[label].append(per_window_changes)
+
+    def relative_gap(a: List[float], b: List[float]) -> float:
+        mean_a = sum(a) / len(a)
+        mean_b = sum(b) / len(b)
+        return abs(mean_a - mean_b) / max(mean_a, mean_b, 1e-9)
+
+    churn_gap = relative_gap(churn["fast"], churn["slow"])
+    changes_gap = relative_gap(changes["fast"], changes["slow"])
+    detail = (
+        f"per-window edge churn gap {churn_gap:.2%}, "
+        f"per-window output-change gap {changes_gap:.2%} over {len(seeds)} shared seeds"
+    )
+    # The environmental knob (adversarial churn per window) is what the
+    # scaling must hold exactly in expectation; the algorithm's response is
+    # gated loosely — it only guards against gross non-linearity.
+    if churn_gap > 0.25:
+        yield _failed(name, "edge-churn-per-window", detail)
+    else:
+        yield _passed(name, "edge-churn-per-window", detail)
+    if changes_gap > 0.75:
+        yield _failed(name, "output-changes-per-window", detail)
+    else:
+        yield _passed(name, "output-changes-per-window", detail)
+
+
+# ---------------------------------------------------------------------------
+# time-scaling (metamorphic)
+# ---------------------------------------------------------------------------
+
+
+@CONTRACTS.register("time-scaling")
+def _contract_time_scaling(ctx: VerifyContext) -> Iterator[Verdict]:
+    """``window``/``window_scale`` reach the engine: run lengths scale proportionally."""
+    name = "time-scaling"
+    n = 24
+    adversary = component("flip-churn", flip_prob=0.05)
+    for scale in (0.5, 2.0):
+        case = f"window_scale={scale}"
+        spec = ScenarioSpec(
+            n=n,
+            algorithm="dynamic-coloring",
+            adversary=adversary,
+            rounds="2*T1",
+            seeds=(0,),
+            window_scale=scale,
+        )
+        expected_window = window_for(n, scale)
+        if spec.resolved_window() != expected_window:
+            yield _failed(
+                name,
+                case,
+                f"resolved_window() = {spec.resolved_window()}, expected {expected_window}",
+            )
+            continue
+        build_ctx = _build_context(spec, 0)
+        if build_ctx.T1 != expected_window or build_ctx.rounds != 2 * expected_window:
+            yield _failed(
+                name,
+                case,
+                f"context resolved T1={build_ctx.T1}, rounds={build_ctx.rounds}; "
+                f"expected T1={expected_window}, rounds={2 * expected_window}",
+            )
+            continue
+        _, sim = _execute_seed(spec, 0)
+        if sim.trace.num_rounds != 2 * expected_window:
+            yield _failed(
+                name,
+                case,
+                f"engine simulated {sim.trace.num_rounds} rounds, "
+                f"expected {2 * expected_window} — the window knob did not reach it",
+            )
+            continue
+        yield _passed(name, case, f"T1={expected_window}, {sim.trace.num_rounds} rounds simulated")
+    # The unscaled anchors the proportionality claim.
+    base = ScenarioSpec(n=n, algorithm="dynamic-coloring", adversary=adversary, seeds=(0,))
+    if base.resolved_window() != default_window(n):
+        yield _failed(
+            name,
+            "default-window",
+            f"resolved_window() = {base.resolved_window()}, expected {default_window(n)}",
+        )
+    else:
+        yield _passed(name, "default-window", f"default_window({n}) = {default_window(n)}")
+    explicit = base.replace(window=17)
+    if explicit.resolved_window() != 17:
+        yield _failed(
+            name, "explicit-window", f"resolved_window() = {explicit.resolved_window()}, expected 17"
+        )
+    else:
+        yield _passed(name, "explicit-window", "explicit window wins over defaults")
+
+
+# ---------------------------------------------------------------------------
+# manipulation-exists: every committed override reaches a component
+# ---------------------------------------------------------------------------
+
+_SPEC_FIELDS = frozenset(f.name for f in ScenarioSpec.__dataclass_fields__.values())
+
+_COMPONENT_REGISTRY: Dict[str, Registry] = {
+    "topology": TOPOLOGIES,
+    "adversary": ADVERSARIES,
+    "algorithm": ALGORITHMS,
+    "wakeup": WAKEUPS,
+    "probe": PROBES,
+    "stop": STOP_CONDITIONS,
+}
+
+
+def _accepted_parameters(factory) -> Optional[frozenset]:
+    """Keyword parameters a component factory accepts (``None`` = unverifiable).
+
+    The leading context arguments (``ctx`` / ``n, rng``) are positional by
+    convention; a spec's ``params`` arrive as keywords, so the accepted set is
+    every keyword-only parameter plus positional-or-keyword parameters with
+    defaults.  A ``**kwargs`` factory can absorb anything — unverifiable.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return None
+    accepted = set()
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind is inspect.Parameter.KEYWORD_ONLY:
+            accepted.add(parameter.name)
+        elif (
+            parameter.kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+            and parameter.default is not inspect.Parameter.empty
+        ):
+            accepted.add(parameter.name)
+    return frozenset(accepted)
+
+
+def _component_param_problems(role: str, registry: Registry, ref: Optional[ComponentSpec]):
+    if ref is None or ref.name not in registry or not ref.params:
+        return
+    accepted = _accepted_parameters(registry.get(ref.name))
+    if accepted is None:
+        return
+    for key in sorted(ref.params):
+        if key not in accepted:
+            hint = suggestion_hint(key, accepted)
+            yield (
+                f"{role} {ref.name!r} does not accept parameter {key!r}{hint} "
+                f"(accepted: {sorted(accepted)}) — the manipulation silently doesn't exist"
+            )
+
+
+def _spec_param_problems(spec: ScenarioSpec) -> List[str]:
+    problems: List[str] = []
+    problems.extend(_component_param_problems("topology", TOPOLOGIES, spec.topology))
+    problems.extend(_component_param_problems("adversary", ADVERSARIES, spec.adversary))
+    problems.extend(_component_param_problems("algorithm", ALGORITHMS, spec.algorithm))
+    problems.extend(_component_param_problems("wakeup", WAKEUPS, spec.wakeup))
+    problems.extend(_component_param_problems("probe", PROBES, spec.probe))
+    problems.extend(_component_param_problems("stop condition", STOP_CONDITIONS, spec.stop))
+    for index, metric in enumerate(spec.metrics):
+        problems.extend(_component_param_problems(f"metrics[{index}]", METRICS, metric))
+    return problems
+
+
+def _sweep_axis_problems(spec: ScenarioSpec, over: Mapping[str, Sequence[Any]]) -> List[str]:
+    problems: List[str] = []
+    for axis in over:
+        parts = axis.split(".")
+        if len(parts) == 1:
+            if parts[0] not in _SPEC_FIELDS:
+                hint = suggestion_hint(parts[0], _SPEC_FIELDS)
+                problems.append(
+                    f"sweep axis {axis!r} is not a ScenarioSpec field{hint} "
+                    f"— the manipulation silently doesn't exist"
+                )
+            continue
+        if len(parts) == 3 and parts[1] == "params" and parts[0] in _COMPONENT_REGISTRY:
+            registry = _COMPONENT_REGISTRY[parts[0]]
+            ref = getattr(spec, parts[0])
+            if ref is None or ref.name not in registry:
+                continue  # validate_config already reports the broken slot
+            accepted = _accepted_parameters(registry.get(ref.name))
+            if accepted is not None and parts[2] not in accepted:
+                hint = suggestion_hint(parts[2], accepted)
+                problems.append(
+                    f"sweep axis {axis!r}: {parts[0]} {ref.name!r} does not accept "
+                    f"parameter {parts[2]!r}{hint} (accepted: {sorted(accepted)})"
+                )
+    return problems
+
+
+@CONTRACTS.register("manipulation-exists")
+def _contract_manipulation_exists(ctx: VerifyContext) -> Iterator[Verdict]:
+    """Every override in the committed configs reaches a registered component."""
+    name = "manipulation-exists"
+    configs_dir = Path(ctx.configs_dir)
+    if not configs_dir.is_dir():
+        yield _skipped(name, str(configs_dir), "configs directory does not exist")
+        return
+    paths = sorted(configs_dir.rglob("*.json"))
+    if not paths:
+        yield _skipped(name, str(configs_dir), "no JSON configs found")
+        return
+    for path in paths:
+        case = str(path)
+        try:
+            config = load_config(path)
+        except ConfigurationError as exc:
+            yield _failed(name, case, f"does not load: {exc}")
+            continue
+        problems = list(validate_config(config))
+        spec = getattr(config, "spec", None)
+        if spec is not None:
+            problems.extend(_spec_param_problems(spec))
+        over = getattr(config, "over", None)
+        if over:
+            problems.extend(_sweep_axis_problems(spec, over))
+        if problems:
+            yield _failed(name, case, "; ".join(problems))
+        else:
+            yield _passed(name, case, "every override reaches a registered component")

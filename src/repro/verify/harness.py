@@ -1,0 +1,87 @@
+"""Drives the contract suite and shapes its verdicts for the results store.
+
+:func:`run_verify` is the engine behind ``repro verify``: it resolves the
+requested contracts against the ``CONTRACTS`` registry (unknown names fail
+with near-miss suggestions, like every other registry lookup), runs each one,
+and returns the flat verdict list.  A contract that crashes — as opposed to
+one that *finds* a violation — is itself a failure: the harness converts the
+exception into a ``fail`` verdict instead of aborting the sweep, so one
+broken contract never hides another's result.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.verify.contracts import CONTRACTS, Verdict, VerifyContext
+
+__all__ = ["run_verify", "verify_store_target"]
+
+_SUITES = ("smoke", "full")
+
+
+def run_verify(
+    *,
+    suite: str = "smoke",
+    contracts: Optional[Sequence[str]] = None,
+    configs_dir: Union[str, Path] = "configs",
+) -> List[Verdict]:
+    """Run the validation contracts and return every verdict.
+
+    ``suite`` selects the case sizes (``"smoke"`` is the fast CI subset,
+    ``"full"`` widens seeds and node counts); ``contracts`` restricts the run
+    to the named contracts (default: all registered ones, in sorted order).
+    """
+    from repro.errors import ConfigurationError
+
+    if suite not in _SUITES:
+        raise ConfigurationError(f"unknown verify suite {suite!r} (expected one of {_SUITES})")
+    names = list(contracts) if contracts is not None else list(CONTRACTS.available())
+    factories = [(name, CONTRACTS.get(name)) for name in names]
+    ctx = VerifyContext(suite=suite, configs_dir=Path(configs_dir))
+    verdicts: List[Verdict] = []
+    for name, factory in factories:
+        try:
+            produced = list(factory(ctx))
+        except Exception as exc:  # noqa: BLE001 - a crash is a finding, not an abort
+            verdicts.append(
+                Verdict(
+                    contract=name,
+                    case="(contract crashed)",
+                    status="fail",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        if not produced:
+            verdicts.append(
+                Verdict(
+                    contract=name,
+                    case="(no cases)",
+                    status="fail",
+                    detail="contract produced no verdicts — a vacuous pass is not a pass",
+                )
+            )
+            continue
+        verdicts.extend(produced)
+    return verdicts
+
+
+def verify_store_target(
+    suite: str, contracts: Optional[Sequence[str]] = None
+) -> Tuple[str, str, Dict[str, Any]]:
+    """The results-store ``(kind, label, key)`` of one verify run.
+
+    Single source of truth shared by ``repro verify``'s write path and
+    ``repro gc``'s root set, mirroring the CLI's ``_store_target``.
+    """
+    return (
+        "verify",
+        f"verify-{suite}",
+        {
+            "kind": "verify",
+            "suite": suite,
+            "contracts": None if contracts is None else sorted(contracts),
+        },
+    )

@@ -71,7 +71,12 @@ class TestDMis:
             input_assignment[u] = 0
         adversary = ChurnAdversary(n, FlipChurn(medium_gnp, 0.03), RngFactory(3).stream("adv"))
         trace = run_simulation(
-            n=n, algorithm=DMis(), adversary=adversary, rounds=50, seed=3, input=input_assignment
+            n=n,
+            algorithm=DMis(),
+            adversary=adversary,
+            rounds=50,
+            seed=3,
+            input_assignment=input_assignment,
         )
         assert verify_never_retracts(trace) == []
         final = trace.outputs(trace.num_rounds)

@@ -100,8 +100,10 @@ class TestRegistry:
             "metrics",
             "probes",
             "stop_conditions",
+            "contracts",
         }
         assert "dynamic-mis" in available("algorithms")
+        assert "delta-vs-snapshot" in available("contracts")
         with pytest.raises(RegistryError):
             available("bogus")
 
@@ -318,7 +320,7 @@ class TestMigratedExperiments:
 
 
 # ---------------------------------------------------------------------------
-# the input -> input_assignment rename
+# the input -> input_assignment rename (deprecation cycle completed)
 # ---------------------------------------------------------------------------
 
 
@@ -346,13 +348,26 @@ class TestInputAssignmentRename:
             trace = self._run(input_assignment={0: 2})
         assert trace.num_rounds >= 1
 
-    def test_old_name_warns_and_behaves_identically(self):
-        with pytest.warns(DeprecationWarning, match="input_assignment"):
-            old = self._run(input={0: 2})
-        new = self._run(input_assignment={0: 2})
-        assert old.outputs(old.num_rounds) == new.outputs(new.num_rounds)
+    def test_old_name_raises(self):
+        with pytest.raises(ConfigurationError, match="input_assignment"):
+            self._run(input={0: 2})
+
+    def test_old_name_raises_in_combined_runner(self):
+        from repro.core.runner import run_combined
+        from repro.algorithms.coloring import DColor, SColor
+        from repro.dynamics import generators
+        from repro.dynamics.adversaries import StaticAdversary
+
+        with pytest.raises(ConfigurationError, match="input_assignment"):
+            run_combined(
+                n=4,
+                static_factory=SColor,
+                dynamic_factory=DColor,
+                adversary=StaticAdversary(generators.ring(4)),
+                rounds=4,
+                input={0: 2},
+            )
 
     def test_both_names_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigurationError, match="not both"):
-                self._run(input={0: 2}, input_assignment={0: 2})
+        with pytest.raises(ConfigurationError, match="input_assignment"):
+            self._run(input={0: 2}, input_assignment={0: 2})
