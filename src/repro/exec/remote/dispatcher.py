@@ -46,6 +46,8 @@ from repro.exec.backends import BACKENDS, Backend, BackendError
 from repro.exec.remote.transport import TRANSPORTS, WorkerLink
 from repro.exec.stats import RateEstimator, record_phase
 from repro.exec.units import Chunk, Row
+from repro.obs.metrics import metric_inc
+from repro.obs.trace import emit as trace_emit
 
 __all__ = ["RemoteBackend"]
 
@@ -180,11 +182,24 @@ class RemoteBackend(Backend):
     def _live_workers(self) -> List[_WorkerState]:
         return [w for w in self._workers.values() if w.link.alive()]
 
-    def _lose_worker(self, state: _WorkerState, tasks: Dict[int, _Task], backlog: List[_Task]):
+    def _lose_worker(
+        self,
+        state: _WorkerState,
+        tasks: Dict[int, _Task],
+        backlog: List[_Task],
+        reason: str = "died",
+    ):
         """Kill ``state``'s worker and requeue whatever it was running."""
         state.link.kill()
         self._workers.pop(state.link.worker_id, None)
         self.stats["workers_lost"] += 1
+        metric_inc("exec.remote.workers_lost")
+        trace_emit(
+            "worker_lost",
+            worker=state.link.name,
+            reason=reason,
+            inflight=len(state.inflight),
+        )
         for task_id in list(state.inflight):
             state.inflight.pop(task_id, None)
             task = tasks.pop(task_id, None)
@@ -197,17 +212,26 @@ class RemoteBackend(Backend):
                     f"{len(task.seeds)} units) failed on {task.attempts} workers; "
                     f"giving up after {self._max_retries} retries"
                 )
-            task.not_before = time.monotonic() + self._backoff_base * 2 ** (task.attempts - 1)
+            backoff = self._backoff_base * 2 ** (task.attempts - 1)
+            task.not_before = time.monotonic() + backoff
             self.stats["redispatched"] += 1
+            metric_inc("exec.remote.redispatched")
+            trace_emit(
+                "redispatch",
+                task=task.task_id,
+                chunk=task.chunk.index,
+                attempt=task.attempts,
+                backoff=round(backoff, 6),
+            )
             backlog.append(task)
 
     def _check_deadlines(self, tasks: Dict[int, _Task], backlog: List[_Task]) -> None:
         now = time.monotonic()
         for state in list(self._workers.values()):
             if not state.link.alive():
-                self._lose_worker(state, tasks, backlog)
+                self._lose_worker(state, tasks, backlog, reason="died")
             elif state.inflight and any(deadline < now for deadline in state.inflight.values()):
-                self._lose_worker(state, tasks, backlog)  # a wedged node
+                self._lose_worker(state, tasks, backlog, reason="deadline")  # a wedged node
 
     def _heartbeat(self, tasks: Dict[int, _Task], backlog: List[_Task]) -> None:
         """Ping idle ready workers so a silently dead ssh link surfaces.
@@ -222,7 +246,7 @@ class RemoteBackend(Backend):
                 continue
             if state.pong_deadline is not None:
                 if now >= state.pong_deadline:
-                    self._lose_worker(state, tasks, backlog)  # missed heartbeat
+                    self._lose_worker(state, tasks, backlog, reason="missed-pong")
                 continue
             if now - state.last_seen >= self._heartbeat_interval:
                 state.next_ping += 1
@@ -230,6 +254,7 @@ class RemoteBackend(Backend):
                     state.link.send(json.dumps({"ping": state.next_ping}))
                 except OSError:
                     continue  # the deadline/EOF path reaps it
+                trace_emit("ping", worker=state.link.name)
                 state.pong_deadline = now + max(self._heartbeat_interval, 10.0)
 
     # -- adaptive sizing ----------------------------------------------------
@@ -263,6 +288,13 @@ class RemoteBackend(Backend):
                 )
             )
         self.stats["splits"] += len(pieces) - 1
+        metric_inc("exec.remote.splits", len(pieces) - 1)
+        trace_emit(
+            "split",
+            chunk=task.chunk.index,
+            pieces=len(pieces),
+            per_piece=per_piece,
+        )
         return pieces
 
     # -- dispatch -----------------------------------------------------------
@@ -292,6 +324,15 @@ class RemoteBackend(Backend):
                 tasks[task.task_id] = task
                 state.inflight[task.task_id] = self._deadline_for(len(task.seeds))
                 self.stats["tasks_dispatched"] += 1
+                metric_inc("exec.remote.tasks_dispatched")
+                trace_emit(
+                    "dispatch",
+                    task=task.task_id,
+                    chunk=task.chunk.index,
+                    units=len(task.seeds),
+                    worker=state.link.name,
+                    attempt=task.attempts,
+                )
 
     def _absorb_result(
         self,
@@ -314,8 +355,21 @@ class RemoteBackend(Backend):
         seconds = message.get("seconds")
         if isinstance(seconds, (int, float)) and seconds > 0:
             self._cost.observe_cost(len(rows), float(seconds))
-        for phase, phase_seconds in (message.get("timings") or {}).items():
-            record_phase(str(phase), float(phase_seconds))
+        timings = {
+            str(phase): float(phase_seconds)
+            for phase, phase_seconds in (message.get("timings") or {}).items()
+        }
+        for phase, phase_seconds in timings.items():
+            record_phase(phase, phase_seconds)
+        trace_emit(
+            "chunk_result",
+            task=task.task_id,
+            chunk=task.chunk.index,
+            worker=state.link.name,
+            units=len(rows),
+            seconds=float(seconds) if isinstance(seconds, (int, float)) else 0.0,
+            timings=timings,
+        )
         assembly = assemblies[task.chunk.index]
         if assembly.absorb(task.offset, rows):
             del assemblies[task.chunk.index]
@@ -357,14 +411,14 @@ class RemoteBackend(Backend):
             if state is None:
                 continue  # a message from an already-reaped worker
             if line is None:
-                self._lose_worker(state, tasks, backlog)
+                self._lose_worker(state, tasks, backlog, reason="eof")
                 continue
             state.last_seen = time.monotonic()
             state.pong_deadline = None  # any line is proof of life
             try:
                 message = json.loads(line)
             except json.JSONDecodeError:
-                self._lose_worker(state, tasks, backlog)  # garbled link
+                self._lose_worker(state, tasks, backlog, reason="garbled")
                 continue
             if message.get("ready"):
                 state.ready = True

@@ -30,6 +30,7 @@ re-dispatch path rather than the journal.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures.process import BrokenProcessPool
 from pickle import PicklingError
 from typing import Dict, List, Optional, Sequence
@@ -41,6 +42,8 @@ from repro.exec.policy import ExecutionPolicy, default_workers, resolve_policy
 from repro.exec.progress import ProgressReporter
 from repro.exec.stats import EXEC_DISPATCH, EXEC_JOURNAL, RateEstimator, timed_phase
 from repro.exec.units import Chunk, Row, WorkUnit, auto_chunk_size, build_chunks
+from repro.obs.metrics import metric_gauge, metric_inc, metric_observe
+from repro.obs.trace import emit as trace_emit
 
 __all__ = ["INTERRUPT_ENV", "run_units"]
 
@@ -103,12 +106,15 @@ def run_units(
     if not units:
         return []
 
+    started = time.perf_counter()
     journal: Optional[SweepJournal] = None
     completed: Dict[int, Row] = {}
     if policy.journal_dir:
         with timed_phase(EXEC_JOURNAL):
             journal = SweepJournal.for_batch(policy.journal_dir, units)
             completed = journal.begin(resume=policy.resume)
+        if completed:
+            trace_emit("journal_restore", restored=len(completed))
 
     rows: List[Optional[Row]] = [completed.get(i) for i in range(len(units))]
     pending = [i for i in range(len(units)) if i not in completed]
@@ -126,6 +132,15 @@ def run_units(
     chunk_size = policy.chunk_size or auto_chunk_size(len(pending), workers)
     pending_units = [units[i] for i in pending]
     chunks = build_chunks(pending_units, chunk_size)
+    trace_emit(
+        "batch_begin",
+        label=label,
+        units=len(units),
+        restored=len(completed),
+        backend=backend_name,
+        workers=workers,
+        chunks=len(chunks),
+    )
 
     received: set = set()
 
@@ -142,6 +157,10 @@ def run_units(
                     journal.record(index, row)
         received.add(chunk.index)
         estimator.observe_batch(len(chunk.seeds))
+        trace_emit("chunk_done", chunk=chunk.index, units=len(chunk.seeds))
+        metric_inc("exec.units", len(chunk.seeds))
+        metric_inc("exec.chunks")
+        metric_observe("exec.chunk_units", len(chunk.seeds))
         progress.update(len(chunk.seeds))
         interrupter.tick(len(chunk.seeds))
 
@@ -161,12 +180,18 @@ def run_units(
             with backend, timed_phase(EXEC_DISPATCH):
                 for chunk_index, chunk_rows in backend.submit_batch(chunks):
                     absorb(chunks[chunk_index], chunk_rows)
-        except _FALLBACK_ERRORS:
+        except _FALLBACK_ERRORS as exc:
             # The transport failed; whatever chunks did come back are kept
             # (and journalled).  The serial loop computes identical rows, and
             # genuine unit errors re-raise from it with their real traceback.
             serial = make_backend("serial", 1)
             remaining = [chunk for chunk in chunks if chunk.index not in received]
+            trace_emit(
+                "serial_fallback",
+                error=type(exc).__name__,
+                chunks_left=len(remaining),
+            )
+            metric_inc("exec.serial_fallbacks")
             with timed_phase(EXEC_DISPATCH):
                 for chunk_index, chunk_rows in serial.submit_batch(remaining):
                     absorb(chunks[chunk_index], chunk_rows)
@@ -180,4 +205,16 @@ def run_units(
         raise BackendError(f"{len(missing)} of {len(units)} units produced no row: {missing[:10]}")
     if journal is not None:
         journal.complete()
+    trace_emit(
+        "batch_end",
+        label=label,
+        units=len(units),
+        seconds=round(time.perf_counter() - started, 6),
+    )
+    rate = estimator.rate
+    if rate is not None:
+        metric_gauge("exec.rate_units_per_s", rate)
+    cost = estimator.seconds_per_unit
+    if cost is not None:
+        metric_gauge("exec.seconds_per_unit", cost)
     return rows  # type: ignore[return-value]

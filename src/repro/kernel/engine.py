@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.trace import active_sink
 from repro.dynamics.topology import (
     EMPTY_DELTA,
     ArrayDelta,
@@ -278,6 +279,22 @@ class ArrayKernelEngine:
             delivered=frozenset(dirty_ids.tolist()),
             changed_outputs=changed_frozen,
         )
+
+        sink = active_sink()
+        if sink is not None:
+            # ``_run_round`` never runs on this path, so the engine emits
+            # its own round event (numpy scalars coerced for json).
+            sink.emit(
+                "round",
+                round=round_index,
+                mode="kernel",
+                awake=int(self._awake_count),
+                edges=int(self._num_edges),
+                composed=int(recompose_ids.size),
+                frontier=int(dirty_ids.size),
+                changed=len(changed_frozen),
+                quiescent=int(dirty_ids.size) == 0,
+            )
 
     def finalize(self) -> None:
         self._kernel.finalize()

@@ -1,0 +1,150 @@
+"""Named counters, gauges and histograms that land in store provenance.
+
+`repro.exec.stats` answers one question — where did the wall time go —
+through phase totals.  This registry generalises it: any layer can bump a
+named counter (``exec.units``), set a gauge (``exec.rate_units_per_s``) or
+observe a sample into a histogram (``exec.chunk_units``), and
+:meth:`MetricsRegistry.as_provenance` folds the lot, plus an optional
+:class:`~repro.exec.stats.StatsCollector`, into one JSON-able block that
+``ResultsStore.put`` attaches to the entry's provenance.  Provenance never
+participates in entry identity or row comparison, so the house
+byte-identity invariant over *rows* is untouched.
+
+Same ambient pattern as ``collect_stats``: a plain module global (worker
+threads must see the registry the main thread installed) and no-op helpers
+costing one global read when collection is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional
+
+if TYPE_CHECKING:  # imported lazily: repro.exec pulls in the whole pipeline
+    from repro.exec.stats import StatsCollector
+
+__all__ = [
+    "MetricsRegistry",
+    "active_registry",
+    "collect_metrics",
+    "metric_gauge",
+    "metric_inc",
+    "metric_observe",
+]
+
+
+class MetricsRegistry:
+    """Thread-safe named counters / gauges / histogram summaries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                self._histograms[name] = {
+                    "count": 1,
+                    "total": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                hist["count"] += 1
+                hist["total"] += value
+                hist["min"] = min(hist["min"], value)
+                hist["max"] = max(hist["max"], value)
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[Dict[str, float]]:
+        hist = self._histograms.get(name)
+        return dict(hist) if hist is not None else None
+
+    def as_provenance(self, stats: Optional["StatsCollector"] = None) -> Dict[str, Any]:
+        """One JSON-able telemetry block; empty sections are omitted."""
+        block: Dict[str, Any] = {}
+        if stats is not None:
+            phases = {
+                name: {"seconds": round(seconds, 4), "events": stats.events(name)}
+                for name, seconds in sorted(stats.as_dict().items())
+            }
+            if phases:
+                block["phases"] = phases
+        with self._lock:
+            if self._counters:
+                block["counters"] = dict(sorted(self._counters.items()))
+            if self._gauges:
+                block["gauges"] = {
+                    name: round(value, 6)
+                    for name, value in sorted(self._gauges.items())
+                }
+            if self._histograms:
+                block["histograms"] = {
+                    name: {
+                        "count": int(hist["count"]),
+                        "total": round(hist["total"], 6),
+                        "min": round(hist["min"], 6),
+                        "max": round(hist["max"], 6),
+                        "mean": round(hist["total"] / hist["count"], 6),
+                    }
+                    for name, hist in sorted(self._histograms.items())
+                }
+        return block
+
+
+#: The active registry (None = collection disabled).  Plain global for the
+#: same reason as ``repro.exec.stats._ACTIVE``.
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    return _ACTIVE
+
+
+@contextmanager
+def collect_metrics() -> Iterator[MetricsRegistry]:
+    """Install a registry for the duration of the block and yield it."""
+    global _ACTIVE
+    registry = MetricsRegistry()
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous
+
+
+def metric_inc(name: str, value: int = 1) -> None:
+    registry = _ACTIVE
+    if registry is not None:
+        registry.inc(name, value)
+
+
+def metric_gauge(name: str, value: float) -> None:
+    registry = _ACTIVE
+    if registry is not None:
+        registry.set_gauge(name, value)
+
+
+def metric_observe(name: str, value: float) -> None:
+    registry = _ACTIVE
+    if registry is not None:
+        registry.observe(name, value)

@@ -1,0 +1,299 @@
+"""Structured NDJSON tracing: the when/where of a run, not just the end row.
+
+The store records *outcomes*; this module records *events* — round
+lifecycle from the simulator and the array kernel, chunk lifecycle from the
+runner, dispatch/heartbeat/re-dispatch decisions from the remote fabric.
+Each event is one JSON line (sorted keys, compact separators) with a
+monotonic per-sink sequence number, the emitting pid, and a wall-clock
+timestamp, so traces from several processes appending to the same file can
+be interleaved and re-ordered afterwards.
+
+The house invariant holds: tracing never touches RNG state, iteration
+order, or any value that lands in a store row — store entries are
+byte-identical with tracing on or off.  When no sink is active,
+:func:`emit` costs one global read plus (once per process) one environment
+probe, so steady-state sweeps pay nothing.
+
+Enablement, in precedence order:
+
+1. ``trace_to(path)`` — installed by the CLI ``--trace`` flag or a config's
+   ``"telemetry"`` block; truncates ``path``.
+2. ``REPRO_TRACE=path`` in the environment — probed lazily once per
+   process; opens ``path`` in *append* mode so pooled/remote worker
+   processes inheriting the variable interleave into one file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "SCHEMA_VERSION",
+    "TRACE_ENV",
+    "TelemetryConfig",
+    "TraceSink",
+    "active_sink",
+    "emit",
+    "read_trace",
+    "refresh_from_env",
+    "telemetry_from_mapping",
+    "trace_to",
+    "validate_event",
+    "validate_trace",
+]
+
+TRACE_ENV = "REPRO_TRACE"
+SCHEMA_VERSION = "repro-trace/1"
+
+#: Required fields (name -> type) per event, beyond the common envelope
+#: ``{event: str, seq: int, pid: int, t: float}``.  Extra fields are
+#: allowed — the schema is a floor, not a ceiling.
+EVENT_SCHEMA: Dict[str, Dict[str, type]] = {
+    # simulator / kernel round lifecycle
+    "round": {
+        "round": int,
+        "mode": str,
+        "awake": int,
+        "edges": int,
+        "composed": int,
+        "frontier": int,
+        "changed": int,
+        "quiescent": bool,
+    },
+    # scenario executor unit lifecycle
+    "unit_begin": {"label": str, "seed": int, "algorithm": str, "adversary": str},
+    "unit_end": {"seed": int, "rounds": int, "delivery": str},
+    # exec runner batch/chunk lifecycle
+    "batch_begin": {
+        "label": str,
+        "units": int,
+        "restored": int,
+        "backend": str,
+        "workers": int,
+        "chunks": int,
+    },
+    "batch_end": {"label": str, "units": int, "seconds": float},
+    "journal_restore": {"restored": int},
+    "chunk_done": {"chunk": int, "units": int},
+    "serial_fallback": {"error": str, "chunks_left": int},
+    # remote dispatcher decisions
+    "dispatch": {"task": int, "chunk": int, "units": int, "worker": str, "attempt": int},
+    "redispatch": {"task": int, "chunk": int, "attempt": int, "backoff": float},
+    "worker_lost": {"worker": str, "reason": str, "inflight": int},
+    "split": {"chunk": int, "pieces": int, "per_piece": int},
+    "ping": {"worker": str},
+    "chunk_result": {
+        "task": int,
+        "chunk": int,
+        "worker": str,
+        "units": int,
+        "seconds": float,
+        "timings": dict,
+    },
+}
+
+_ENVELOPE: Dict[str, type] = {"event": str, "seq": int, "pid": int, "t": float}
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort converter for numpy scalars and other ``.item()`` types."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"trace event field is not JSON-serialisable: {value!r}")
+
+
+class TraceSink:
+    """A thread-safe NDJSON event writer bound to one file handle.
+
+    Every :meth:`emit` writes one line and flushes, so a killed process
+    loses at most the line being written — the same torn-line tolerance
+    the exec journal already has.
+    """
+
+    def __init__(self, path: "str | Path", append: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a" if append else "w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        # pid is looked up per event, not cached: fork-started pool workers
+        # inherit the parent's sink object, and a cached pid would mislabel
+        # every worker-side event as the parent's.
+        record = {"event": event, "t": round(time.time(), 6), "pid": os.getpid()}
+        record.update(fields)
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            line = json.dumps(
+                record, sort_keys=True, separators=(",", ":"), default=_jsonable
+            )
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+#: Explicitly installed sink (``trace_to`` / the CLI flag): wins over env.
+_OVERRIDE: Optional[TraceSink] = None
+#: Env-derived sink, probed lazily exactly once per process.
+_ENV_SINK: Optional[TraceSink] = None
+_ENV_PROBED = False
+
+
+def active_sink() -> Optional[TraceSink]:
+    """The sink events should go to, or ``None`` when tracing is off."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    global _ENV_PROBED, _ENV_SINK
+    if not _ENV_PROBED:
+        _ENV_PROBED = True
+        path = os.environ.get(TRACE_ENV)
+        if path:
+            _ENV_SINK = TraceSink(path, append=True)
+    return _ENV_SINK
+
+
+def emit(event: str, **fields: Any) -> None:
+    """Emit ``event`` to the active sink; no-op when tracing is off."""
+    sink = active_sink()
+    if sink is not None:
+        sink.emit(event, **fields)
+
+
+@contextmanager
+def trace_to(path: "str | Path") -> Iterator[TraceSink]:
+    """Install a truncating sink on ``path`` for the duration of the block."""
+    global _OVERRIDE
+    sink = TraceSink(path, append=False)
+    previous = _OVERRIDE
+    _OVERRIDE = sink
+    try:
+        yield sink
+    finally:
+        _OVERRIDE = previous
+        sink.close()
+
+
+def refresh_from_env() -> None:
+    """Drop the cached env probe (tests that set/unset ``REPRO_TRACE``)."""
+    global _ENV_PROBED, _ENV_SINK
+    if _ENV_SINK is not None:
+        _ENV_SINK.close()
+    _ENV_SINK = None
+    _ENV_PROBED = False
+
+
+# ---------------------------------------------------------------------------
+# validation / reading
+# ---------------------------------------------------------------------------
+
+
+def _ok(value: Any, ftype: type) -> bool:
+    if ftype in (int, float) and isinstance(value, bool):
+        return False  # bool is an int subclass; reject it for numeric fields
+    if ftype is float:
+        return isinstance(value, (int, float))
+    return isinstance(value, ftype)
+
+
+def validate_event(record: Mapping[str, Any]) -> List[str]:
+    """Problems with one decoded event record (empty list = valid)."""
+    problems: List[str] = []
+    for name, ftype in _ENVELOPE.items():
+        if name not in record:
+            problems.append(f"missing field {name!r}")
+        elif not _ok(record[name], ftype):
+            problems.append(f"field {name!r} is not {ftype.__name__}")
+    event = record.get("event")
+    if not isinstance(event, str):
+        return problems
+    schema = EVENT_SCHEMA.get(event)
+    if schema is None:
+        problems.append(f"unknown event {event!r}")
+        return problems
+    for name, ftype in schema.items():
+        if name not in record:
+            problems.append(f"{event}: missing field {name!r}")
+        elif not _ok(record[name], ftype):
+            problems.append(f"{event}: field {name!r} is not {ftype.__name__}")
+    return problems
+
+
+def read_trace(path: "str | Path") -> List[Dict[str, Any]]:
+    """Decode every line of an NDJSON trace (strict: bad JSON raises)."""
+    events: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(f"{path}:{lineno}: invalid trace line: {exc}")
+    return events
+
+
+def validate_trace(path: "str | Path") -> List[str]:
+    """Line-numbered schema problems for a whole trace file (tolerant)."""
+    problems: List[str] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: invalid JSON ({exc.msg})")
+                continue
+            if not isinstance(record, dict):
+                problems.append(f"line {lineno}: not a JSON object")
+                continue
+            for problem in validate_event(record):
+                problems.append(f"line {lineno}: {problem}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# the config "telemetry" block
+# ---------------------------------------------------------------------------
+
+_TELEMETRY_KEYS = {"trace"}
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Parsed form of a config file's ``"telemetry"`` block."""
+
+    trace: Optional[str] = None
+
+
+def telemetry_from_mapping(
+    data: Mapping[str, Any], *, where: str = "telemetry"
+) -> TelemetryConfig:
+    """Validate and parse a ``"telemetry"`` mapping from a config file."""
+    unknown = sorted(set(data) - _TELEMETRY_KEYS)
+    if unknown:
+        raise ConfigurationError(f"{where}: unknown keys: {', '.join(unknown)}")
+    trace = data.get("trace")
+    if trace is not None:
+        if not isinstance(trace, str) or not trace:
+            raise ConfigurationError(f"{where}: 'trace' must be a non-empty string path")
+    return TelemetryConfig(trace=trace)

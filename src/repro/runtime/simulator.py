@@ -65,6 +65,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Iterator, Mapping, Optional
 
 from repro.errors import ConfigurationError, SimulationError, TopologyError
+from repro.obs.trace import active_sink
 from repro.types import Assignment, NodeId, Value
 from repro.utils.rng import RngFactory
 from repro.dynamics.adversary import Adversary, AdversaryView, ADAPTIVE_OFFLINE
@@ -481,6 +482,20 @@ class Simulator:
         self._current_topology = topology
         self._last_activity = activity
         self._last_activity_builder = None
+
+        sink = active_sink()
+        if sink is not None:
+            sink.emit(
+                "round",
+                round=round_index,
+                mode=activity.mode,
+                awake=metrics.num_awake,
+                edges=metrics.num_edges,
+                composed=len(activity.composed),
+                frontier=len(activity.delivered),
+                changed=len(changed),
+                quiescent=len(activity.delivered) == 0,
+            )
 
     # -- the legacy O(n + m) path ------------------------------------------------
 

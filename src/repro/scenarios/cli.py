@@ -72,6 +72,8 @@ from repro.exec import (
     use_policy,
 )
 from repro.exec.stats import EXEC_DISPATCH, EXEC_JOURNAL, UNIT_METRICS, UNIT_ROUNDS, UNIT_SETUP
+from repro.obs.metrics import collect_metrics
+from repro.obs.trace import telemetry_from_mapping, trace_to
 from repro.scenarios.audit import audit_store, journal_status
 from repro.scenarios.configs import (
     ExperimentConfig,
@@ -200,6 +202,27 @@ def _verification_scope(policy: Optional[VerificationPolicy]):
     return nullcontext() if policy is None else use_verification(policy)
 
 
+def _trace_scope(
+    args: argparse.Namespace,
+    config_telemetry: Optional[Mapping[str, Any]] = None,
+):
+    """Context manager installing the run's trace sink (no-op when off).
+
+    Precedence mirrors the policy builders: the ``--trace`` flag wins over a
+    config's ``"telemetry"`` block; the ``REPRO_TRACE`` environment variable
+    is handled ambiently by :func:`repro.obs.trace.active_sink` and needs no
+    scope here.  Tracing never changes stored rows — the sink only observes.
+    """
+    flag = getattr(args, "trace", None)
+    if flag:
+        return trace_to(flag)
+    if config_telemetry is not None:
+        telemetry = telemetry_from_mapping(config_telemetry, where="'telemetry' block")
+        if telemetry.trace:
+            return trace_to(telemetry.trace)
+    return nullcontext()
+
+
 # ---------------------------------------------------------------------------
 # run / sweep
 # ---------------------------------------------------------------------------
@@ -261,10 +284,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if code:
         return code
     policy = _build_policy(args, config.execution, parallel=args.parallel)
-    with _verification_scope(_build_verification(args, config.verification)):
-        rows = _rows_for_config(config, policy)
+    with (
+        _trace_scope(args, config.telemetry),
+        collect_stats() as stats,
+        collect_metrics() as registry,
+    ):
+        with _verification_scope(_build_verification(args, config.verification)):
+            rows = _rows_for_config(config, policy)
     kind, label, key = _store_target(config)
-    return _store_and_emit(args, kind, label, key, rows, title=config.label)
+    return _store_and_emit(
+        args,
+        kind,
+        label,
+        key,
+        rows,
+        title=config.label,
+        telemetry=registry.as_provenance(stats),
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -278,10 +314,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if code:
         return code
     policy = _build_policy(args, config.execution, parallel=args.parallel)
-    with _verification_scope(_build_verification(args, config.verification)):
-        rows = _rows_for_config(config, policy)
+    with (
+        _trace_scope(args, config.telemetry),
+        collect_stats() as stats,
+        collect_metrics() as registry,
+    ):
+        with _verification_scope(_build_verification(args, config.verification)):
+            rows = _rows_for_config(config, policy)
     kind, label, key = _store_target(config)
-    return _store_and_emit(args, kind, label, key, rows, title=config.label)
+    return _store_and_emit(
+        args,
+        kind,
+        label,
+        key,
+        rows,
+        title=config.label,
+        telemetry=registry.as_provenance(stats),
+    )
 
 
 def _store_and_emit(
@@ -292,13 +341,20 @@ def _store_and_emit(
     rows: Sequence[Dict[str, Any]],
     *,
     title: str,
+    telemetry: Optional[Mapping[str, Any]] = None,
 ) -> int:
     if args.no_store:
         _print(format_table(list(rows), title=title).rstrip("\n"))
         _print()
         return 0
     store = ResultsStore(args.store)
-    entry, status = store.put(kind, label, key, rows)
+    entry, status = store.put(
+        kind,
+        label,
+        key,
+        rows,
+        extra_provenance={"telemetry": dict(telemetry)} if telemetry else None,
+    )
     # Re-read from disk: the table is rendered from what was persisted.
     _emit_entry(store.load(entry.path), title=title, status=status)
     return 0
@@ -341,38 +397,58 @@ def _run_experiments(args: argparse.Namespace, *, scale: str, timings: bool) -> 
     store = ResultsStore(args.store)
     tables: List[str] = []
     summary: List[Dict[str, Any]] = []
-    for experiment_id, config in sorted(configs.items()):
-        params = config.params_for(scale)
-        policy = _build_policy(args, config.execution, parallel=not args.serial)
-        verification = _build_verification(args, config.verification)
-        started = time.perf_counter()
-        with collect_stats() as stats, use_policy(policy), _verification_scope(verification):
-            rows = run_experiment(experiment_id, params, parallel=not args.serial)
-        elapsed = time.perf_counter() - started
-        kind, label, key = _store_target(config, scale=scale)
-        store_started = time.perf_counter()
-        entry, status = store.put(kind, label, key, rows)
-        stored = store.load(entry.path)
-        store_elapsed = time.perf_counter() - store_started
-        title = f"{config.title}  [{scale}]"
-        tables.append(_emit_entry(stored, title=title, columns=config.columns, status=status))
-        summary.append(
-            {
-                "experiment": experiment_id,
-                "rows": float(len(stored.rows)),
-                "status": status,
-                "seconds": round(elapsed, 2),
-                # Phase splits (see repro.exec.stats): in-process unit phases
-                # are complete under serial/thread execution; under pooled
-                # backends the worker-side time shows up in dispatch_s.
-                "setup_s": round(stats.seconds(UNIT_SETUP), 2),
-                "rounds_s": round(stats.seconds(UNIT_ROUNDS), 2),
-                "metrics_s": round(stats.seconds(UNIT_METRICS), 2),
-                "dispatch_s": round(stats.seconds(EXEC_DISPATCH), 2),
-                "journal_s": round(stats.seconds(EXEC_JOURNAL), 3),
-                "store_s": round(store_elapsed, 3),
-            }
-        )
+    # A --trace flag covers the whole selection in one file; opening it per
+    # experiment would truncate the previous experiment's events.  Without
+    # the flag, each config's own "telemetry" block scopes its experiment.
+    flag_scope = trace_to(args.trace) if getattr(args, "trace", None) else nullcontext()
+    with flag_scope:
+        for experiment_id, config in sorted(configs.items()):
+            params = config.params_for(scale)
+            policy = _build_policy(args, config.execution, parallel=not args.serial)
+            verification = _build_verification(args, config.verification)
+            config_scope = (
+                nullcontext()
+                if getattr(args, "trace", None)
+                else _trace_scope(args, config.telemetry)
+            )
+            started = time.perf_counter()
+            with config_scope, collect_stats() as stats, collect_metrics() as registry:
+                with use_policy(policy), _verification_scope(verification):
+                    rows = run_experiment(experiment_id, params, parallel=not args.serial)
+            elapsed = time.perf_counter() - started
+            kind, label, key = _store_target(config, scale=scale)
+            telemetry = registry.as_provenance(stats)
+            store_started = time.perf_counter()
+            entry, status = store.put(
+                kind,
+                label,
+                key,
+                rows,
+                extra_provenance={"telemetry": telemetry} if telemetry else None,
+            )
+            stored = store.load(entry.path)
+            store_elapsed = time.perf_counter() - store_started
+            title = f"{config.title}  [{scale}]"
+            tables.append(
+                _emit_entry(stored, title=title, columns=config.columns, status=status)
+            )
+            summary.append(
+                {
+                    "experiment": experiment_id,
+                    "rows": float(len(stored.rows)),
+                    "status": status,
+                    "seconds": round(elapsed, 2),
+                    # Phase splits (see repro.exec.stats): in-process unit phases
+                    # are complete under serial/thread execution; under pooled
+                    # backends the worker-side time shows up in dispatch_s.
+                    "setup_s": round(stats.seconds(UNIT_SETUP), 2),
+                    "rounds_s": round(stats.seconds(UNIT_ROUNDS), 2),
+                    "metrics_s": round(stats.seconds(UNIT_METRICS), 2),
+                    "dispatch_s": round(stats.seconds(EXEC_DISPATCH), 2),
+                    "journal_s": round(stats.seconds(EXEC_JOURNAL), 3),
+                    "store_s": round(store_elapsed, 3),
+                }
+            )
     if timings and summary:
         _print(format_table(summary, title=f"{len(summary)} experiments ({scale} scale)").rstrip())
         _print(
@@ -465,15 +541,17 @@ def _diff_bench(reference: Path, candidate: Path) -> int:
     if not ref_rows:
         return _fail(f"reference benchmark file {reference} has no rows")
 
+    from repro.obs.report import markdown_table
+
     failures: List[str] = []
-    header = f"{'workload':<28} {'field':<18} {'old':>10} {'new':>10} {'ratio':>7}"
-    _print(header)
-    _print("-" * len(header))
+    table_rows: List[Dict[str, Any]] = []
     for workload, ref_row in ref_rows.items():
         cand_row = cand_rows.get(workload)
         if cand_row is None:
             failures.append(f"workload {workload} missing from candidate")
-            _print(f"{workload:<28} {'(all)':<18} {'-':>10} {'MISSING':>10} {'-':>7}")
+            table_rows.append(
+                {"workload": workload, "field": "(all)", "note": "MISSING"}
+            )
             continue
         for field in sorted(ref_row):
             if not field.endswith("_rps"):
@@ -484,10 +562,20 @@ def _diff_bench(reference: Path, candidate: Path) -> int:
                 continue
             if not isinstance(new, (int, float)):
                 failures.append(f"{workload}: {field} missing from candidate row")
-                _print(f"{workload:<28} {field:<18} {old:>10.1f} {'MISSING':>10} {'-':>7}")
+                table_rows.append(
+                    {"workload": workload, "field": field, "old": float(old), "note": "MISSING"}
+                )
                 continue
             ratio = new / old
-            _print(f"{workload:<28} {field:<18} {old:>10.1f} {new:>10.1f} {ratio:>6.2f}x")
+            table_rows.append(
+                {
+                    "workload": workload,
+                    "field": field,
+                    "old": float(old),
+                    "new": float(new),
+                    "ratio": round(ratio, 2),
+                }
+            )
             if ratio < 0.9:
                 failures.append(
                     f"{workload}: {field} regressed {old:.1f} -> {new:.1f} "
@@ -495,7 +583,12 @@ def _diff_bench(reference: Path, candidate: Path) -> int:
                 )
     for workload in cand_rows:
         if workload not in ref_rows:
-            _print(f"{workload:<28} {'(new row)':<18} {'-':>10} {'-':>10} {'-':>7}")
+            table_rows.append({"workload": workload, "field": "(new row)"})
+    _print(
+        markdown_table(
+            table_rows, columns=["workload", "field", "old", "new", "ratio", "note"], precision=1
+        ).rstrip()
+    )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -612,10 +705,19 @@ def _cmd_repair(args: argparse.Namespace) -> int:
             continue
         _print(f"repairing {config_path}: {done}/{total} units journalled, resuming")
         policy = _build_policy(args, config.execution).replace(resume=True)
-        with _verification_scope(_build_verification(args, config.verification)):
-            rows = _rows_for_config(config, policy)
+        with _trace_scope(args, config.telemetry), collect_stats() as stats:
+            with collect_metrics() as registry:
+                with _verification_scope(_build_verification(args, config.verification)):
+                    rows = _rows_for_config(config, policy)
+        telemetry = registry.as_provenance(stats)
         kind, label, key = _store_target(config)
-        entry, put_status = ResultsStore(args.store).put(kind, label, key, rows)
+        entry, put_status = ResultsStore(args.store).put(
+            kind,
+            label,
+            key,
+            rows,
+            extra_provenance={"telemetry": telemetry} if telemetry else None,
+        )
         # "unchanged" is the byte-identity verification: the reassembled rows
         # equal the previously stored entry exactly.
         _print(f"{put_status}: {entry.path} ({len(rows)} rows)")
@@ -651,7 +753,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     contracts: Optional[List[str]] = None
     if args.contracts:
         contracts = [token.strip() for token in args.contracts.split(",") if token.strip()]
-    verdicts = run_verify(suite=args.suite, contracts=contracts, configs_dir=args.configs)
+    # The full suite runs for minutes; it gets the live ETA line by default.
+    progress = bool(getattr(args, "progress", False)) or args.suite == "full"
+    verdicts = run_verify(
+        suite=args.suite, contracts=contracts, configs_dir=args.configs, progress=progress
+    )
     rows = [verdict.as_row() for verdict in verdicts]
 
     if args.no_store:
@@ -772,17 +878,26 @@ def _cmd_log(args: argparse.Namespace) -> int:
         if entry.path is not None and entry.path.exists():
             stamp = _datetime.datetime.fromtimestamp(entry.path.stat().st_mtime)
             mtime = stamp.strftime("%Y-%m-%d %H:%M:%S")
-        rows.append(
-            {
-                "kind": entry.kind,
-                "label": entry.label,
-                "key": entry.key_hash[:12],
-                "rows": len(entry.rows),
-                "version": str(entry.provenance.get("repro_version", "")),
-                "git": str(entry.provenance.get("git_sha") or "")[:10],
-                "written": mtime,
-            }
-        )
+        telemetry = entry.provenance.get("telemetry") or {}
+        phases = telemetry.get("phases") or {}
+        top = sorted(
+            phases.items(), key=lambda item: item[1].get("seconds", 0.0), reverse=True
+        )[:3]
+        row: Dict[str, Any] = {
+            "kind": entry.kind,
+            "label": entry.label,
+            "key": entry.key_hash[:12],
+            "rows": len(entry.rows),
+            "version": str(entry.provenance.get("repro_version", "")),
+            "git": str(entry.provenance.get("git_sha") or "")[:10],
+            "written": mtime,
+            "phases": " ".join(
+                f"{name}={block.get('seconds', 0.0):.2f}s" for name, block in top
+            ),
+        }
+        if args.json and telemetry:
+            row["telemetry"] = telemetry
+        rows.append(row)
     # Oldest first, so --limit N tails off the N most recently written.
     rows.sort(key=lambda row: (row["written"], row["kind"], row["label"]))
     total = len(rows)
@@ -798,6 +913,59 @@ def _cmd_log(args: argparse.Namespace) -> int:
     if len(rows) != total:
         title += f" ({len(rows)} most recent shown)"
     _print(format_table(rows, title=title))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# trace / report (the observability consumer verbs)
+# ---------------------------------------------------------------------------
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import summarize_trace
+    from repro.obs.trace import read_trace, validate_trace
+
+    path = Path(args.trace_file)
+    if not path.is_file():
+        return _fail(f"trace file {path} does not exist")
+
+    if args.validate:
+        problems = validate_trace(path)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return _fail(f"{len(problems)} schema problem(s) in {path}")
+        _print(f"trace {path} is schema-valid")
+        return 0
+
+    events = read_trace(path)
+    if args.event:
+        wanted = {token.strip() for token in args.event.split(",") if token.strip()}
+        events = [event for event in events if event.get("event") in wanted]
+    if args.limit:
+        events = events[: args.limit]
+    if args.raw:
+        for event in events:
+            _print(json.dumps(event, sort_keys=True, separators=(",", ":")))
+        return 0
+    _print(summarize_trace(events).rstrip())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_study
+
+    store_root = Path(args.store)
+    if not store_root.is_dir():
+        return _fail(f"store {store_root} does not exist")
+    rendered = render_study(ResultsStore(store_root), kind=args.kind)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered, encoding="utf-8")
+        _print(f"report written to {out}")
+    else:
+        _print(rendered.rstrip())
     return 0
 
 
@@ -856,6 +1024,18 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    """The tracing flag shared by every executing subcommand."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write an NDJSON structured-event trace of the run to PATH "
+        "(round/chunk/dispatch lifecycle; store rows are unaffected). "
+        "Default: from the config's 'telemetry' block, else the REPRO_TRACE "
+        "environment variable, else off",
+    )
+
+
 def _add_verification_options(parser: argparse.ArgumentParser) -> None:
     """The in-run verification flag shared by every executing subcommand."""
     parser.add_argument(
@@ -882,6 +1062,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_options(run)
     _add_execution_options(run)
     _add_verification_options(run)
+    _add_telemetry_options(run)
     run.set_defaults(fn=_cmd_run)
 
     sweep_cmd = sub.add_parser("sweep", help="run a committed spec + override-grid config")
@@ -893,6 +1074,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_options(sweep_cmd)
     _add_execution_options(sweep_cmd)
     _add_verification_options(sweep_cmd)
+    _add_telemetry_options(sweep_cmd)
     sweep_cmd.set_defaults(fn=_cmd_sweep)
 
     experiments = sub.add_parser(
@@ -914,6 +1096,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_options(experiments)
     _add_execution_options(experiments)
     _add_verification_options(experiments)
+    _add_telemetry_options(experiments)
     experiments.set_defaults(fn=_cmd_experiments)
 
     bench = sub.add_parser("bench", help="benchmark-scale experiment runs with wall times")
@@ -930,6 +1113,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_options(bench)
     _add_execution_options(bench)
     _add_verification_options(bench)
+    _add_telemetry_options(bench)
     bench.set_defaults(fn=_cmd_bench)
 
     validate = sub.add_parser("validate", help="validate committed configs without running them")
@@ -982,6 +1166,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_options(repair)
     _add_execution_options(repair)
     _add_verification_options(repair)
+    _add_telemetry_options(repair)
     repair.set_defaults(fn=_cmd_repair)
 
     components = sub.add_parser("components", help="list every registered scenario component")
@@ -1013,6 +1198,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--list", action="store_true", help="list registered contracts without running them"
     )
+    verify.add_argument(
+        "--progress",
+        action="store_true",
+        help="live contract counter with ETA on stderr (default for --suite full)",
+    )
     _add_store_options(verify)
     verify.set_defaults(fn=_cmd_verify)
 
@@ -1043,6 +1233,35 @@ def build_parser() -> argparse.ArgumentParser:
     log.add_argument("--json", action="store_true", help="machine-readable entry listing")
     _add_store_options(log)
     log.set_defaults(fn=_cmd_log)
+
+    trace = sub.add_parser(
+        "trace", help="summarize or filter an NDJSON trace written with --trace/REPRO_TRACE"
+    )
+    trace.add_argument("trace_file", help="path to an NDJSON trace file")
+    trace.add_argument(
+        "--event", metavar="E1,E2", help="restrict to these event types (comma-separated)"
+    )
+    trace.add_argument(
+        "--raw", action="store_true", help="dump matching events as NDJSON instead of summarizing"
+    )
+    trace.add_argument("--limit", type=int, metavar="N", help="stop after the first N events")
+    trace.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every event against the trace schema; exit 1 on any problem",
+    )
+    trace.set_defaults(fn=_cmd_trace)
+
+    report = sub.add_parser(
+        "report",
+        help="render a Markdown study summary (heat tables, phase splits) from stored entries",
+    )
+    report.add_argument("--kind", help="restrict to one store kind (e.g. smoke, sweeps)")
+    report.add_argument(
+        "--out", metavar="FILE", help="write the Markdown to FILE instead of stdout"
+    )
+    _add_store_options(report)
+    report.set_defaults(fn=_cmd_report)
 
     return parser
 

@@ -63,6 +63,7 @@ class ScenarioConfig:
     path: Optional[Path] = None
     execution: Optional[Mapping[str, Any]] = None
     verification: Optional[Mapping[str, Any]] = None
+    telemetry: Optional[Mapping[str, Any]] = None
 
     kind = "scenario"
 
@@ -80,6 +81,7 @@ class SweepConfig:
     path: Optional[Path] = None
     execution: Optional[Mapping[str, Any]] = None
     verification: Optional[Mapping[str, Any]] = None
+    telemetry: Optional[Mapping[str, Any]] = None
 
     kind = "sweep"
 
@@ -101,6 +103,7 @@ class ExperimentConfig:
     path: Optional[Path] = None
     execution: Optional[Mapping[str, Any]] = None
     verification: Optional[Mapping[str, Any]] = None
+    telemetry: Optional[Mapping[str, Any]] = None
 
     kind = "experiment"
 
@@ -159,21 +162,30 @@ def load_config(path: Union[str, Path]) -> Config:
             f"config {path}: 'verification' must be a JSON object, got {verification!r}"
         )
     verification = None if verification is None else dict(verification)
+    telemetry = data.get("telemetry")
+    if telemetry is not None and not isinstance(telemetry, Mapping):
+        raise ConfigurationError(
+            f"config {path}: 'telemetry' must be a JSON object, got {telemetry!r}"
+        )
+    telemetry = None if telemetry is None else dict(telemetry)
     if kind == "scenario":
         if "spec" not in data:
             raise ConfigurationError(f"scenario config {path} is missing its 'spec'")
-        _reject_unknown(path, data, {"kind", "spec", "execution", "verification"})
+        _reject_unknown(path, data, {"kind", "spec", "execution", "verification", "telemetry"})
         return ScenarioConfig(
             spec=ScenarioSpec.from_dict(data["spec"]),
             path=path,
             execution=execution,
             verification=verification,
+            telemetry=telemetry,
         )
     if kind == "sweep":
         for required in ("spec", "over"):
             if required not in data:
                 raise ConfigurationError(f"sweep config {path} is missing its {required!r}")
-        _reject_unknown(path, data, {"kind", "spec", "over", "execution", "verification"})
+        _reject_unknown(
+            path, data, {"kind", "spec", "over", "execution", "verification", "telemetry"}
+        )
         over = data["over"]
         if not isinstance(over, Mapping) or not over:
             raise ConfigurationError(f"sweep config {path}: 'over' must be a non-empty object")
@@ -191,6 +203,7 @@ def load_config(path: Union[str, Path]) -> Config:
             path=path,
             execution=execution,
             verification=verification,
+            telemetry=telemetry,
         )
     if kind == "experiment":
         for required in ("experiment", "title"):
@@ -209,6 +222,7 @@ def load_config(path: Union[str, Path]) -> Config:
                 "columns",
                 "execution",
                 "verification",
+                "telemetry",
             },
         )
         columns = data.get("columns")
@@ -222,6 +236,7 @@ def load_config(path: Union[str, Path]) -> Config:
             path=path,
             execution=execution,
             verification=verification,
+            telemetry=telemetry,
         )
     raise ConfigurationError(
         f"config {path} has unknown kind {kind!r} (expected scenario, sweep or experiment)"
@@ -320,6 +335,19 @@ def _validate_verification(config: Config, where: str) -> List[str]:
     return []
 
 
+def _validate_telemetry(config: Config, where: str) -> List[str]:
+    """Problems with a config's optional ``"telemetry"`` block."""
+    if config.telemetry is None:
+        return []
+    from repro.obs.trace import telemetry_from_mapping
+
+    try:
+        telemetry_from_mapping(config.telemetry, where="'telemetry' block")
+    except ConfigurationError as exc:
+        return [f"{where}{exc}"]
+    return []
+
+
 def validate_config(config: Config) -> List[str]:
     """Validate one loaded config; returns problem messages ([] when clean)."""
     where = f"{config.path}: " if config.path is not None else ""
@@ -327,11 +355,13 @@ def validate_config(config: Config) -> List[str]:
         problems = [where + problem for problem in validate_spec(config.spec)]
         problems.extend(_validate_execution(config, where))
         problems.extend(_validate_verification(config, where))
+        problems.extend(_validate_telemetry(config, where))
         return problems
     if isinstance(config, SweepConfig):
         problems = [where + problem for problem in validate_spec(config.spec)]
         problems.extend(_validate_execution(config, where))
         problems.extend(_validate_verification(config, where))
+        problems.extend(_validate_telemetry(config, where))
         for axis, values in config.over.items():
             if not values:
                 problems.append(f"{where}sweep axis {axis!r} has no values")
@@ -351,6 +381,7 @@ def validate_config(config: Config) -> List[str]:
 
         problems = _validate_execution(config, where)
         problems.extend(_validate_verification(config, where))
+        problems.extend(_validate_telemetry(config, where))
         if config.experiment not in EXPERIMENTS:
             hint = suggestion_hint(config.experiment, EXPERIMENTS)
             problems.append(

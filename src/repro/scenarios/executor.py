@@ -141,7 +141,17 @@ def _execute_seed(spec: ScenarioSpec, seed: int) -> Tuple[Row, Simulator]:
     that is where ``repro bench``'s timing splits come from.
     """
     from repro.exec.stats import UNIT_METRICS, UNIT_ROUNDS, UNIT_SETUP, timed_phase
+    from repro.obs.trace import active_sink
 
+    sink = active_sink()
+    if sink is not None:
+        sink.emit(
+            "unit_begin",
+            label=spec.label,
+            seed=int(seed),
+            algorithm=spec.algorithm.name,
+            adversary=spec.adversary.name,
+        )
     with timed_phase(UNIT_SETUP):
         ctx = _build_context(spec, seed)
         stop_when = None
@@ -179,6 +189,13 @@ def _execute_seed(spec: ScenarioSpec, seed: int) -> Tuple[Row, Simulator]:
             row.update(METRICS.get(metric.name)(ctx, **metric.params))
         if probe is not None:
             row.update(probe.finish())
+    if sink is not None:
+        sink.emit(
+            "unit_end",
+            seed=int(seed),
+            rounds=sim.trace.num_rounds,
+            delivery=sim.delivery,
+        )
     return row, sim
 
 

@@ -225,6 +225,8 @@ class ResultsStore:
         label: str,
         key: Mapping[str, Any],
         rows: Sequence[Row],
+        *,
+        extra_provenance: Optional[Mapping[str, Any]] = None,
     ) -> Tuple[StoreEntry, str]:
         """Persist ``rows`` under ``key``; returns ``(entry, status)``.
 
@@ -232,6 +234,10 @@ class ResultsStore:
         holds identical rows (the file is left byte-for-byte untouched — this
         is what makes reruns idempotent), ``"updated"`` when the rows drifted
         and the entry was rewritten, and ``"created"`` otherwise.
+
+        ``extra_provenance`` (e.g. a run's telemetry block) is merged into
+        the entry's provenance.  Provenance never participates in identity:
+        an "unchanged" entry keeps its original provenance untouched.
         """
         key_hash = content_key(key)
         path = self.entry_path(kind, label, key)
@@ -249,13 +255,16 @@ class ResultsStore:
                 ):
                     return existing, "unchanged"
                 status = "updated"
+        provenance: Dict[str, Any] = {"repro_version": __version__, "git_sha": _git_sha()}
+        if extra_provenance:
+            provenance.update(extra_provenance)
         entry = StoreEntry(
             kind=kind,
             label=label,
             key=dict(key),
             key_hash=key_hash,
             rows=tuple(dict(row) for row in rows),
-            provenance={"repro_version": __version__, "git_sha": _git_sha()},
+            provenance=provenance,
             row_schema=tuple(_row_schema(rows)),
             path=path,
         )

@@ -26,20 +26,38 @@ def run_verify(
     suite: str = "smoke",
     contracts: Optional[Sequence[str]] = None,
     configs_dir: Union[str, Path] = "configs",
+    progress: bool = False,
+    progress_stream: Any = None,
 ) -> List[Verdict]:
     """Run the validation contracts and return every verdict.
 
     ``suite`` selects the case sizes (``"smoke"`` is the fast CI subset,
     ``"full"`` widens seeds and node counts); ``contracts`` restricts the run
     to the named contracts (default: all registered ones, in sorted order).
+    ``progress=True`` renders a live contract counter with a rate-derived
+    ETA (``repro verify --suite full`` turns it on by default — the full
+    suite runs for minutes and used to run silent).
     """
     from repro.errors import ConfigurationError
+    from repro.exec.progress import ProgressReporter
+    from repro.exec.stats import RateEstimator
 
     if suite not in _SUITES:
         raise ConfigurationError(f"unknown verify suite {suite!r} (expected one of {_SUITES})")
     names = list(contracts) if contracts is not None else list(CONTRACTS.available())
     factories = [(name, CONTRACTS.get(name)) for name in names]
     ctx = VerifyContext(suite=suite, configs_dir=Path(configs_dir))
+    estimator = RateEstimator()
+    reporter_kwargs: Dict[str, Any] = {} if progress_stream is None else {
+        "stream": progress_stream
+    }
+    reporter = ProgressReporter(
+        len(factories),
+        label=f"verify[{suite}]",
+        enabled=progress,
+        rate_source=estimator,
+        **reporter_kwargs,
+    )
     verdicts: List[Verdict] = []
     for name, factory in factories:
         try:
@@ -53,6 +71,8 @@ def run_verify(
                     detail=f"{type(exc).__name__}: {exc}",
                 )
             )
+            estimator.observe_batch(1)
+            reporter.update(1)
             continue
         if not produced:
             verdicts.append(
@@ -63,8 +83,13 @@ def run_verify(
                     detail="contract produced no verdicts — a vacuous pass is not a pass",
                 )
             )
+            estimator.observe_batch(1)
+            reporter.update(1)
             continue
         verdicts.extend(produced)
+        estimator.observe_batch(1)
+        reporter.update(1)
+    reporter.finish()
     return verdicts
 
 
