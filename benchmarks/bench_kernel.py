@@ -11,8 +11,9 @@ Workload grid: the four kernel-eligible algorithms (basic-coloring,
 scolor, smis, dmis) on an expected-degree-12 Gnp base graph under dense
 Markov churn (each base edge flips on/off with p=0.2 per round — most of
 the graph stays dirty every round, the regime the kernel exists for),
-plus a sparse-churn guard row and an n=10^5 dense-churn scale row that
-only the kernel path can complete in reasonable time.
+plus a sparse-churn guard row and n=10^5 / n=10^6 dense-churn scale rows
+that only the kernel path can complete in reasonable time (the 10^6 row
+under ``trace_retention="stats"``).
 
 Usage::
 
@@ -70,12 +71,26 @@ ALGORITHMS = (
 GRID_N, GRID_ROUNDS = 2000, 300
 SMOKE_N, SMOKE_ROUNDS = 96, 60
 
-#: the scale row: dense churn at n=10^5, kernel path only (the python
-#: paths would need hours for the same workload).
-SCALE_N, SCALE_ROUNDS = 100_000, 30
+#: the scale rows: dense churn at n=10^5 and n=10^6, kernel path only (the
+#: python paths would need hours for the same workloads).  The 10^6 row runs
+#: with ``trace_retention="stats"`` — per-round full output vectors at a
+#: million nodes exist only to be diffed, exactly what the stats retention
+#: mode stores as O(#changes) updates instead.
+SCALE_ROWS = (
+    ("smis-dense-100k", 100_000, 30, "full"),
+    ("smis-dense-1m", 1_000_000, 5, "stats"),
+)
 
 
-def _run(algorithm_cls, n: int, churn_prob: float, rounds: int, seed: int, mode: str):
+def _run(
+    algorithm_cls,
+    n: int,
+    churn_prob: float,
+    rounds: int,
+    seed: int,
+    mode: str,
+    trace_retention: str = "full",
+):
     """One timed run; returns (rounds/sec, trace)."""
     base = generators.gnp(
         n, min(1.0, EXPECTED_DEGREE / max(n - 1, 1)), np.random.default_rng(seed)
@@ -86,7 +101,13 @@ def _run(algorithm_cls, n: int, churn_prob: float, rounds: int, seed: int, mode:
         np.random.default_rng(seed + 1),
     )
     with delivery_mode(mode):
-        sim = Simulator(n=n, algorithm=algorithm_cls(), adversary=adversary, seed=seed)
+        sim = Simulator(
+            n=n,
+            algorithm=algorithm_cls(),
+            adversary=adversary,
+            seed=seed,
+            trace_retention=trace_retention,
+        )
     start = time.perf_counter()
     sim.run(rounds)
     elapsed = time.perf_counter() - start
@@ -176,27 +197,30 @@ def run_grid(n, rounds, *, seed: int = 1, repeats: int = 3) -> List[Dict[str, fl
     return rows
 
 
-def run_scale_row(*, seed: int = 1) -> Dict[str, float]:
-    """The n=10^5 dense-churn completion row (kernel path only)."""
-    rps, trace = _run(SMis, SCALE_N, CHURN_RATES[1][1], SCALE_ROUNDS, seed, "kernel")
+def run_scale_row(
+    label: str, n: int, rounds: int, retention: str, *, seed: int = 1
+) -> Dict[str, float]:
+    """One dense-churn completion row (kernel path only)."""
+    rps, trace = _run(
+        SMis, n, CHURN_RATES[1][1], rounds, seed, "kernel", trace_retention=retention
+    )
     num_rounds = trace.num_rounds
     del trace
     gc.collect()
-    if num_rounds != SCALE_ROUNDS:
-        raise AssertionError(
-            f"scale workload stopped early: {num_rounds}/{SCALE_ROUNDS} rounds"
-        )
+    if num_rounds != rounds:
+        raise AssertionError(f"scale workload stopped early: {num_rounds}/{rounds} rounds")
     row = {
-        "workload": "smis-dense-100k",
+        "workload": label,
         "algorithm": "smis",
-        "n": SCALE_N,
-        "rounds": SCALE_ROUNDS,
+        "n": n,
+        "rounds": rounds,
         "churn_prob": CHURN_RATES[1][1],
         "incremental_rps": None,
         "kernel_rps": round(rps, 2),
         "speedup": None,
+        "trace_retention": retention,
     }
-    print(f"{row['workload']:<28} n={SCALE_N:<6} kernel={rps:8.2f} r/s  (completion row)")
+    print(f"{row['workload']:<28} n={n:<7} kernel={rps:8.2f} r/s  (completion row)")
     return row
 
 
@@ -235,7 +259,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     rows = run_grid(GRID_N, GRID_ROUNDS, repeats=3)
-    rows.append(run_scale_row())
+    for label, n, rounds, retention in SCALE_ROWS:
+        rows.append(run_scale_row(label, n, rounds, retention))
 
     payload = {
         "benchmark": "array-kernel",

@@ -187,6 +187,7 @@ class ArrayDelta(TopologyDelta):
 
     __slots__ = (
         "_array_added_nodes",
+        "_array_nodes_cache",
         "_array_eu",
         "_array_ev",
         "_array_added_idx",
@@ -197,14 +198,20 @@ class ArrayDelta(TopologyDelta):
 
     def __init__(
         self,
-        added_nodes: FrozenSet[NodeId],
+        added_nodes: "object",
         eu: "object",
         ev: "object",
         added_idx: "object",
         removed_idx: "object",
     ) -> None:
+        """``added_nodes`` is an int64 id array *or* an already-built frozenset."""
         set_ = object.__setattr__
-        set_(self, "_array_added_nodes", added_nodes)
+        if isinstance(added_nodes, frozenset):
+            set_(self, "_array_added_nodes", None)
+            set_(self, "_array_nodes_cache", added_nodes)
+        else:
+            set_(self, "_array_added_nodes", added_nodes)
+            set_(self, "_array_nodes_cache", None)
         set_(self, "_array_eu", eu)
         set_(self, "_array_ev", ev)
         set_(self, "_array_added_idx", added_idx)
@@ -219,7 +226,18 @@ class ArrayDelta(TopologyDelta):
 
     @property
     def added_nodes(self) -> FrozenSet[NodeId]:
-        return self._array_added_nodes
+        cache = self._array_nodes_cache
+        if cache is None:
+            cache = frozenset(self._array_added_nodes.tolist())
+            object.__setattr__(self, "_array_nodes_cache", cache)
+        return cache
+
+    @property
+    def num_changes(self) -> int:
+        # O(1) from the array lengths — no frozenset materialisation.
+        nodes = self._array_nodes_cache
+        added = len(nodes) if self._array_added_nodes is None else len(self._array_added_nodes)
+        return added + len(self._array_added_idx) + len(self._array_removed_idx)
 
     @property
     def removed_nodes(self) -> FrozenSet[NodeId]:

@@ -58,10 +58,18 @@ def cached_base_topology(name: str, params: Mapping[str, Any], n: int, master_se
         with _LOCK:
             _HITS += 1
         return topology
-    from repro.scenarios.registry import TOPOLOGIES
+    # Second rung: a pooled runner may have published this exact build into
+    # shared memory (see :mod:`repro.exec.shm`) — map it instead of
+    # regenerating.  The attached topology is content-identical to a local
+    # build, so the shm hit is indistinguishable in the produced rows too.
+    from repro.exec import shm
 
-    rng = spawn_generator(master_seed, "topology", name, n)
-    topology = TOPOLOGIES.get(name)(n, rng, **params)
+    topology = shm.attach_topology(shm.topology_key(name, params, n, master_seed))
+    if topology is None:
+        from repro.scenarios.registry import TOPOLOGIES
+
+        rng = spawn_generator(master_seed, "topology", name, n)
+        topology = TOPOLOGIES.get(name)(n, rng, **params)
     with _LOCK:
         _MISSES += 1
         while len(_CACHE) >= _CACHE_MAX:

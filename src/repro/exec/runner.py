@@ -164,6 +164,25 @@ def run_units(
         progress.update(len(chunk.seeds))
         interrupter.tick(len(chunk.seeds))
 
+    # Topologies shared by several units of a pooled batch are published to
+    # shared memory before dispatch, so every worker maps one copy of the
+    # adjacency arrays instead of regenerating (and duplicating) the graph.
+    # The runner owns the segments: they are unlinked when the batch ends,
+    # whatever way it ends.
+    shm_pool = None
+    if backend_name in ("process", "local-cluster", "remote") and len(chunks) > 1:
+        from repro.exec.shm import publish_for_chunks
+
+        shm_pool = publish_for_chunks(chunks)
+        if shm_pool is not None:
+            trace_emit(
+                "shm_publish",
+                segments=shm_pool.segments,
+                bytes=shm_pool.published_bytes,
+            )
+            metric_gauge("exec.shm_segments", shm_pool.segments)
+            metric_gauge("exec.shm_bytes", shm_pool.published_bytes)
+
     try:
         # An explicit chunk size is a promise: the remote dispatcher must not
         # re-split it adaptively behind the caller's back.  Both hooks travel
@@ -199,6 +218,9 @@ def run_units(
         if journal is not None:
             journal.close()  # keep the checkpoint for --resume
         raise
+    finally:
+        if shm_pool is not None:
+            shm_pool.close()
     progress.finish()
     missing = [i for i, row in enumerate(rows) if row is None]
     if missing:  # a backend dropped work on the floor — never silently truncate

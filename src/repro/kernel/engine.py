@@ -39,7 +39,7 @@ from repro.runtime.metrics import RoundMetrics
 from repro.runtime.simulator import RoundActivity
 
 from .base import AlgorithmKernel, DeliverContext
-from .csr import CSRAdjacency, EdgeUniverse
+from .csr import CSRAdjacency
 from .plan import KernelPlan
 
 __all__ = ["ArrayKernelEngine", "GenericKernelEngine"]
@@ -50,13 +50,20 @@ _EMPTY_FROZEN: FrozenSet[int] = frozenset()
 
 
 class _BitsAccounting:
-    """The classic ``_record_bits`` histogram logic over array aggregates."""
+    """The classic ``_record_bits`` histogram logic over array aggregates.
 
-    __slots__ = ("total", "max")
+    Tracks ``count`` = number of nodes whose current message size equals
+    ``max``, so the full O(n) rescan of ``kernel.bits`` only happens when
+    the *last* maximum-sized message shrinks or leaves — the histogram
+    semantics of the incremental path, without per-node bookkeeping.
+    """
+
+    __slots__ = ("total", "max", "count")
 
     def __init__(self) -> None:
         self.total = 0
         self.max = 0
+        self.count = 0
 
     def account(self, kernel: AlgorithmKernel, changed: np.ndarray, old_bits: np.ndarray) -> None:
         if changed.size == 0:
@@ -64,19 +71,33 @@ class _BitsAccounting:
         new_bits = kernel.bits[changed]
         self.total += int(new_bits.sum()) - int(old_bits.sum())
         mx = int(new_bits.max())
-        if mx >= self.max:
+        if mx > self.max:
+            # no pre-existing node can sit at mx, so the holders are exactly
+            # the changed nodes that reached it
             self.max = mx
-        elif bool((old_bits == self.max).any()):
-            # a node that held the maximum shrank: recompute (bits is 0 for
-            # nodes without a cached message, and real messages are >= 1 bit)
-            self.max = int(kernel.bits.max())
+            self.count = int((new_bits == mx).sum())
+            return
+        if mx == self.max:
+            self.count += int((new_bits == mx).sum())
+        self.count -= int((old_bits == self.max).sum())
+        if self.count <= 0:
+            self._rescan(kernel)
 
     def drop(self, kernel: AlgorithmKernel, old_bits: np.ndarray) -> None:
         if old_bits.size == 0:
             return
         self.total -= int(old_bits.sum())
-        if bool((old_bits == self.max).any()):
-            self.max = int(kernel.bits.max()) if kernel.bits.size else 0
+        self.count -= int((old_bits == self.max).sum())
+        if self.count <= 0:
+            self._rescan(kernel)
+
+    def _rescan(self, kernel: AlgorithmKernel) -> None:
+        if kernel.bits.size:
+            self.max = int(kernel.bits.max())
+            self.count = int((kernel.bits == self.max).sum())
+        else:
+            self.max = 0
+            self.count = 0
 
 
 class ArrayKernelEngine:
@@ -90,7 +111,13 @@ class ArrayKernelEngine:
         self._plan = plan
         n = simulator._n
         self._n = n
-        self._universe = EdgeUniverse(n, plan.universe_edges)
+        # Routed through the shm/universe cache: a published base graph (or a
+        # previous run over the same universe in this process) hands back the
+        # mapped CSR arrays instead of re-sorting them.  Imported lazily —
+        # :mod:`repro.exec` pulls in the scenario layer, which imports us.
+        from repro.exec.shm import shared_edge_universe
+
+        self._universe = shared_edge_universe(n, plan.universe_edges)
         self._unodes = frozenset(plan.nodes)
         self._unodes_arr = np.fromiter(sorted(self._unodes), dtype=np.int64, count=len(self._unodes))
         k = self._unodes_arr.size
@@ -103,12 +130,19 @@ class ArrayKernelEngine:
         self._fully_awake = False
         m = self._universe.m
         self._edge_awake = np.zeros(m, dtype=bool)
-        self._eff = np.zeros(m, dtype=bool)
+        #: double-buffered effective mask — masked rounds alternate between
+        #: the two so the previous round's mask stays valid for the diff
+        self._eff_buf = (np.zeros(m, dtype=bool), np.zeros(m, dtype=bool))
+        self._eff = self._eff_buf[0]
+        #: per-round scratch reused across rounds (no fresh m-sized allocs)
+        self._diff = np.zeros(m, dtype=bool)
+        self._eff_d = np.zeros(self._universe.usrc.size, dtype=bool)
         self._num_edges = 0
         self._scratch = np.zeros(n, dtype=bool)
         self._bits = _BitsAccounting()
         self._running: Dict[int, Optional[int]] = {}
         self._outputs_obj: Dict[int, Optional[int]] = {}
+        self._stats_mode = simulator._trace.retention == "stats"
         if hasattr(kernel, "set_array_mode"):
             kernel.set_array_mode(self._universe)
 
@@ -156,27 +190,36 @@ class ArrayKernelEngine:
 
         newly = self._advance_wakeup(round_index)
         present = self._plan.advance(round_index)
+        prev_eff = self._eff
         if self._fully_awake:
             eff = present
         else:
-            eff = present & self._edge_awake
-        prev_eff = self._eff
+            # alternate between the two owned buffers so ``prev_eff`` stays
+            # valid for the diff below (``present`` is plan-owned)
+            bufs = self._eff_buf
+            eff = bufs[1] if prev_eff is bufs[0] else bufs[0]
+            np.logical_and(present, self._edge_awake, out=eff)
         if eff is prev_eff:
             added_idx = removed_idx = _EMPTY_I8
         else:
-            diff = eff != prev_eff
-            if diff.any():
-                added_idx = np.flatnonzero(diff & eff)
-                removed_idx = np.flatnonzero(diff & prev_eff)
+            # one flatnonzero over the diff mask, then split by direction —
+            # the changed slots are few, so the masked gathers are O(changes)
+            diff = self._diff
+            np.not_equal(eff, prev_eff, out=diff)
+            changed_slots = np.flatnonzero(diff)
+            if changed_slots.size:
+                added_mask = eff[changed_slots]
+                added_idx = changed_slots[added_mask]
+                removed_idx = changed_slots[~added_mask]
             else:
                 added_idx = removed_idx = _EMPTY_I8
             self._eff = eff
         self._num_edges += int(added_idx.size) - int(removed_idx.size)
 
         if newly.size or added_idx.size or removed_idx.size:
-            delta: TopologyDelta = ArrayDelta(
-                frozenset(newly.tolist()), uni.eu, uni.ev, added_idx, removed_idx
-            )
+            # ``newly`` transfers ownership: the delta materialises its
+            # frozensets only if a consumer ever asks
+            delta: TopologyDelta = ArrayDelta(newly, uni.eu, uni.ev, added_idx, removed_idx)
         else:
             delta = EMPTY_DELTA
 
@@ -227,7 +270,11 @@ class ArrayKernelEngine:
                 dirty_ids = self._awake_ids
 
         # deliver
-        eff_d = eff[uni.uedge] if uni.m else _EMPTY_BOOL
+        if uni.m:
+            eff_d = self._eff_d
+            np.take(eff, uni.uedge, out=eff_d)
+        else:
+            eff_d = _EMPTY_BOOL
         if self._ids_arange and self._fully_awake and dirty_ids.size == self._unodes_arr.size:
             slots = np.flatnonzero(eff_d)
             seg = uni.usrc[slots]
@@ -243,16 +290,6 @@ class ArrayKernelEngine:
 
         # fingerprints + outputs
         changed_out, values = kernel.post_round(dirty_ids)
-        if changed_out.size:
-            running = self._running
-            for v, value in zip(changed_out.tolist(), values):
-                running[v] = value
-            outputs = dict(running)
-        else:
-            outputs = self._outputs_obj
-        self._outputs_obj = outputs
-
-        changed_frozen = frozenset(changed_out.tolist()) if changed_out.size else _EMPTY_FROZEN
         metrics = RoundMetrics(
             round_index=round_index,
             num_awake=self._awake_count,
@@ -261,24 +298,44 @@ class ArrayKernelEngine:
             messages_delivered=2 * self._num_edges,
             max_message_bits=self._bits.max,
             total_message_bits=self._bits.total,
-            outputs_changed=len(changed_frozen),
+            outputs_changed=int(changed_out.size),
             algorithm_counters=kernel.counters(),
         )
-        trace.record_lazy(delta, outputs, metrics, changed_frozen)
-        sim._output_history.append(outputs)
-        sim._previous_outputs = outputs
-        # activity is built on demand: ``recompose_ids``/``dirty_ids`` are
-        # freshly allocated every round (flatnonzero), so capturing them is
-        # safe, and rounds nobody inspects skip the frozenset conversions
-        sim._last_activity = None
-        sim._last_activity_builder = lambda: RoundActivity(
+        if self._stats_mode:
+            # O(#changes) retention: the trace keeps only this round's
+            # update; the running vector is mutated in place and the O(n)
+            # per-round copy (plus the adversary-view history, which the
+            # plan-driven path never reads) is skipped entirely.
+            update: Dict[int, Optional[int]] = (
+                dict(zip(changed_out.tolist(), values)) if changed_out.size else {}
+            )
+            self._running.update(update)
+            trace.record_stats(delta, update, metrics, changed_out)
+        else:
+            if changed_out.size:
+                running = self._running
+                for v, value in zip(changed_out.tolist(), values):
+                    running[v] = value
+                outputs = dict(running)
+            else:
+                outputs = self._outputs_obj
+            self._outputs_obj = outputs
+            trace.record_lazy(delta, outputs, metrics, changed_out)
+            sim._output_history.append(outputs)
+            sim._previous_outputs = outputs
+        # the activity object is cheap now: its frozenset views materialise
+        # lazily, so rounds nobody inspects never pay the conversions
+        # (``recompose_ids``/``dirty_ids``/``changed_out`` are never mutated
+        # after this point)
+        sim._last_activity = RoundActivity(
             round_index=round_index,
             mode="kernel",
             delta=delta,
-            composed=frozenset(recompose_ids.tolist()),
-            delivered=frozenset(dirty_ids.tolist()),
-            changed_outputs=changed_frozen,
+            composed=recompose_ids,
+            delivered=dirty_ids,
+            changed_outputs=changed_out,
         )
+        sim._last_activity_builder = None
 
         sink = active_sink()
         if sink is not None:
@@ -292,7 +349,7 @@ class ArrayKernelEngine:
                 edges=int(self._num_edges),
                 composed=int(recompose_ids.size),
                 frontier=int(dirty_ids.size),
-                changed=len(changed_frozen),
+                changed=int(changed_out.size),
                 quiescent=int(dirty_ids.size) == 0,
             )
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.types import MisState
 
 from .base import AlgorithmKernel, DeliverContext
+from .nodestreams import NodeStreamPool
 
 __all__ = ["SMisKernel", "DMisKernel"]
 
@@ -55,8 +56,8 @@ class SMisKernel(AlgorithmKernel):
         self._floor = 1.0 / (5.0 * n)
         self._undecided = 0
         self._undecide_events = 0
-        #: cached bound ``rng(v).random`` per node (the compose hot loop)
-        self._rand: List[Optional[object]] = [None] * n
+        #: vectorised per-node streams, byte-identical to ``alg.rng(v)``
+        self._pool = NodeStreamPool(n, algorithm.config.rng_factory.seed, algorithm.name)
 
     def wake(self, ids: np.ndarray) -> None:
         self.recompose_next[ids] = True
@@ -71,11 +72,9 @@ class SMisKernel(AlgorithmKernel):
 
     def compose(self, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         # Decided nodes carry a deterministic message — handled vectorised.
-        # Only undecided nodes draw from their per-node stream, in a python
-        # loop over pre-gathered rows with the bound ``rng(v).random``
-        # cached; the draw order per node is untouched (streams are
-        # independent, so the node order never matters).
-        alg = self._algorithm
+        # Only undecided nodes draw, one batched pull from the stream pool
+        # (streams are per-node independent, so batching never reorders a
+        # node's own draw sequence).
         state_rows = self._state[ids]
         und_sel = state_rows == _S_UND
         rest_ids = ids[~und_sel]
@@ -103,41 +102,23 @@ class SMisKernel(AlgorithmKernel):
 
         und_ids_arr = ids[und_sel]
         if und_ids_arr.size:
-            rand = self._rand
-            id_list = und_ids_arr.tolist()
-            d_rows = self._desire[und_ids_arr].tolist()
-            has_rows = self._has_msg[und_ids_arr].tolist()
-            tag_rows = self._mtag[und_ids_arr].tolist()
-            mp_rows = self._mp[und_ids_arr].tolist()
-            mcand_rows = self._mcand[und_ids_arr].tolist()
-            bits_rows = self.bits[und_ids_arr].tolist()
-            cand_rows: List[bool] = []
-            changed: List[int] = []
-            old_bits: List[int] = []
-            new_p: List[float] = []
-            new_cand: List[bool] = []
-            for i, v in enumerate(id_list):
-                p = d_rows[i]
-                draw = rand[v]
-                if draw is None:
-                    draw = rand[v] = alg.rng(v).random
-                cnd = draw() < p
-                cand_rows.append(cnd)
-                if has_rows[i] and tag_rows[i] == _T_UND and mp_rows[i] == p and mcand_rows[i] == cnd:
-                    continue
-                changed.append(v)
-                old_bits.append(bits_rows[i])
-                new_p.append(p)
-                new_cand.append(cnd)
-            self._cand[und_ids_arr] = cand_rows
-            if changed:
-                chg = np.asarray(changed, dtype=np.int64)
+            p = self._desire[und_ids_arr]
+            cnd = self._pool.random(und_ids_arr) < p
+            self._cand[und_ids_arr] = cnd
+            keep = ~(
+                self._has_msg[und_ids_arr]
+                & (self._mtag[und_ids_arr] == _T_UND)
+                & (self._mp[und_ids_arr] == p)
+                & (self._mcand[und_ids_arr] == cnd)
+            )
+            chg = und_ids_arr[keep]
+            if chg.size:
                 chg_parts.append(chg)
-                old_parts.append(np.asarray(old_bits, dtype=np.int64))
+                old_parts.append(self.bits[chg])
                 self._has_msg[chg] = True
                 self._mtag[chg] = _T_UND
-                self._mp[chg] = new_p
-                self._mcand[chg] = new_cand
+                self._mp[chg] = p[keep]
+                self._mcand[chg] = cnd[keep]
                 self.bits[chg] = 91
 
         if not chg_parts:
@@ -218,6 +199,7 @@ class SMisKernel(AlgorithmKernel):
         alg._candidate = {v: bool(self._cand[v]) for v in woken}
         alg._undecided_n = int(self._undecided)
         alg._undecide_events = int(self._undecide_events)
+        alg._node_rng_skips = self._pool.draw_skips()
 
 
 class DMisKernel(AlgorithmKernel):
@@ -230,8 +212,8 @@ class DMisKernel(AlgorithmKernel):
         self._mtag = np.zeros(n, dtype=np.int64)
         self._mp = np.zeros(n, dtype=np.float64)
         self._undecided = 0
-        #: cached bound ``rng(v).random`` per node (the compose hot loop)
-        self._rand: List[Optional[object]] = [None] * n
+        #: vectorised per-node streams, byte-identical to ``alg.rng(v)``
+        self._pool = NodeStreamPool(n, algorithm.config.rng_factory.seed, algorithm.name)
         # live-set storage: doubled-slot mask in array mode, frozensets otherwise
         self._live_dir: Optional[np.ndarray] = None
         self._live_init = np.zeros(n, dtype=bool)
@@ -256,8 +238,7 @@ class DMisKernel(AlgorithmKernel):
 
     def compose(self, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         # Same split as SMisKernel.compose: decided rows vectorised,
-        # undecided rows draw per node with the bound method cached.
-        alg = self._algorithm
+        # undecided rows pull one batched draw from the stream pool.
         state_rows = self._state[ids]
         und_sel = state_rows == _S_UND
         rest_ids = ids[~und_sel]
@@ -283,35 +264,20 @@ class DMisKernel(AlgorithmKernel):
 
         und_ids_arr = ids[und_sel]
         if und_ids_arr.size:
-            rand = self._rand
-            id_list = und_ids_arr.tolist()
-            has_rows = self._has_msg[und_ids_arr].tolist()
-            tag_rows = self._mtag[und_ids_arr].tolist()
-            mp_rows = self._mp[und_ids_arr].tolist()
-            bits_rows = self.bits[und_ids_arr].tolist()
-            drawn_rows: List[float] = []
-            changed: List[int] = []
-            old_bits: List[int] = []
-            new_val: List[float] = []
-            for i, v in enumerate(id_list):
-                draw = rand[v]
-                if draw is None:
-                    draw = rand[v] = alg.rng(v).random
-                val = draw()
-                drawn_rows.append(val)
-                if has_rows[i] and tag_rows[i] == _T_RAND and mp_rows[i] == val:
-                    continue
-                changed.append(v)
-                old_bits.append(bits_rows[i])
-                new_val.append(val)
-            self._drawn[und_ids_arr] = drawn_rows
-            if changed:
-                chg = np.asarray(changed, dtype=np.int64)
+            val = self._pool.random(und_ids_arr)
+            self._drawn[und_ids_arr] = val
+            keep = ~(
+                self._has_msg[und_ids_arr]
+                & (self._mtag[und_ids_arr] == _T_RAND)
+                & (self._mp[und_ids_arr] == val)
+            )
+            chg = und_ids_arr[keep]
+            if chg.size:
                 chg_parts.append(chg)
-                old_parts.append(np.asarray(old_bits, dtype=np.int64))
+                old_parts.append(self.bits[chg])
                 self._has_msg[chg] = True
                 self._mtag[chg] = _T_RAND
-                self._mp[chg] = new_val
+                self._mp[chg] = val[keep]
                 self.bits[chg] = 98
 
         if not chg_parts:
@@ -451,3 +417,4 @@ class DMisKernel(AlgorithmKernel):
                 live[v] = self._live_py.get(v)
         alg._live = live
         alg._undecided_n = int(self._undecided)
+        alg._node_rng_skips = self._pool.draw_skips()

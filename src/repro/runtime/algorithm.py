@@ -149,6 +149,7 @@ class DistributedAlgorithm(ABC):
     def __init__(self) -> None:
         self._setup: Optional[AlgorithmSetup] = None
         self._node_rngs: Dict[NodeId, np.random.Generator] = {}
+        self._node_rng_skips: Dict[NodeId, int] = {}
         self._awake: set[NodeId] = set()
 
     # -- lifecycle -----------------------------------------------------------
@@ -157,6 +158,7 @@ class DistributedAlgorithm(ABC):
         """Store the configuration; subclasses may extend (call ``super().setup``)."""
         self._setup = setup
         self._node_rngs = {}
+        self._node_rng_skips = {}
         self._awake = set()
 
     @property
@@ -181,6 +183,13 @@ class DistributedAlgorithm(ABC):
         gen = self._node_rngs.get(v)
         if gen is None:
             gen = self.config.rng_factory.node_stream(self.name, v)
+            # An array kernel may have drawn from v's stream without ever
+            # instantiating the Generator (see kernel.nodestreams); it leaves
+            # the consumed draw counts behind so the lazily-spawned stream
+            # resumes at the exact position the classic path would be at.
+            skip = self._node_rng_skips.pop(v, 0)
+            if skip:
+                gen.random(skip)
             self._node_rngs[v] = gen
         return gen
 

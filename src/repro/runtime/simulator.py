@@ -61,7 +61,6 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Iterator, Mapping, Optional
 
 from repro.errors import ConfigurationError, SimulationError, TopologyError
@@ -147,7 +146,6 @@ def _requested_delivery(explicit: str) -> str:
     return "auto"
 
 
-@dataclass(frozen=True)
 class RoundActivity:
     """What the engine actually did in one round (the delta-native surface).
 
@@ -159,19 +157,57 @@ class RoundActivity:
     round.  On the full path ``composed``/``delivered`` are simply the awake
     node set.  ``delta`` is the topology change set the adversary emitted
     (``None`` when it returned a fresh snapshot).
+
+    The array kernel engine passes ``composed``/``delivered``/
+    ``changed_outputs`` as int64 id arrays; the frozenset views materialise
+    lazily (and are cached), and :attr:`num_active` reads the array length
+    directly — an activity probe that only counts never builds a python set.
     """
 
-    round_index: int
-    mode: str
-    delta: Optional[TopologyDelta]
-    composed: FrozenSet[NodeId]
-    delivered: FrozenSet[NodeId]
-    changed_outputs: FrozenSet[NodeId]
+    __slots__ = ("round_index", "mode", "delta", "_composed", "_delivered", "_changed")
+
+    def __init__(
+        self,
+        round_index: int,
+        mode: str,
+        delta: Optional[TopologyDelta],
+        composed: Any,
+        delivered: Any,
+        changed_outputs: Any,
+    ) -> None:
+        self.round_index = round_index
+        self.mode = mode
+        self.delta = delta
+        self._composed = composed
+        self._delivered = delivered
+        self._changed = changed_outputs
+
+    @staticmethod
+    def _materialise(value: Any) -> FrozenSet[NodeId]:
+        return value if isinstance(value, frozenset) else frozenset(value.tolist())
+
+    @property
+    def composed(self) -> FrozenSet[NodeId]:
+        """Nodes whose ``compose`` ran this round."""
+        self._composed = self._materialise(self._composed)
+        return self._composed
+
+    @property
+    def delivered(self) -> FrozenSet[NodeId]:
+        """The round's dirty frontier (every node whose ``deliver`` ran)."""
+        self._delivered = self._materialise(self._delivered)
+        return self._delivered
+
+    @property
+    def changed_outputs(self) -> FrozenSet[NodeId]:
+        """Nodes whose output differs from the previous round."""
+        self._changed = self._materialise(self._changed)
+        return self._changed
 
     @property
     def num_active(self) -> int:
         """Number of nodes the engine ran ``deliver`` for this round."""
-        return len(self.delivered)
+        return len(self._delivered)
 
 
 def _merge_deprecated_input(
@@ -232,6 +268,13 @@ class Simulator:
         resolution (used e.g. when per-round probes will read live
         algorithm state, which array kernels only write back at the end of
         a run).
+    trace_retention:
+        ``"full"`` (default) keeps every round's complete output vector in
+        the trace; ``"stats"`` keeps only O(#changes) per-round output
+        updates on the array kernel path and reconstructs full vectors
+        lazily (see :class:`~repro.runtime.trace.ExecutionTrace`) — all
+        derived metrics stay byte-identical, memory stays bounded at
+        million-node scale.
     """
 
     def __init__(
@@ -249,6 +292,7 @@ class Simulator:
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
         delivery: str = "auto",
         allow_kernel: bool = True,
+        trace_retention: str = "full",
     ) -> None:
         if not isinstance(n, int) or n < 1:
             raise ConfigurationError(f"n must be a positive integer, got {n!r}")
@@ -317,6 +361,7 @@ class Simulator:
             algorithm.name,
             adversary.describe(),
             checkpoint_interval=checkpoint_interval,
+            retention=trace_retention,
         )
         self._output_history: list[Assignment] = []
         self._previous_outputs: Dict[NodeId, Value] = {}
@@ -726,6 +771,7 @@ def run_simulation(
     stop_when: Optional[Callable[[ExecutionTrace], bool]] = None,
     delivery: str = "auto",
     allow_kernel: bool = True,
+    trace_retention: str = "full",
 ) -> ExecutionTrace:
     """One-shot convenience wrapper around :class:`Simulator`.
 
@@ -755,5 +801,6 @@ def run_simulation(
         stop_when=stop_when,
         delivery=delivery,
         allow_kernel=allow_kernel,
+        trace_retention=trace_retention,
     )
     return sim.run(rounds)

@@ -9,9 +9,9 @@ checkers cannot be fooled by an algorithm that misreports its own state.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.types import Assignment, Interval, NodeId, Round, Value
 from repro.dynamics.dynamic_graph import DEFAULT_CHECKPOINT_INTERVAL, DynamicGraph
 from repro.dynamics.topology import Topology, TopologyDelta
@@ -34,24 +34,50 @@ class RoundRecord:
     byproduct of recording, so consumers get it in O(1) instead of
     re-scanning two output vectors (``None`` for records appended by legacy
     callers; :meth:`ExecutionTrace.changed_nodes` then falls back to the
-    scan).
+    scan).  The array kernel hands it over as an int64 id array; the
+    frozenset view materialises (and is cached) on first access.
+
+    Under ``"stats"`` trace retention (see :class:`ExecutionTrace`) the
+    record stores no output vector of its own: :attr:`outputs` reconstructs
+    it on demand by replaying the per-round output *updates* the trace kept
+    instead — O(total changes) for a sequential scan, bounded memory always.
     """
 
-    __slots__ = ("round_index", "outputs", "metrics", "changed", "_graph")
+    __slots__ = ("round_index", "metrics", "_outputs", "_changed", "_graph", "_trace")
 
     def __init__(
         self,
         round_index: Round,
-        outputs: Mapping[NodeId, Value],
+        outputs: Optional[Mapping[NodeId, Value]],
         metrics: RoundMetrics,
         graph: DynamicGraph,
-        changed: Optional[frozenset] = None,
+        changed: Optional[Any] = None,
+        trace: Optional["ExecutionTrace"] = None,
     ) -> None:
         self.round_index = round_index
-        self.outputs = outputs
+        self._outputs = outputs
         self.metrics = metrics
-        self.changed = changed
+        self._changed = changed
         self._graph = graph
+        self._trace = trace
+
+    @property
+    def outputs(self) -> Mapping[NodeId, Value]:
+        """The output vector at the end of this round (replayed under ``"stats"``)."""
+        stored = self._outputs
+        if stored is not None:
+            return stored
+        return self._trace._materialised_outputs(self.round_index)
+
+    @property
+    def changed(self) -> Optional[frozenset]:
+        """Nodes whose output changed this round (lazy for array-backed records)."""
+        stored = self._changed
+        if stored is None or isinstance(stored, frozenset):
+            return stored
+        materialised = frozenset(stored.tolist())
+        self._changed = materialised
+        return materialised
 
     @property
     def topology(self) -> Topology:
@@ -59,7 +85,11 @@ class RoundRecord:
         return self._graph.topology(self.round_index)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RoundRecord(round={self.round_index}, outputs={len(self.outputs)})"
+        return f"RoundRecord(round={self.round_index})"
+
+
+#: Valid trace retention modes (``ScenarioSpec`` validates against this).
+RETENTION_MODES = ("full", "stats")
 
 
 class ExecutionTrace:
@@ -68,6 +98,23 @@ class ExecutionTrace:
     ``checkpoint_interval`` controls how often the underlying dynamic graph
     materialises a full snapshot between delta-encoded rounds (see
     :class:`~repro.dynamics.dynamic_graph.DynamicGraph`).
+
+    ``retention`` bounds the memory of the per-round output vectors:
+
+    ``"full"`` (default)
+        every round keeps its complete output dict — O(rounds × n) memory.
+
+    ``"stats"``
+        rounds recorded through :meth:`record_stats` (the array kernel
+        engine) keep only the O(#changes) output *updates*; full vectors are
+        reconstructed lazily by replaying updates forward, with a small
+        rolling cache so the sequential scans of the metric/stability
+        consumers stay O(total changes) overall.  Classic-path rounds
+        (:meth:`record`) still store their vectors — the mode pays off on
+        the array path, where million-node runs would otherwise hold
+        hundreds of n-sized dicts.  All derived metrics are byte-identical
+        to ``"full"`` (consumers only ever count/sort, and the replay is
+        exact).
     """
 
     def __init__(
@@ -77,11 +124,28 @@ class ExecutionTrace:
         adversary_description: str,
         *,
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        retention: str = "full",
     ) -> None:
+        if retention not in RETENTION_MODES:
+            raise ConfigurationError(
+                f"trace retention must be one of {RETENTION_MODES}, got {retention!r}"
+            )
         self._graph = DynamicGraph(n, checkpoint_interval=checkpoint_interval)
         self._records: List[RoundRecord] = []
         self._algorithm_name = algorithm_name
         self._adversary_description = adversary_description
+        self._retention = retention
+        #: per-round output updates (``"stats"`` mode only; index = round - 1)
+        self._updates: Optional[List[Mapping[NodeId, Value]]] = (
+            [] if retention == "stats" else None
+        )
+        #: rolling replay cache: round -> reconstructed full output vector
+        self._replay_cache: Dict[int, Dict[NodeId, Value]] = {}
+
+    @property
+    def retention(self) -> str:
+        """The retention mode of this trace (``"full"`` or ``"stats"``)."""
+        return self._retention
 
     # -- recording (used by the simulator) ------------------------------------
 
@@ -107,21 +171,28 @@ class ExecutionTrace:
             self._graph.append_delta(delta, topology)
         else:
             self._graph.append(topology)
+        stored = dict(outputs)
         record = RoundRecord(
             round_index=self._graph.last_round,
-            outputs=dict(outputs),
+            outputs=stored,
             metrics=metrics,
             graph=self._graph,
             changed=changed_nodes,
+            trace=self,
         )
         self._records.append(record)
+        if self._updates is not None:
+            # keep the replay chain intact for stats-mode traces even when a
+            # classic-path round lands in between (a full vector is a valid
+            # update: it overwrites every key)
+            self._updates.append(stored)
 
     def record_lazy(
         self,
         delta: TopologyDelta,
         outputs: Mapping[NodeId, Value],
         metrics: RoundMetrics,
-        changed_nodes: Optional[frozenset] = None,
+        changed_nodes: Optional[Any] = None,
     ) -> None:
         """Append one round from the array kernel without materialising it.
 
@@ -130,6 +201,8 @@ class ExecutionTrace:
         ownership of a dict it never mutates afterwards (it builds a fresh
         one whenever any output changes), so the per-round defensive copy of
         :meth:`record` would be pure overhead at kernel scale.
+        ``changed_nodes`` may be a frozenset or an int64 id array (the
+        :attr:`RoundRecord.changed` view materialises lazily).
         """
         self._graph.append_lazy(delta)
         record = RoundRecord(
@@ -138,8 +211,73 @@ class ExecutionTrace:
             metrics=metrics,
             graph=self._graph,
             changed=changed_nodes,
+            trace=self,
         )
         self._records.append(record)
+        if self._updates is not None:
+            self._updates.append(outputs)
+
+    def record_stats(
+        self,
+        delta: TopologyDelta,
+        update: Mapping[NodeId, Value],
+        metrics: RoundMetrics,
+        changed_nodes: Optional[Any] = None,
+    ) -> None:
+        """Append one array-kernel round keeping only its output *update*.
+
+        ``update`` maps exactly the nodes whose output changed this round to
+        their new values (ownership transfers; never mutated afterwards).
+        Requires ``retention="stats"``; the full vector of any round is
+        reconstructed on demand by :meth:`RoundRecord.outputs`.
+        """
+        if self._updates is None:
+            raise SimulationError('record_stats requires a retention="stats" trace')
+        self._graph.append_lazy(delta)
+        record = RoundRecord(
+            round_index=self._graph.last_round,
+            outputs=None,
+            metrics=metrics,
+            graph=self._graph,
+            changed=changed_nodes,
+            trace=self,
+        )
+        self._records.append(record)
+        self._updates.append(update)
+
+    def _materialised_outputs(self, r: Round) -> Dict[NodeId, Value]:
+        """Replay the stored updates up to round ``r`` (stats retention).
+
+        Keeps a rolling three-round cache window around the most recent
+        request, so the dominant access patterns — strictly ascending scans,
+        and the stability checker's ``outputs(r)`` / ``outputs(r - 1)``
+        pairs — replay each update exactly once.  Cold random access deep
+        into the trace replays from the nearest stored vector (worst case
+        round 1) and costs O(total changes) once.
+        """
+        cache = self._replay_cache
+        hit = cache.get(r)
+        if hit is not None:
+            return hit
+        base_round = 0
+        for cached_round in cache:
+            if base_round < cached_round <= r:
+                base_round = cached_round
+        base: Mapping[NodeId, Value] = cache[base_round] if base_round else {}
+        records = self._records
+        for rr in range(r, base_round, -1):
+            stored = records[rr - 1]._outputs
+            if stored is not None:  # classic-path round: full vector on hand
+                base_round, base = rr, stored
+                break
+        current = dict(base)
+        updates = self._updates
+        for rr in range(base_round + 1, r + 1):
+            current.update(updates[rr - 1])
+        cache[r] = current
+        for stale in [k for k in cache if not r - 1 <= k <= r + 1]:
+            del cache[stale]
+        return current
 
     # -- identification ----------------------------------------------------------
 

@@ -29,6 +29,12 @@ each one into a :class:`Finding`:
 ``schema-drift``
     An entry whose recorded ``row_schema`` is not the column union of its
     rows — the rows were edited after writing.
+``stale-shm``
+    A ``repro-shm-*`` shared-memory segment on this machine whose owning
+    runner process is gone — a killed run never unlinked its published
+    topology pool (see :mod:`repro.exec.shm`).  Not a store fact, but the
+    same "irregular state has a meaning" contract: the segment pins memory
+    until ``repro repair`` unlinks it.
 
 Findings are facts about the tree, not judgements about who caused them;
 ``repro audit`` exits 1 when any exist, which is what lets CI gate on a
@@ -153,6 +159,18 @@ def _entry_findings(path: Path, entry: StoreEntry) -> Iterator[Finding]:
         )
 
 
+def _audit_shm() -> Iterator[Finding]:
+    from repro.exec.shm import stale_segments
+
+    for name in stale_segments():
+        yield Finding(
+            "stale-shm",
+            f"/dev/shm/{name}",
+            "shared-memory topology segment whose owning runner is gone; "
+            "it pins memory until unlinked ('repro repair' does)",
+        )
+
+
 def audit_store(store_root: Path | str, *, kind: Optional[str] = None) -> List[Finding]:
     """Every irregularity in the results tree at ``store_root``."""
     store_root = Path(store_root)
@@ -162,6 +180,7 @@ def audit_store(store_root: Path | str, *, kind: Optional[str] = None) -> List[F
         kind_dirs = [store_root / kind]
     elif store_root.is_dir():
         findings.extend(_audit_journals(store_root))
+        findings.extend(_audit_shm())
         kind_dirs = sorted(
             p for p in store_root.iterdir() if p.is_dir() and not p.name.startswith(".")
         )

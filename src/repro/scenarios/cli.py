@@ -380,10 +380,37 @@ def _select_experiments(args: argparse.Namespace) -> Dict[str, ExperimentConfig]
     return selected
 
 
+def _profile_top(profiler, limit: int = 15) -> List[Dict[str, Any]]:
+    """The ``limit`` highest-cumulative-time entries of a cProfile run.
+
+    JSON-shaped for the telemetry provenance block: ``repro log --json``
+    surfaces the full list, the table view the top function.
+    """
+    import pstats
+
+    entries: List[Dict[str, Any]] = []
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in pstats.Stats(
+        profiler
+    ).stats.items():
+        entries.append(
+            {
+                "function": f"{Path(filename).name}:{line}({name})",
+                "calls": int(nc),
+                "tottime": round(tt, 4),
+                "cumtime": round(ct, 4),
+            }
+        )
+    entries.sort(key=lambda entry: -entry["cumtime"])
+    return entries[:limit]
+
+
 def _run_experiments(args: argparse.Namespace, *, scale: str, timings: bool) -> int:
     from repro.analysis.experiments.catalog import run_experiment
 
     configs = _select_experiments(args)
+    # Profiling is in-process by definition: pooled workers would hide the
+    # hot loop from the parent's profiler, so --profile forces serial.
+    profile = bool(getattr(args, "profile", False))
     code = 0
     for config in configs.values():
         problems = validate_config(config)
@@ -404,7 +431,8 @@ def _run_experiments(args: argparse.Namespace, *, scale: str, timings: bool) -> 
     with flag_scope:
         for experiment_id, config in sorted(configs.items()):
             params = config.params_for(scale)
-            policy = _build_policy(args, config.execution, parallel=not args.serial)
+            serial = args.serial or profile
+            policy = _build_policy(args, config.execution, parallel=not serial)
             verification = _build_verification(args, config.verification)
             config_scope = (
                 nullcontext()
@@ -412,12 +440,25 @@ def _run_experiments(args: argparse.Namespace, *, scale: str, timings: bool) -> 
                 else _trace_scope(args, config.telemetry)
             )
             started = time.perf_counter()
+            profiler = None
             with config_scope, collect_stats() as stats, collect_metrics() as registry:
                 with use_policy(policy), _verification_scope(verification):
-                    rows = run_experiment(experiment_id, params, parallel=not args.serial)
+                    if profile:
+                        import cProfile
+
+                        profiler = cProfile.Profile()
+                        profiler.enable()
+                    try:
+                        rows = run_experiment(experiment_id, params, parallel=not serial)
+                    finally:
+                        if profiler is not None:
+                            profiler.disable()
             elapsed = time.perf_counter() - started
             kind, label, key = _store_target(config, scale=scale)
             telemetry = registry.as_provenance(stats)
+            if profiler is not None:
+                telemetry = dict(telemetry)
+                telemetry["profile"] = _profile_top(profiler)
             store_started = time.perf_counter()
             entry, status = store.put(
                 kind,
@@ -559,6 +600,13 @@ def _diff_bench(reference: Path, candidate: Path) -> int:
             old = ref_row.get(field)
             new = cand_row.get(field)
             if not isinstance(old, (int, float)) or not old:
+                # Scale rows carry ``incremental_rps: null`` (only the kernel
+                # path completes them) — their ``kernel_rps`` still gates
+                # above, but a null-vs-null field is shown, not silently
+                # dropped, and a value appearing where the reference had none
+                # is a visible note rather than nothing.
+                note = "n/a" if new in (None, old) else f"new value {new}"
+                table_rows.append({"workload": workload, "field": field, "note": note})
                 continue
             if not isinstance(new, (int, float)):
                 failures.append(f"{workload}: {field} missing from candidate row")
@@ -665,6 +713,15 @@ def _cmd_repair(args: argparse.Namespace) -> int:
             _print(f"{verb} torn write {scratch}")
             if not args.dry_run:
                 scratch.unlink()
+
+    from repro.exec.shm import stale_segments, unlink_stale_segments
+
+    if args.dry_run:
+        for name in stale_segments():
+            _print(f"would remove stale shm segment {name}")
+    else:
+        for name in unlink_stale_segments():
+            _print(f"removed stale shm segment {name}")
 
     journals = sorted((store_root / JOURNALS_SUBDIR).glob("*.jsonl"))
     if not journals:
@@ -895,6 +952,10 @@ def _cmd_log(args: argparse.Namespace) -> int:
                 f"{name}={block.get('seconds', 0.0):.2f}s" for name, block in top
             ),
         }
+        hotspots = telemetry.get("profile") or []
+        if hotspots:
+            head = hotspots[0]
+            row["hotspot"] = f"{head.get('function')} {head.get('cumtime', 0.0):.2f}s"
         if args.json and telemetry:
             row["telemetry"] = telemetry
         rows.append(row)
@@ -1104,6 +1165,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--all", action="store_true", help="run every committed experiment")
     bench.add_argument("--smoke", action="store_true", help="smoke-sized dry run of the harness")
     bench.add_argument("--serial", action="store_true", help="disable the process pool")
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the run (forces serial) and store the top cumulative "
+        "entries in the telemetry provenance ('repro log' shows the hotspot)",
+    )
     bench.add_argument("--tables", help="also write all tables to this file")
     bench.add_argument(
         "--configs",

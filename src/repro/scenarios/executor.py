@@ -163,6 +163,7 @@ def _execute_seed(spec: ScenarioSpec, seed: int) -> Tuple[Row, Simulator]:
             adversary=ctx.adversary,
             seed=ctx.seed,
             delivery=spec.delivery or "auto",
+            trace_retention=spec.trace_retention or "full",
             expose_state_to_adversary=spec.expose_state_to_adversary,
             # With a probe, the round loop below owns the stop check — passing
             # the predicate to the simulator too would evaluate it twice a round.
@@ -228,8 +229,12 @@ def _verify_against_full(spec: ScenarioSpec, seed: int, row: Row, sim: Simulator
     # reflect one execution per seed, not the debug double-run.  The spec's
     # own delivery override is dropped: an explicit ``delivery="kernel"``
     # would beat the ambient delivery_mode() and verify against itself.
+    # The retention knob is reset too, so a "stats" run is checked against
+    # an independently-recorded full-retention reference trace.
     with delivery_mode("full"), collect_stats():
-        full_row, full_sim = _execute_seed(spec.replace(delivery=None), seed)
+        full_row, full_sim = _execute_seed(
+            spec.replace(delivery=None, trace_retention=None), seed
+        )
     fast_rows = _comparable_trace_rows(sim.trace)
     full_rows = _comparable_trace_rows(full_sim.trace)
     # Metric rows are compared only for probe-less runs: a probe may

@@ -167,6 +167,14 @@ class ScenarioSpec:
         ``"auto"`` (the default when ``None``), ``"full"``,
         ``"incremental"`` or ``"kernel"``.  ``"kernel"`` raises at
         simulator construction when the algorithm has no array kernel.
+    trace_retention:
+        Optional trace memory knob forwarded to the simulator: ``"full"``
+        (the default when ``None``) keeps every round's complete output
+        vector; ``"stats"`` keeps only O(#changes) per-round updates on the
+        array kernel path and reconstructs full vectors lazily — derived
+        metrics are byte-identical, memory stays bounded at 10^5–10^6 nodes
+        (see :class:`repro.runtime.trace.ExecutionTrace`).  Omitted from
+        :meth:`to_dict` when ``None`` so existing store keys are unchanged.
     name:
         Free-form label copied into results.
     """
@@ -185,6 +193,7 @@ class ScenarioSpec:
     window_scale: Optional[float] = None
     expose_state_to_adversary: bool = False
     delivery: Optional[str] = None
+    trace_retention: Optional[str] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -236,6 +245,13 @@ class ScenarioSpec:
                 "delivery must be one of ('auto', 'full', 'incremental', 'kernel'), "
                 f"got {self.delivery!r}"
             )
+        # Kept in sync with repro.runtime.trace.RETENTION_MODES (same
+        # importability constraint as the delivery modes above).
+        if self.trace_retention is not None and self.trace_retention not in ("full", "stats"):
+            raise ConfigurationError(
+                "trace_retention must be one of ('full', 'stats'), "
+                f"got {self.trace_retention!r}"
+            )
 
     # -- labels & derived values -------------------------------------------------
 
@@ -270,7 +286,7 @@ class ScenarioSpec:
         def comp(value: Optional[ComponentSpec]):
             return None if value is None else value.to_dict()
 
-        return {
+        data = {
             "n": self.n,
             "algorithm": comp(self.algorithm),
             "adversary": comp(self.adversary),
@@ -287,6 +303,12 @@ class ScenarioSpec:
             "delivery": self.delivery,
             "name": self.name,
         }
+        # Omitted at its None default: the dict doubles as the result-store
+        # content key, and a knob that cannot change any stored row must not
+        # re-key (or drift-fail) every config committed before it existed.
+        if self.trace_retention is not None:
+            data["trace_retention"] = self.trace_retention
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":

@@ -1,0 +1,169 @@
+"""Shared-memory topology pools (:mod:`repro.exec.shm`).
+
+Gates:
+
+* publish → attach round-trips a base topology content-identically (nodes,
+  edges, adjacency) and primes the zero-copy edge-universe cache;
+* the runner publishes exactly the topologies shared by >= 2 units of a
+  pooled batch, pooled rows stay byte-identical to serial rows, and every
+  segment is unlinked when the batch ends — crash or not;
+* ``repro audit`` reports segments whose owning process died, and
+  ``repro repair`` unlinks them.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.exec import shm
+from repro.exec.cache import cached_base_topology, topology_cache_clear
+from repro.exec.policy import ExecutionPolicy
+from repro.exec.runner import run_units
+from repro.exec.units import build_chunks, units_for_spec
+from repro.kernel.csr import EdgeUniverse
+from repro.scenarios.spec import ScenarioSpec, component
+
+
+@pytest.fixture(autouse=True)
+def _clean_shm_state():
+    shm.shm_state_clear()
+    topology_cache_clear()
+    yield
+    shm.shm_state_clear()
+    topology_cache_clear()
+
+
+def _spec(algorithm: str, seeds=(1, 2)) -> ScenarioSpec:
+    return ScenarioSpec(
+        n=48,
+        algorithm=component(algorithm),
+        adversary=component("markov-churn", p_off=0.1, p_on=0.1),
+        topology=component("gnp", p=0.15),
+        rounds=8,
+        seeds=seeds,
+        metrics=(),
+        name=f"shm-{algorithm}",
+    )
+
+
+def _segments_on_disk():
+    return sorted(x for x in os.listdir("/dev/shm") if x.startswith("repro-shm-"))
+
+
+class TestPublishAttach:
+    def test_round_trip_is_content_identical(self):
+        built = cached_base_topology("gnp", {"p": 0.1}, 200, 7)
+        key = shm.topology_key("gnp", {"p": 0.1}, 200, 7)
+        with shm.SharedTopologyPool() as pool:
+            assert pool.publish(key, built, 200)
+            # a fresh worker: local caches empty, registry inherited via env
+            shm._ATTACHED.clear()
+            shm._UNIVERSE_CACHE.clear()
+            topology_cache_clear()
+            attached = cached_base_topology("gnp", {"p": 0.1}, 200, 7)
+            assert attached.nodes == built.nodes
+            assert attached.edges == built.edges
+            assert attached.adjacency() == built.adjacency()
+            assert shm.shm_info()["attach_hits"] == 1
+
+    def test_attach_primes_zero_copy_universe(self):
+        built = cached_base_topology("gnp", {"p": 0.1}, 150, 3)
+        key = shm.topology_key("gnp", {"p": 0.1}, 150, 3)
+        with shm.SharedTopologyPool() as pool:
+            assert pool.publish(key, built, 150)
+            shm._ATTACHED.clear()
+            shm._UNIVERSE_CACHE.clear()
+            attached = shm.attach_topology(key)
+            edges = tuple(sorted(attached.edges))
+            universe = shm.shared_edge_universe(150, edges)
+            assert not universe.usrc.flags.writeable  # shm-mapped view
+            reference = EdgeUniverse(150, edges)
+            for field in ("eu", "ev", "usrc", "udst", "uedge", "indptr"):
+                np.testing.assert_array_equal(
+                    getattr(universe, field), getattr(reference, field)
+                )
+
+    def test_unregistered_key_attaches_nothing(self):
+        assert shm.attach_topology("deadbeefdeadbeef") is None
+
+    def test_universe_cache_hits_on_equal_content(self):
+        edges = ((0, 1), (1, 2))
+        first = shm.shared_edge_universe(3, edges)
+        second = shm.shared_edge_universe(3, ((0, 1), (1, 2)))  # fresh tuple
+        assert first is second
+
+    def test_close_unlinks_and_clears_registry(self):
+        built = cached_base_topology("gnp", {"p": 0.1}, 100, 1)
+        key = shm.topology_key("gnp", {"p": 0.1}, 100, 1)
+        pool = shm.SharedTopologyPool()
+        assert pool.publish(key, built, 100)
+        assert _segments_on_disk()
+        pool.close()
+        assert not _segments_on_disk()
+        assert key not in shm._registry()
+
+
+class TestRunnerIntegration:
+    def test_publish_for_chunks_selects_shared_topologies(self):
+        # two specs share topology+seeds => shared keys; a third spec with a
+        # disjoint seed is unique and must not be published
+        units = (
+            units_for_spec(_spec("smis"))
+            + units_for_spec(_spec("dmis"))
+            + units_for_spec(_spec("scolor", seeds=(9,)))
+        )
+        pool = shm.publish_for_chunks(build_chunks(units, 2))
+        assert pool is not None
+        try:
+            assert pool.segments == 2  # seeds 1 and 2, shared by smis+dmis
+            unique = shm.topology_key("gnp", {"p": 0.15}, 48, 9)
+            assert unique not in shm._registry()
+        finally:
+            pool.close()
+
+    def test_pooled_rows_byte_identical_and_segments_released(self):
+        units = units_for_spec(_spec("smis")) + units_for_spec(_spec("dmis"))
+        serial_rows = run_units(units, ExecutionPolicy(backend="serial", progress=False))
+        pooled_rows = run_units(
+            units, ExecutionPolicy(backend="process", max_workers=2, progress=False)
+        )
+        assert json.dumps(serial_rows, sort_keys=True) == json.dumps(
+            pooled_rows, sort_keys=True
+        )
+        assert not _segments_on_disk()
+        assert not shm._registry()
+
+
+class TestAuditRepair:
+    def _fake_dead_segment(self):
+        from multiprocessing import shared_memory
+
+        # pid 2**22+5 is above the default pid_max: guaranteed dead
+        name = f"repro-shm-{2**22 + 5}-feedfacefeedface"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+        segment.close()
+        return name
+
+    def test_stale_segment_is_found_and_unlinked(self):
+        name = self._fake_dead_segment()
+        try:
+            assert name in shm.stale_segments()
+            live = f"repro-shm-{os.getpid()}-0123456789abcdef"
+            assert live not in shm.stale_segments()
+        finally:
+            removed = shm.unlink_stale_segments()
+        assert name in removed
+        assert name not in _segments_on_disk()
+
+    def test_audit_reports_stale_shm(self, tmp_path):
+        from repro.scenarios.audit import audit_store
+
+        name = self._fake_dead_segment()
+        try:
+            findings = audit_store(tmp_path)
+            stale = [f for f in findings if f.category == "stale-shm"]
+            assert any(name in f.path for f in stale)
+        finally:
+            shm.unlink_stale_segments()
